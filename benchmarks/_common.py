@@ -1,0 +1,52 @@
+"""Shared helpers for the experiment benchmarks."""
+
+from __future__ import annotations
+
+from repro import SDComplex
+from repro.sd.instance import DbmsInstance
+
+
+def committed_row(engine, payload=b"v0"):
+    """Create one committed record; returns (page_id, slot)."""
+    txn = engine.begin()
+    page_id = engine.allocate_page(txn)
+    slot = engine.insert(txn, page_id, payload)
+    engine.commit(txn)
+    return page_id, slot
+
+
+def build_sd(n_instances=2, instance_cls=DbmsInstance, **kwargs):
+    complex_ = SDComplex(**kwargs)
+    instances = [
+        complex_.add_instance(i + 1, instance_cls=instance_cls)
+        for i in range(n_instances)
+    ]
+    return complex_, instances
+
+
+def section_1_5_scenario(instance_cls, filler_records=50):
+    """The paper's Section 1.5 anomaly scenario; returns the value the
+    disk holds after S1's restart (and both transactions' LSNs)."""
+    complex_ = SDComplex(n_data_pages=128)
+    s1 = complex_.add_instance(1, instance_cls=instance_cls,
+                               lock_granularity="page")
+    s2 = complex_.add_instance(2, instance_cls=instance_cls,
+                               lock_granularity="page")
+    txn = s2.begin()
+    page_id = s2.allocate_page(txn)
+    slot = s2.insert(txn, page_id, b"original")
+    s2.commit(txn)
+    s2.pool.write_page(page_id)
+    s2.write_filler(filler_records)
+    t2 = s2.begin()
+    s2.update(t2, page_id, slot, b"t2-update")
+    s2.commit(t2)
+    t2_lsn = max(r.lsn for _, r in s2.log.scan() if r.page_id == page_id)
+    t1 = s1.begin()
+    s1.update(t1, page_id, slot, b"t1-committed")
+    s1.commit(t1)
+    t1_lsn = max(r.lsn for _, r in s1.log.scan() if r.page_id == page_id)
+    complex_.crash_instance(1)
+    complex_.restart_instance(1)
+    survivor = complex_.disk.read_page(page_id).read_record(slot)
+    return survivor, t1_lsn, t2_lsn

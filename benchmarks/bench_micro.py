@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the hot-path primitives.
+
+Not paper experiments — engineering numbers for the substrate itself:
+log append (the USN rule), slotted-page record ops, record
+serialization, and a full engine update round trip.
+"""
+
+import pytest
+
+from repro.storage.page import Page, PageType
+from repro.wal.log_manager import LogManager
+from repro.wal.records import LogRecord, make_update
+
+from _common import build_sd, committed_row
+
+
+def test_micro_log_append(benchmark):
+    log = LogManager(1)
+    record = make_update(1, 1, 100, 0, redo=b"x" * 32, undo=b"y" * 32)
+
+    def append():
+        log.append(record, page_lsn=0)
+
+    benchmark(append)
+
+
+def test_micro_record_roundtrip(benchmark):
+    record = make_update(1, 1, 100, 3, redo=b"x" * 64, undo=b"y" * 64)
+    data = record.to_bytes()
+
+    def roundtrip():
+        LogRecord.from_bytes(data)
+
+    benchmark(roundtrip)
+
+
+def test_micro_page_insert_delete(benchmark):
+    page = Page()
+    page.format(1, PageType.DATA)
+    payload = b"p" * 40
+
+    def cycle():
+        slot = page.insert_record(payload)
+        page.delete_record(slot)
+
+    benchmark(cycle)
+
+
+def test_micro_page_serialization(benchmark):
+    page = Page()
+    page.format(1, PageType.DATA)
+    for i in range(20):
+        page.insert_record(b"row %02d" % i)
+
+    def roundtrip():
+        Page.from_bytes(page.to_bytes())
+
+    benchmark(roundtrip)
+
+
+def test_micro_engine_update_commit(benchmark):
+    sd, (s1,) = build_sd(1, n_data_pages=256)
+    page_id, slot = committed_row(s1)
+
+    def txn_cycle():
+        txn = s1.begin()
+        s1.update(txn, page_id, slot, b"value")
+        s1.commit(txn)
+
+    benchmark(txn_cycle)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""The paper's core idea, isolated: clockless monotonic LSNs.
+
+Part 1 replays the Section 1.5 example under the broken pre-paper
+scheme (LSN = local log address) and watches a committed update vanish
+at restart; then replays it under the USN scheme and watches it
+survive.
+
+Part 2 shows the Lamport Local_Max_LSN exchange (Section 3.5) keeping
+LSNs close together across systems so the Commit_LSN check keeps
+succeeding, even when one system logs 100x more than the other.
+
+Run:  python examples/clockless_lsn_demo.py
+"""
+
+from repro import SDComplex
+from repro.baselines.naive import NaiveDbmsInstance
+from repro.common.stats import COMMIT_LSN_HITS, COMMIT_LSN_MISSES
+from repro.sd.instance import DbmsInstance
+
+
+def section_1_5_scenario(instance_cls, label: str) -> bytes:
+    sd = SDComplex(n_data_pages=128)
+    s1 = sd.add_instance(1, instance_cls=instance_cls,
+                         lock_granularity="page")
+    s2 = sd.add_instance(2, instance_cls=instance_cls,
+                         lock_granularity="page")
+
+    txn = s2.begin()
+    page_id = s2.allocate_page(txn)
+    slot = s2.insert(txn, page_id, b"original")
+    s2.commit(txn)
+    s2.pool.write_page(page_id)
+
+    s2.write_filler(50)            # S2's log is long; S1's is short
+
+    t2 = s2.begin()                # T2 updates P1 in S2 and commits
+    s2.update(t2, page_id, slot, b"t2-update")
+    s2.commit(t2)
+    t2_lsn = max(r.lsn for _, r in s2.log.scan() if r.page_id == page_id)
+
+    t1 = s1.begin()                # T1 updates P1 in S1 and commits
+    s1.update(t1, page_id, slot, b"t1-committed")
+    s1.commit(t1)
+    t1_lsn = max(r.lsn for _, r in s1.log.scan() if r.page_id == page_id)
+
+    sd.crash_instance(1)           # P1 not written to disk by S1
+    sd.restart_instance(1)
+    survivor = sd.disk.read_page(page_id).read_record(slot)
+    print(f"  [{label}] T2's LSN={t2_lsn}, T1's LSN={t1_lsn} "
+          f"-> after restart the page holds {survivor!r}")
+    return survivor
+
+
+def commit_lsn_with_and_without_exchange() -> None:
+    for piggyback, label in ((False, "no exchange"),
+                             (True, "Lamport exchange")):
+        sd = SDComplex(n_data_pages=128, piggyback_enabled=piggyback)
+        busy = sd.add_instance(1)
+        quiet = sd.add_instance(2)
+        txn = busy.begin()
+        page_id = busy.allocate_page(txn)
+        slot = busy.insert(txn, page_id, b"shared")
+        busy.commit(txn)
+        # The busy system logs heavily; the quiet one barely at all.
+        for _ in range(20):
+            t = busy.begin()
+            busy.update(t, page_id, slot, b"work")
+            busy.commit(t)
+        if piggyback:
+            sd.broadcast_max_lsns()
+        # The quiet system reads with the Commit_LSN optimization.
+        reader = quiet.begin()
+        for _ in range(10):
+            quiet.read(reader, page_id, slot, use_commit_lsn=True)
+        quiet.commit(reader)
+        hits = sd.stats.get(COMMIT_LSN_HITS)
+        misses = sd.stats.get(COMMIT_LSN_MISSES)
+        print(f"  [{label:16s}] Commit_LSN hits={hits} misses={misses}")
+
+
+def main() -> None:
+    print("Part 1 — the Section 1.5 lost-update anomaly:")
+    lost = section_1_5_scenario(NaiveDbmsInstance, "naive LSN=log address")
+    kept = section_1_5_scenario(DbmsInstance, "USN scheme (this paper)")
+    assert lost == b"t2-update", "naive scheme silently loses T1!"
+    assert kept == b"t1-committed"
+    print("  -> naive scheme violated durability; USN scheme did not.\n")
+
+    print("Part 2 — Commit_LSN vs LSN-rate skew (Section 3.5):")
+    commit_lsn_with_and_without_exchange()
+    print("  -> with the exchange, the quiet system's LSNs catch up and "
+          "the cheap check keeps succeeding.")
+
+
+if __name__ == "__main__":
+    main()

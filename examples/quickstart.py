@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: a two-system shared-disks complex.
+
+Creates the complex of Figure 1 (two DBMS instances, private logs and
+buffer pools, one shared disk), runs transactions on both systems
+against the same page, crashes one system, and shows that restart
+recovery — driven entirely by page_LSN comparisons under the paper's
+USN scheme — preserves every committed update.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PageType, SDComplex
+
+
+def main() -> None:
+    sd = SDComplex()
+    s1 = sd.add_instance(1)
+    s2 = sd.add_instance(2)
+    print("complex:", sd)
+    print("S1 clock:", s1.clock.now(), "| S2 clock:", s2.clock.now(),
+          "(unsynchronized on purpose)")
+
+    # System 1 creates a page and inserts a record.
+    txn = s1.begin()
+    page_id = s1.allocate_page(txn, PageType.DATA)
+    slot = s1.insert(txn, page_id, b"hello")
+    s1.commit(txn)
+    print(f"S1 committed 'hello' on page {page_id} slot {slot}")
+
+    # System 2 updates the same record: the coherency layer forces the
+    # page to disk and transfers it (the medium page-transfer scheme).
+    txn2 = s2.begin()
+    s2.update(txn2, page_id, slot, b"world")
+    s2.commit(txn2)
+    print(f"S2 committed 'world'; page now owned by system "
+          f"{sd.coherency.writer_of(page_id)}")
+
+    # The update lives only in S2's buffer pool (no-force policy)...
+    print("page_LSN on disk:", sd.disk.page_lsn_on_disk(page_id))
+
+    # ...so crash S2 before it writes the page.
+    sd.crash_instance(2)
+    summary = sd.restart_instance(2)
+    print("restart summary:", summary)
+
+    value = sd.disk.read_page(page_id).read_record(slot)
+    print("value after recovery:", value)
+    assert value == b"world", "committed update must survive"
+
+    print("\nLSNs assigned (S1 then S2) for this page:")
+    for instance in (s1, s2):
+        lsns = [r.lsn for _, r in instance.log.scan()
+                if r.page_id == page_id]
+        print(f"  system {instance.system_id}: {lsns}")
+    print("strictly increasing across systems — no clocks involved.")
+
+
+if __name__ == "__main__":
+    main()

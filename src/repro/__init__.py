@@ -1,0 +1,116 @@
+"""repro — Mohan & Narang's multi-system DBMS recovery, reproduced.
+
+A production-quality Python reproduction of *"Data Base Recovery in
+Shared Disks and Client-Server Architectures"* (C. Mohan, Inderpal
+Narang, ICDCS 1992): clockless LSN (USN) generation, write-ahead
+logging with private local logs, ARIES restart and media recovery,
+the Commit_LSN optimization, and both multi-system architectures the
+paper covers — shared disks (SD) and client-server (CS) — plus the
+baseline schemes the paper compares against (naive log-address LSNs,
+Lomet's BSI scheme, and a VAXcluster-style shared global log).
+
+Quickstart::
+
+    from repro import SDComplex, PageType
+
+    sd = SDComplex()
+    s1 = sd.add_instance(1)
+    s2 = sd.add_instance(2)
+
+    txn = s1.begin()
+    page_id = s1.allocate_page(txn, PageType.DATA)
+    slot = s1.insert(txn, page_id, b"hello")
+    s1.commit(txn)
+
+    txn2 = s2.begin()
+    s2.update(txn2, page_id, slot, b"world")   # page migrates to S2
+    s2.commit(txn2)
+
+    sd.crash_instance(2)
+    sd.restart_instance(2)                     # committed update survives
+"""
+
+from repro.common import (
+    LogAddress,
+    Lsn,
+    NULL_LSN,
+    PAGE_SIZE,
+    ReproError,
+    SkewedClock,
+    StatsRegistry,
+)
+from repro.access import BTree, SegmentedTable
+from repro.buffer import BufferControlBlock, BufferPool
+from repro.cs import CsClient, CsServer, CsSystem
+from repro.locking import LockManager, LockMode, LockStatus
+from repro.recovery import (
+    CommitLsnService,
+    recover_page_from_media,
+    restart_recovery,
+    take_checkpoint,
+)
+from repro.net import Network
+from repro.sd import CoherencyController, DbmsInstance, SDComplex
+from repro.storage import (
+    ImageCopy,
+    LometSpaceMap,
+    Page,
+    PageType,
+    SharedDisk,
+    SpaceMap,
+)
+from repro.txn import Transaction, TransactionManager, TxnState
+from repro.wal import (
+    ClientLogManager,
+    LogManager,
+    LogRecord,
+    RecordKind,
+    lomet_merge,
+    merge_local_logs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BTree",
+    "BufferControlBlock",
+    "BufferPool",
+    "ClientLogManager",
+    "CoherencyController",
+    "CommitLsnService",
+    "CsClient",
+    "CsServer",
+    "CsSystem",
+    "DbmsInstance",
+    "ImageCopy",
+    "LockManager",
+    "LockMode",
+    "LockStatus",
+    "LogAddress",
+    "LogManager",
+    "LogRecord",
+    "LometSpaceMap",
+    "Lsn",
+    "NULL_LSN",
+    "Network",
+    "PAGE_SIZE",
+    "Page",
+    "PageType",
+    "RecordKind",
+    "ReproError",
+    "SDComplex",
+    "SegmentedTable",
+    "SharedDisk",
+    "SkewedClock",
+    "SpaceMap",
+    "StatsRegistry",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "lomet_merge",
+    "merge_local_logs",
+    "recover_page_from_media",
+    "restart_recovery",
+    "take_checkpoint",
+    "__version__",
+]

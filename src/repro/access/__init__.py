@@ -1,0 +1,17 @@
+"""Access methods built on the multi-system engine.
+
+The B-tree here is the structure behind the paper's index-page
+reallocation discussion (Sections 2-P3, 3.4, citing ARIES/KVL and
+ARIES/IM): "An index page is deallocated when there are no keys left in
+the page and is then reallocated during a subsequent page split
+operation.  During reallocation, the page is not read from disk."
+
+All structural mutations go through the engine's logged record
+operations, so index updates are recovered by the same ARIES machinery
+as data updates — no special index recovery code.
+"""
+
+from repro.access.btree import BTree
+from repro.access.table import SegmentedTable
+
+__all__ = ["BTree", "SegmentedTable"]

@@ -1,0 +1,341 @@
+"""A B-tree index on top of the multi-system engine.
+
+Design notes:
+
+* **Nodes are ordinary pages** (type INDEX).  Slot 0 of every node is a
+  metadata record (level; 0 = leaf).  Entries live in the remaining
+  slots, *logically* sorted — physical slot order is arbitrary, and
+  lookups sort in memory (cheap at 4 KiB page scale).  This keeps every
+  structural change expressible as the engine's logged record
+  operations, so index recovery is just ARIES redo/undo.
+* **The root page id never changes.**  A root split allocates two
+  children and turns the root into an inner node, so a `BTree` handle
+  (root id + key width) survives crashes and can be reopened by any
+  system of the complex.
+* **Empty leaves are deallocated** (the paper's empty-index-page case)
+  and later page splits reallocate pages through the read-free
+  Section 3.4 path.
+* Locking: entry mutations use the engine's record locks; traversal
+  uses page fixes (latch analogue).  Key-range locking (ARIES/KVL) is
+  out of scope, as for the paper.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.storage.page import Page, PageType
+
+_META = struct.Struct("<4sB")         # magic, level
+_MAGIC = b"BTN1"
+_CHILD = struct.Struct("<I")
+_KEY_LEN = struct.Struct("<H")
+
+# Split when a node's live entries would exceed this (kept small enough
+# that every entry size fits comfortably in a 4 KiB page).
+DEFAULT_FANOUT = 32
+
+
+def _encode_entry(key: bytes, payload: bytes) -> bytes:
+    return _KEY_LEN.pack(len(key)) + key + payload
+
+
+def _decode_entry(raw: bytes) -> Tuple[bytes, bytes]:
+    (key_len,) = _KEY_LEN.unpack_from(raw, 0)
+    start = _KEY_LEN.size
+    return raw[start:start + key_len], raw[start + key_len:]
+
+
+@dataclass
+class _Node:
+    """Parsed view of one node page (valid while the page is fixed)."""
+
+    page_id: int
+    level: int
+    entries: List[Tuple[bytes, bytes, int]]  # (key, payload, slot)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+
+class BTree:
+    """A crash-safe B-tree index usable from any SD instance.
+
+    ``BTree.create(instance, txn)`` builds a new empty tree;
+    ``BTree(root_page_id)`` reopens an existing one (e.g. after a
+    restart, or from a different system of the complex).
+    """
+
+    def __init__(self, root_page_id: int,
+                 fanout: int = DEFAULT_FANOUT) -> None:
+        if fanout < 4:
+            raise ValueError("fanout must be at least 4")
+        self.root_page_id = root_page_id
+        self.fanout = fanout
+
+    # ------------------------------------------------------------------
+    # creation
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, instance, txn, fanout: int = DEFAULT_FANOUT) -> "BTree":
+        root_id = instance.allocate_page(txn, PageType.INDEX)
+        instance.insert(txn, root_id, _META.pack(_MAGIC, 0))
+        return cls(root_id, fanout=fanout)
+
+    # ------------------------------------------------------------------
+    # node parsing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse(page: Page) -> _Node:
+        level: Optional[int] = None
+        entries: List[Tuple[bytes, bytes, int]] = []
+        for slot, raw in page.records():
+            if raw[:4] == _MAGIC and len(raw) == _META.size:
+                level = _META.unpack(raw)[1]
+                continue
+            key, payload = _decode_entry(raw)
+            entries.append((key, payload, slot))
+        if level is None:
+            raise ReproError(
+                f"page {page.page_id} is not a B-tree node"
+            )
+        entries.sort(key=lambda e: e[0])
+        return _Node(page_id=page.page_id, level=level, entries=entries)
+
+    def _read_node(self, instance, page_id: int,
+                   for_update: bool = False) -> _Node:
+        page = instance.fix_page(page_id, for_update=for_update)
+        try:
+            return self._parse(page)
+        finally:
+            instance.unfix_page(page_id)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _child_for(self, node: _Node, key: bytes) -> int:
+        """Inner-node routing: rightmost child whose separator <= key."""
+        chosen = None
+        for sep, payload, _ in node.entries:
+            if sep == b"" or sep <= key:
+                chosen = payload
+            else:
+                break
+        if chosen is None:
+            raise ReproError(
+                f"inner node {node.page_id} has no route for {key!r}"
+            )
+        return _CHILD.unpack(chosen)[0]
+
+    def _descend_to_leaf(self, instance, key: bytes) -> List[int]:
+        """Path of page ids from root to the leaf responsible for key."""
+        path = [self.root_page_id]
+        node = self._read_node(instance, self.root_page_id)
+        while not node.is_leaf:
+            child = self._child_for(node, key)
+            path.append(child)
+            node = self._read_node(instance, child)
+        return path
+
+    def search(self, instance, txn, key: bytes) -> Optional[bytes]:
+        """Exact-match lookup; returns the value or None."""
+        leaf_id = self._descend_to_leaf(instance, key)[-1]
+        node = self._read_node(instance, leaf_id)
+        for entry_key, payload, _ in node.entries:
+            if entry_key == key:
+                return payload
+        return None
+
+    def scan(self, instance, txn) -> Iterator[Tuple[bytes, bytes]]:
+        """Full in-order scan, yielding (key, value)."""
+        yield from self._scan_node(instance, self.root_page_id, None, None)
+
+    def range_scan(self, instance, txn, lo: Optional[bytes] = None,
+                   hi: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
+        """In-order scan of keys in ``[lo, hi)`` (either bound may be
+        None for open-ended), pruning subtrees by separator keys."""
+        if lo is not None and hi is not None and lo >= hi:
+            return
+        yield from self._scan_node(instance, self.root_page_id, lo, hi)
+
+    def _scan_node(self, instance, page_id: int,
+                   lo: Optional[bytes], hi: Optional[bytes]):
+        node = self._read_node(instance, page_id)
+        if node.is_leaf:
+            for key, payload, _ in node.entries:
+                if lo is not None and key < lo:
+                    continue
+                if hi is not None and key >= hi:
+                    return
+                yield key, payload
+            return
+        entries = node.entries
+        for i, (sep, payload, _) in enumerate(entries):
+            # A child covers [its separator, next separator).  Prune
+            # children entirely outside the requested range.
+            next_sep = entries[i + 1][0] if i + 1 < len(entries) else None
+            if hi is not None and sep != b"" and sep >= hi:
+                return
+            if lo is not None and next_sep is not None \
+                    and next_sep != b"" and next_sep <= lo:
+                continue
+            yield from self._scan_node(
+                instance, _CHILD.unpack(payload)[0], lo, hi
+            )
+
+    # ------------------------------------------------------------------
+    # insert
+    # ------------------------------------------------------------------
+    def insert(self, instance, txn, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        if not key:
+            raise ValueError("keys must be non-empty")
+        path = self._descend_to_leaf(instance, key)
+        leaf_id = path[-1]
+        node = self._read_node(instance, leaf_id)
+        for entry_key, _, slot in node.entries:
+            if entry_key == key:
+                instance.update(txn, leaf_id, slot,
+                                _encode_entry(key, value))
+                return
+        instance.insert(txn, leaf_id, _encode_entry(key, value))
+        node = self._read_node(instance, leaf_id)
+        if len(node.entries) > self.fanout:
+            self._split(instance, txn, path)
+
+    def _split(self, instance, txn, path: List[int]) -> None:
+        """Split the node at the end of ``path``, recursing upward."""
+        page_id = path[-1]
+        node = self._read_node(instance, page_id)
+        mid = len(node.entries) // 2
+        movers = node.entries[mid:]
+        sep_key = movers[0][0]
+        # The new sibling: allocated read-free (Section 3.4 in action —
+        # a page previously deallocated by an empty-leaf removal may be
+        # reused here without a disk read).
+        sibling_id = instance.allocate_page(txn, PageType.INDEX)
+        instance.insert(txn, sibling_id, _META.pack(_MAGIC, node.level))
+        for key, payload, slot in movers:
+            instance.insert(txn, sibling_id, _encode_entry(key, payload))
+            instance.delete(txn, page_id, slot)
+        if page_id == self.root_page_id:
+            self._split_root(instance, txn, node, sep_key, sibling_id)
+            return
+        parent_id = path[-2]
+        instance.insert(txn, parent_id,
+                        _encode_entry(sep_key, _CHILD.pack(sibling_id)))
+        parent = self._read_node(instance, parent_id)
+        if len(parent.entries) > self.fanout:
+            self._split(instance, txn, path[:-1])
+
+    def _split_root(self, instance, txn, node: _Node, sep_key: bytes,
+                    sibling_id: int) -> None:
+        """Root split: keep the root page id stable by pushing the
+        root's remaining entries into a fresh left child."""
+        left_id = instance.allocate_page(txn, PageType.INDEX)
+        instance.insert(txn, left_id, _META.pack(_MAGIC, node.level))
+        current = self._read_node(instance, self.root_page_id)
+        for key, payload, slot in current.entries:
+            instance.insert(txn, left_id, _encode_entry(key, payload))
+            instance.delete(txn, self.root_page_id, slot)
+        # Retype the root as an inner node one level up.
+        root_page = instance.fix_page(self.root_page_id)
+        meta_slot = next(
+            slot for slot, raw in root_page.records()
+            if raw[:4] == _MAGIC
+        )
+        instance.unfix_page(self.root_page_id)
+        instance.update(txn, self.root_page_id, meta_slot,
+                        _META.pack(_MAGIC, node.level + 1))
+        instance.insert(txn, self.root_page_id,
+                        _encode_entry(b"", _CHILD.pack(left_id)))
+        instance.insert(txn, self.root_page_id,
+                        _encode_entry(sep_key, _CHILD.pack(sibling_id)))
+
+    # ------------------------------------------------------------------
+    # delete
+    # ------------------------------------------------------------------
+    def delete(self, instance, txn, key: bytes) -> bool:
+        """Delete ``key``; returns True if it existed.
+
+        A leaf left empty is unlinked from its parent and deallocated —
+        the paper's empty-index-page case, making the page available
+        for read-free reallocation by any system.
+        """
+        path = self._descend_to_leaf(instance, key)
+        leaf_id = path[-1]
+        node = self._read_node(instance, leaf_id)
+        slot = next(
+            (s for k, _, s in node.entries if k == key), None
+        )
+        if slot is None:
+            return False
+        instance.delete(txn, leaf_id, slot)
+        node = self._read_node(instance, leaf_id)
+        if not node.entries and leaf_id != self.root_page_id:
+            self._remove_empty_node(instance, txn, path)
+        return True
+
+    def _remove_empty_node(self, instance, txn, path: List[int]) -> None:
+        """Unlink and deallocate the empty node at the end of ``path``,
+        propagating upward: an inner node left childless is removed too,
+        and a childless root collapses back to an empty leaf."""
+        node_id = path[-1]
+        parent_id = path[-2]
+        parent = self._read_node(instance, parent_id)
+        target = _CHILD.pack(node_id)
+        removed_sep = None
+        for sep, payload, slot in parent.entries:
+            if payload == target:
+                removed_sep = sep
+                instance.delete(txn, parent_id, slot)
+                break
+        parent = self._read_node(instance, parent_id)
+        if parent.entries and removed_sep is not None:
+            # If we removed the node's *lowest* separator, the subtree's
+            # lower bound must survive: the new first child inherits the
+            # removed separator (b"" for the leftmost subtree).  Without
+            # this, keys in [removed_sep, new_first_sep) would route
+            # here and find no child.
+            first_key, first_payload, first_slot = parent.entries[0]
+            if removed_sep == b"" or removed_sep < first_key:
+                if first_key != removed_sep:
+                    instance.update(txn, parent_id, first_slot,
+                                    _encode_entry(removed_sep, first_payload))
+        self._wipe_and_deallocate(instance, txn, node_id)
+        if not parent.entries:
+            if parent_id == self.root_page_id:
+                # Childless root: collapse back to an empty leaf.
+                root_page = instance.fix_page(self.root_page_id)
+                meta_slot = next(
+                    slot for slot, raw in root_page.records()
+                    if raw[:4] == _MAGIC
+                )
+                instance.unfix_page(self.root_page_id)
+                instance.update(txn, self.root_page_id, meta_slot,
+                                _META.pack(_MAGIC, 0))
+            else:
+                self._remove_empty_node(instance, txn, path[:-1])
+
+    def _wipe_and_deallocate(self, instance, txn, page_id: int) -> None:
+        """Delete a node's remaining records (the meta record) so the
+        page is empty, then deallocate it for reuse."""
+        page = instance.fix_page(page_id)
+        slots = [slot for slot, _ in page.records()]
+        instance.unfix_page(page_id)
+        for slot in slots:
+            instance.delete(txn, page_id, slot)
+        instance.deallocate_page(txn, page_id)
+
+    # ------------------------------------------------------------------
+    def depth(self, instance) -> int:
+        """Tree height (1 = root is a leaf)."""
+        node = self._read_node(instance, self.root_page_id)
+        return node.level + 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BTree(root={self.root_page_id}, fanout={self.fanout})"

@@ -1,0 +1,91 @@
+"""Typed row codecs: schemas over record payloads.
+
+The engine stores opaque byte payloads; applications want columns.
+:class:`RowCodec` packs/unpacks fixed-order column tuples with a small
+self-describing binary format, so examples and downstream users don't
+hand-roll struct calls.  Column types:
+
+* ``"i"`` — signed 64-bit integer
+* ``"f"`` — float64
+* ``"s"`` — UTF-8 string (length-prefixed)
+* ``"b"`` — raw bytes (length-prefixed)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Sequence, Tuple
+
+_INT = struct.Struct("<q")
+_FLOAT = struct.Struct("<d")
+_LEN = struct.Struct("<H")
+
+_VALID_TYPES = frozenset("ifsb")
+
+
+class RowCodec:
+    """Pack and unpack rows of a fixed schema."""
+
+    def __init__(self, schema: Sequence[Tuple[str, str]]) -> None:
+        """``schema`` is a sequence of (column_name, type_char)."""
+        if not schema:
+            raise ValueError("schema needs at least one column")
+        for name, type_char in schema:
+            if type_char not in _VALID_TYPES:
+                raise ValueError(
+                    f"column {name!r}: unknown type {type_char!r}"
+                )
+        self.schema = list(schema)
+        self.columns = [name for name, _ in schema]
+
+    # ------------------------------------------------------------------
+    def pack(self, *values: Any) -> bytes:
+        """Serialize one row (positional values matching the schema)."""
+        if len(values) != len(self.schema):
+            raise ValueError(
+                f"expected {len(self.schema)} values, got {len(values)}"
+            )
+        parts: List[bytes] = []
+        for (name, type_char), value in zip(self.schema, values):
+            if type_char == "i":
+                parts.append(_INT.pack(value))
+            elif type_char == "f":
+                parts.append(_FLOAT.pack(value))
+            elif type_char == "s":
+                raw = value.encode("utf-8")
+                parts.append(_LEN.pack(len(raw)) + raw)
+            else:  # "b"
+                parts.append(_LEN.pack(len(value)) + bytes(value))
+        return b"".join(parts)
+
+    def unpack(self, payload: bytes) -> Tuple[Any, ...]:
+        """Inverse of :meth:`pack`."""
+        values: List[Any] = []
+        pos = 0
+        for name, type_char in self.schema:
+            if type_char == "i":
+                values.append(_INT.unpack_from(payload, pos)[0])
+                pos += _INT.size
+            elif type_char == "f":
+                values.append(_FLOAT.unpack_from(payload, pos)[0])
+                pos += _FLOAT.size
+            else:
+                (length,) = _LEN.unpack_from(payload, pos)
+                pos += _LEN.size
+                raw = payload[pos:pos + length]
+                pos += length
+                values.append(raw.decode("utf-8") if type_char == "s"
+                              else bytes(raw))
+        if pos != len(payload):
+            raise ValueError(
+                f"trailing bytes: row is {pos} bytes, payload {len(payload)}"
+            )
+        return tuple(values)
+
+    def as_dict(self, payload: bytes) -> dict:
+        """Unpack to a column-name -> value mapping."""
+        return dict(zip(self.columns, self.unpack(payload)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        cols = ", ".join(f"{n}:{t}" for n, t in self.schema)
+        return f"RowCodec({cols})"

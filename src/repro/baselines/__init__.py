@@ -1,0 +1,26 @@
+"""Baseline schemes the paper argues against.
+
+* :mod:`repro.baselines.naive` — LSN = local log address, assigned
+  independently per system.  The pre-paper status quo; reproduces the
+  Section 1.5 lost-update anomaly.
+* :mod:`repro.baselines.lomet` — Lomet's before-state-identifier (BSI)
+  scheme [Lome90]: per-page LSN sequences, redo iff equal, full LSNs in
+  the space map, (page, LSN) log merge.  The Section 4.2 comparison.
+* :mod:`repro.baselines.global_log` — a VAXcluster-style single global
+  log guarded by a global lock, with the force-before-commit policy
+  (Section 4.1).
+"""
+
+from repro.baselines.naive import NaiveDbmsInstance, NaiveLogManager
+from repro.baselines.lomet import LometComplex, LometLogManager, LometSystem
+from repro.baselines.global_log import GlobalLogComplex, GlobalLogSystem
+
+__all__ = [
+    "GlobalLogComplex",
+    "GlobalLogSystem",
+    "LometComplex",
+    "LometLogManager",
+    "LometSystem",
+    "NaiveDbmsInstance",
+    "NaiveLogManager",
+]

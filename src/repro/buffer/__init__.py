@@ -1,0 +1,15 @@
+"""Buffer management: frames, BCBs, WAL enforcement.
+
+The paper's Problem 2 (Section 2) is how the buffer manager learns, in
+SD and CS, how far the log must be forced before a dirty page may go to
+disk — once page_LSN is a USN it is no longer a log address.  The
+answer (Section 3.3): track the *logical address* of the page's most
+recent update record in the buffer control block, alongside the RecAddr
+of the update that first dirtied the page (needed for checkpoints and
+page recovery start points, Section 3.2.2).
+"""
+
+from repro.buffer.bcb import BufferControlBlock
+from repro.buffer.buffer_pool import BufferPool
+
+__all__ = ["BufferControlBlock", "BufferPool"]

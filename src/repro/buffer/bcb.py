@@ -1,0 +1,62 @@
+"""Buffer control blocks.
+
+One BCB per buffered page.  The two log-position fields are the paper's
+answer to Problems 1.b and 2:
+
+* ``rec_addr`` — byte offset, in the local log, of the update record
+  that turned the page from clean to dirty ("RecAddr ... becomes the
+  starting point for page recovery", Section 3.2.2).  Recorded in
+  checkpoints to bound the restart redo scan.
+* ``last_update_end`` — byte offset just past the most recent update
+  record for the page; the WAL protocol requires the log stable through
+  this offset before the page may be written to disk (Section 3.3).
+
+``rec_lsn`` is the LSN counterpart of ``rec_addr``; the CS client ships
+it with dirty pages, and the server maps it back to a server-log
+RecAddr (Section 3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.config import NULL_LSN
+from repro.common.lsn import Lsn
+from repro.storage.page import Page
+
+
+@dataclass
+class BufferControlBlock:
+    """Bookkeeping for one buffered page."""
+
+    page: Page
+    dirty: bool = False
+    fix_count: int = 0
+    rec_lsn: Lsn = NULL_LSN          # LSN of first dirtying update
+    rec_addr: Optional[int] = None   # local-log offset of that update
+    last_update_end: int = 0         # log offset past the latest update
+
+    @property
+    def page_id(self) -> int:
+        return self.page.page_id
+
+    def note_update(self, lsn: Lsn, record_offset: int, record_end: int) -> None:
+        """Record that an update was just logged against this page.
+
+        ``record_offset``/``record_end`` are byte positions of the log
+        record in the local log.  The first update of a clean page sets
+        RecAddr / RecLSN; every update advances the WAL high-water mark.
+        """
+        if not self.dirty:
+            self.dirty = True
+            self.rec_lsn = lsn
+            self.rec_addr = record_offset
+        self.last_update_end = record_end
+
+    def mark_clean(self) -> None:
+        """Called after the page is safely on disk (or at the server)."""
+        self.dirty = False
+        self.rec_lsn = NULL_LSN
+        self.rec_addr = None
+        self.last_update_end = 0

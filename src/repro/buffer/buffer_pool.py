@@ -1,0 +1,233 @@
+"""Buffer pool with steal/no-force policy and WAL enforcement.
+
+Policy corners (Section 1.4 of the paper):
+
+* **no-force** — commits do not write pages to disk; restart redo
+  reapplies whatever was lost.
+* **steal** — dirty pages may be written to disk (e.g. on eviction)
+  before their transactions commit; undo removes them if needed.
+* **WAL** — before a dirty page is written, the log is forced through
+  the address just past the page's most recent update record (tracked
+  in the BCB, Section 3.3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.common.config import DEFAULT_BUFFER_POOL_PAGES
+from repro.common.errors import BufferPoolFullError, WALViolationError
+from repro.common.lsn import Lsn
+from repro.buffer.bcb import BufferControlBlock
+from repro.storage.disk import SharedDisk
+from repro.storage.page import Page
+from repro.wal.log_manager import LogManager
+
+
+class BufferPool:
+    """LRU buffer pool over a shared disk, wired to a local log manager.
+
+    ``on_before_write`` is an optional hook invoked with the BCB just
+    before a page write reaches the disk; the SD coherency layer uses it
+    to observe page migrations, and tests use it for fault injection.
+    """
+
+    def __init__(
+        self,
+        disk: SharedDisk,
+        log: LogManager,
+        capacity: int = DEFAULT_BUFFER_POOL_PAGES,
+        enforce_wal: bool = True,
+        on_before_write: Optional[Callable[[BufferControlBlock], None]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("buffer pool needs at least one frame")
+        self.disk = disk
+        self.log = log
+        self.capacity = capacity
+        self.enforce_wal = enforce_wal
+        self.on_before_write = on_before_write
+        self._frames: "OrderedDict[int, BufferControlBlock]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # fixing
+    # ------------------------------------------------------------------
+    def fix(self, page_id: int) -> Page:
+        """Pin ``page_id`` in the pool, reading it from disk on a miss."""
+        bcb = self._frames.get(page_id)
+        if bcb is None:
+            self._make_room()
+            page = self.disk.read_page(page_id)
+            bcb = BufferControlBlock(page=page)
+            self._frames[page_id] = bcb
+        self._frames.move_to_end(page_id)
+        bcb.fix_count += 1
+        return bcb.page
+
+    def unfix(self, page_id: int) -> None:
+        """Release one pin on ``page_id``."""
+        bcb = self._require(page_id)
+        if bcb.fix_count <= 0:
+            raise ValueError(f"page {page_id} is not fixed")
+        bcb.fix_count -= 1
+
+    def install_page(self, page: Page, dirty: bool = True) -> Page:
+        """Place a page into the pool *without a disk read*.
+
+        Two callers: page reallocation (the formatted page never touches
+        disk first — the optimization experiment E5 measures) and
+        cross-system transfer in SD (the receiving pool gets the image
+        directly).  The page arrives fixed once.
+        """
+        if page.page_id in self._frames:
+            raise ValueError(f"page {page.page_id} already buffered")
+        self._make_room()
+        bcb = BufferControlBlock(page=page, dirty=dirty, fix_count=1)
+        self._frames[page.page_id] = bcb
+        return page
+
+    def put_page(self, page: Page) -> None:
+        """Replace (or install) a page's in-memory image, no disk I/O.
+
+        The CS server uses this when a client ships a page back: the
+        received image supersedes whatever the server had cached.
+        """
+        bcb = self._frames.get(page.page_id)
+        if bcb is None:
+            self._make_room()
+            self._frames[page.page_id] = BufferControlBlock(page=page)
+        else:
+            bcb.page = page
+        self._frames.move_to_end(page.page_id)
+
+    def receive_dirty(self, page: Page, rec_lsn: Lsn, rec_addr: int,
+                      last_update_end: int) -> None:
+        """CS server receive path for a dirty page (Section 3.2.2).
+
+        ``rec_addr`` is the server-log address the client's RecLSN maps
+        to.  If the server *already* holds a dirty version, the old
+        RecAddr is retained (the paper is explicit about this: the
+        earlier dirtying is the redo bound).
+        """
+        self.put_page(page)
+        bcb = self._frames[page.page_id]
+        if not bcb.dirty:
+            bcb.dirty = True
+            bcb.rec_lsn = rec_lsn
+            bcb.rec_addr = rec_addr
+        bcb.last_update_end = max(bcb.last_update_end, last_update_end)
+
+    # ------------------------------------------------------------------
+    # update bookkeeping
+    # ------------------------------------------------------------------
+    def note_update(self, page_id: int, lsn: Lsn, record_offset: int,
+                    record_end: int) -> None:
+        """Tell the pool an update to ``page_id`` was just logged."""
+        self._require(page_id).note_update(lsn, record_offset, record_end)
+
+    def bcb(self, page_id: int) -> BufferControlBlock:
+        """The BCB for a buffered page (introspection/tests)."""
+        return self._require(page_id)
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def is_dirty(self, page_id: int) -> bool:
+        bcb = self._frames.get(page_id)
+        return bcb is not None and bcb.dirty
+
+    # ------------------------------------------------------------------
+    # writing (WAL enforcement point)
+    # ------------------------------------------------------------------
+    def write_page(self, page_id: int) -> None:
+        """Force ``page_id`` to disk, honouring the WAL protocol."""
+        bcb = self._require(page_id)
+        if bcb.dirty and bcb.last_update_end:
+            if not self.log.is_stable(bcb.last_update_end):
+                if not self.enforce_wal:
+                    raise WALViolationError(
+                        f"page {page_id}: log not stable through "
+                        f"offset {bcb.last_update_end} and WAL forcing disabled"
+                    )
+                self.log.force(up_to=bcb.last_update_end)
+        if self.on_before_write is not None:
+            self.on_before_write(bcb)
+        self.disk.write_page(bcb.page)
+        bcb.mark_clean()
+
+    def flush_all(self) -> None:
+        """Write every dirty page (quiesce / clean shutdown)."""
+        for page_id in list(self._frames):
+            if self._frames[page_id].dirty:
+                self.write_page(page_id)
+
+    def drop_page(self, page_id: int, allow_dirty: bool = False) -> None:
+        """Remove a page from the pool without writing it.
+
+        The SD coherency protocol invalidates clean cached copies when
+        another system takes a write lock; dropping a dirty page is only
+        legal during crash simulation (``allow_dirty=True``).
+        """
+        bcb = self._frames.get(page_id)
+        if bcb is None:
+            return
+        if bcb.dirty and not allow_dirty:
+            raise ValueError(f"refusing to drop dirty page {page_id}")
+        if bcb.fix_count and not allow_dirty:
+            raise ValueError(f"refusing to drop fixed page {page_id}")
+        del self._frames[page_id]
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+    def _make_room(self) -> None:
+        if len(self._frames) < self.capacity:
+            return
+        for page_id, bcb in self._frames.items():  # LRU order
+            if bcb.fix_count == 0:
+                if bcb.dirty:
+                    self.write_page(page_id)
+                del self._frames[page_id]
+                return
+        raise BufferPoolFullError(
+            f"all {self.capacity} frames fixed; cannot evict"
+        )
+
+    # ------------------------------------------------------------------
+    # checkpoint & crash support
+    # ------------------------------------------------------------------
+    def dirty_page_table(self) -> Dict[int, Tuple[Lsn, int]]:
+        """``{page_id: (RecLSN, RecAddr)}`` for every dirty page.
+
+        This is the buffer-pool summary a checkpoint records
+        (Section 3.2.2); restart redo starts at the minimum RecAddr.
+        """
+        table: Dict[int, Tuple[Lsn, int]] = {}
+        for page_id, bcb in self._frames.items():
+            if bcb.dirty:
+                table[page_id] = (bcb.rec_lsn, bcb.rec_addr or 0)
+        return table
+
+    def crash(self) -> None:
+        """Lose the entire pool (system failure)."""
+        self._frames.clear()
+
+    def pages(self) -> Iterator[BufferControlBlock]:
+        return iter(self._frames.values())
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def _require(self, page_id: int) -> BufferControlBlock:
+        bcb = self._frames.get(page_id)
+        if bcb is None:
+            raise KeyError(f"page {page_id} is not buffered")
+        return bcb
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dirty = sum(1 for b in self._frames.values() if b.dirty)
+        return (
+            f"BufferPool(frames={len(self._frames)}/{self.capacity}, "
+            f"dirty={dirty})"
+        )

@@ -1,0 +1,52 @@
+"""Foundational types shared by every subsystem.
+
+This package deliberately contains no policy: it defines the vocabulary
+of the reproduction (LSNs, log addresses, errors, deterministic clocks,
+counters) that the storage engine, the WAL layer and the two
+architectures (shared disks and client-server) build on.
+"""
+
+from repro.common.config import (
+    DEFAULT_BUFFER_POOL_PAGES,
+    LSN_SIZE,
+    NULL_LSN,
+    PAGE_DATA_SIZE,
+    PAGE_HEADER_SIZE,
+    PAGE_SIZE,
+)
+from repro.common.clock import SkewedClock
+from repro.common.errors import (
+    BufferPoolFullError,
+    CorruptPageError,
+    DeadlockError,
+    LockTimeoutError,
+    MediaError,
+    ReproError,
+    TransactionAbortedError,
+    WALViolationError,
+)
+from repro.common.lsn import LogAddress, Lsn, NULL_LOG_ADDRESS, max_lsn
+from repro.common.stats import StatsRegistry
+
+__all__ = [
+    "DEFAULT_BUFFER_POOL_PAGES",
+    "LSN_SIZE",
+    "NULL_LSN",
+    "NULL_LOG_ADDRESS",
+    "PAGE_DATA_SIZE",
+    "PAGE_HEADER_SIZE",
+    "PAGE_SIZE",
+    "BufferPoolFullError",
+    "CorruptPageError",
+    "DeadlockError",
+    "LockTimeoutError",
+    "LogAddress",
+    "Lsn",
+    "MediaError",
+    "ReproError",
+    "SkewedClock",
+    "StatsRegistry",
+    "TransactionAbortedError",
+    "WALViolationError",
+    "max_lsn",
+]

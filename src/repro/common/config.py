@@ -1,0 +1,33 @@
+"""Fixed layout constants for the byte-level storage and log engines.
+
+The paper reasons about page_LSN fields that live in a page header on
+disk; we therefore commit to a concrete on-disk layout so that the
+reproduction exercises real serialization, not an abstraction of it.
+"""
+
+# Size of a database page in bytes.  4 KiB matches DB2-era practice and
+# keeps simulated disks small enough for laptop-scale experiments.
+PAGE_SIZE = 4096
+
+# Page header layout (struct format in repro.storage.page):
+#   page_id      : u32
+#   page_lsn     : u64   <- the field this whole paper is about
+#   page_type    : u8
+#   slot_count   : u16
+#   free_offset  : u16
+#   checksum     : u32
+PAGE_HEADER_SIZE = 24
+
+# Usable payload bytes per page.
+PAGE_DATA_SIZE = PAGE_SIZE - PAGE_HEADER_SIZE
+
+# LSNs are 8-byte unsigned integers.  The paper discusses 6- vs 8-byte
+# LSNs when sizing Lomet's space-map overhead; 8 bytes is our native
+# width and 6 bytes is modelled in the E4 space-overhead experiment.
+LSN_SIZE = 8
+
+# LSN value meaning "no log record" (pages start life with this).
+NULL_LSN = 0
+
+# Default number of frames in a buffer pool.
+DEFAULT_BUFFER_POOL_PAGES = 128

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch
+everything raised by this package with a single except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CorruptPageError(ReproError):
+    """A page failed checksum validation or has an invalid layout."""
+
+
+class MediaError(ReproError):
+    """A disk page could not be read (simulated media failure).
+
+    Recovering from this error is the job of
+    :mod:`repro.recovery.media` (image copy + merged-log redo).
+    """
+
+
+class WALViolationError(ReproError):
+    """The buffer manager was asked to write a dirty page whose latest
+    update's log record has not yet been forced to stable storage.
+
+    A correct configuration never raises this: the buffer manager forces
+    the log first.  The error exists so tests can assert the protocol is
+    enforced when forcing is artificially disabled.
+    """
+
+
+class BufferPoolFullError(ReproError):
+    """No evictable frame exists (all pages fixed)."""
+
+
+class LockTimeoutError(ReproError):
+    """A lock request waited longer than the configured bound."""
+
+
+class DeadlockError(ReproError):
+    """The lock manager chose this transaction as a deadlock victim."""
+
+
+class LockWouldBlock(ReproError):
+    """A lock request conflicts and was enqueued.
+
+    The single-threaded simulation cannot suspend a caller, so the
+    engine surfaces the wait as this exception; workload drivers catch
+    it and reschedule the step (the request keeps its queue position).
+    """
+
+    def __init__(self, owner, resource) -> None:
+        super().__init__(f"{owner} must wait for {resource}")
+        self.owner = owner
+        self.resource = resource
+
+
+class TransactionAbortedError(ReproError):
+    """An operation was attempted on an aborted transaction."""
+
+
+class RecoveryError(ReproError):
+    """Restart or media recovery encountered an inconsistency."""
+
+
+class ProtocolError(ReproError):
+    """A shared-disks or client-server protocol rule was violated
+    (e.g. a client shipped pages without the covering log records)."""

@@ -1,0 +1,65 @@
+"""Log sequence numbers and log record addresses.
+
+The paper's central distinction is between two values that single-system
+DBMSs conflate:
+
+* the **LSN** stored in a page header (``page_LSN``), which after this
+  paper is an *update sequence number* — it must only increase per page
+  across the whole complex of systems; and
+* the **log address** of a record inside one system's local log file,
+  which the buffer manager needs for WAL enforcement and which restart
+  recovery uses as a scan position.
+
+We keep LSNs as plain ``int`` (aliased :data:`Lsn`) for speed, and make
+log addresses an explicit value type carrying the owning system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.common.config import NULL_LSN
+
+# An LSN is an unsigned 64-bit integer.  Using a bare int keeps the hot
+# paths (log append, redo comparisons) cheap; the alias documents intent.
+Lsn = int
+
+
+def max_lsn(values: Iterable[Lsn]) -> Lsn:
+    """Return the maximum of ``values``, or :data:`NULL_LSN` if empty."""
+    return max(values, default=NULL_LSN)
+
+
+@dataclass(frozen=True, order=True)
+class LogAddress:
+    """Logical address of a log record: ``(system_id, offset)``.
+
+    ``offset`` is the byte offset of the record in the owning system's
+    local log file.  Addresses are totally ordered; comparing addresses
+    from *different* systems is meaningful only as an arbitrary total
+    order (the paper never requires cross-system address comparison —
+    the whole point of the USN scheme is that recovery compares LSNs,
+    not addresses).
+    """
+
+    system_id: int
+    offset: int
+
+    def advance(self, nbytes: int) -> "LogAddress":
+        """Address ``nbytes`` past this one in the same log."""
+        return LogAddress(self.system_id, self.offset + nbytes)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"S{self.system_id}@{self.offset}"
+
+
+# Sentinel "no address": compares below every real address of system 0
+# and is falsy in the offset sense.  Code must check ``is_null_address``
+# rather than relying on ordering across systems.
+NULL_LOG_ADDRESS = LogAddress(-1, -1)
+
+
+def is_null_address(addr: LogAddress) -> bool:
+    """True iff ``addr`` is the :data:`NULL_LOG_ADDRESS` sentinel."""
+    return addr.system_id < 0

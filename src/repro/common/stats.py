@@ -1,0 +1,73 @@
+"""Deterministic cost counters.
+
+The 1992 paper argues in terms of avoided costs: synchronous page reads
+saved by the reallocation rule, log-merge comparisons, global-lock
+messages for a shared log, space overhead in space map pages.  Because
+our substrate is a simulator, we report these as exact counters rather
+than wall-clock time; every subsystem increments a shared
+:class:`StatsRegistry` so experiments can diff costs across schemes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+class StatsRegistry:
+    """A named bag of monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counters: Counter = Counter()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self._counters[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters[name]
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of all counters, for reporting."""
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        """Zero every counter (used between experiment phases)."""
+        self._counters.clear()
+
+    def diff(self, before: Mapping[str, int]) -> Dict[str, int]:
+        """Counters minus a prior :meth:`snapshot`, dropping zeros."""
+        out: Dict[str, int] = {}
+        for name, value in self._counters.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counters.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StatsRegistry({dict(self._counters)!r})"
+
+
+# Well-known counter names, centralised so experiments and subsystems
+# agree on spelling.  (Plain strings on purpose: the registry accepts
+# ad-hoc names too, e.g. per-experiment counters.)
+DISK_PAGE_READS = "disk.page_reads"
+DISK_PAGE_WRITES = "disk.page_writes"
+LOG_RECORDS_WRITTEN = "log.records_written"
+LOG_BYTES_WRITTEN = "log.bytes_written"
+LOG_FORCES = "log.forces"
+LOCK_REQUESTS = "lock.requests"
+LOCK_WAITS = "lock.waits"
+MESSAGES_SENT = "net.messages_sent"
+MESSAGE_BYTES = "net.message_bytes"
+MERGE_COMPARISONS = "merge.comparisons"
+COMMIT_LSN_HITS = "commit_lsn.hits"
+COMMIT_LSN_MISSES = "commit_lsn.misses"
+PAGE_READS_AVOIDED = "storage.page_reads_avoided"
+GLOBAL_LOG_LOCKS = "global_log.lock_acquisitions"

@@ -1,0 +1,20 @@
+"""The client-server (CS) architecture (Sections 1.3, 1.6, 3.1).
+
+The server manages the disk version of the database, does global
+locking across clients, and owns the **single log**.  Clients cache
+pages, perform updates locally, assign LSNs locally with the same USN
+rule as SD systems (no round trip to the server), and buffer log
+records in virtual storage, shipping them to the server when a dirty
+page goes back or a transaction commits — whichever happens first.
+
+Client failure is recovered *by the server* from its single log using
+the client identity carried in every log record plus the shipped
+RecLSN -> RecAddr mapping; server failure is handled like an SD-complex
+failure.
+"""
+
+from repro.cs.client import CsClient
+from repro.cs.server import CsServer, SERVER_ID
+from repro.cs.system import CsSystem
+
+__all__ = ["CsClient", "CsServer", "CsSystem", "SERVER_ID"]

@@ -1,0 +1,547 @@
+"""The CS server: disk owner, global locker, single log, client recovery.
+
+The server appends client log records to its log *as they are*
+(Section 3.1) — so successive server-log records do **not** always have
+increasing LSNs (records from different clients interleave), which the
+paper notes is harmless: each client's own stream is increasing, and
+per-page monotonicity holds complex-wide.
+
+Per-client batch bookkeeping implements the RecLSN -> RecAddr mapping
+of Section 3.2.2: every shipped batch is remembered as (first LSN,
+last LSN, server-log offset), and a client RecLSN maps conservatively
+to the start of the batch that contains it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.buffer.buffer_pool import BufferPool
+from repro.common.config import NULL_LSN, PAGE_SIZE
+from repro.common.errors import ProtocolError, ReproError
+from repro.common.lsn import Lsn
+from repro.common.stats import StatsRegistry
+from repro.locking.lock_manager import LockManager, LockMode, LockStatus
+from repro.net.network import Network
+from repro.recovery.apply import apply_op, apply_redo
+from repro.storage.disk import SharedDisk
+from repro.storage.page import Page, PageType
+from repro.storage.space_map import SpaceMap
+from repro.txn.manager import _SYSTEM_STRIDE
+from repro.wal.log_manager import LogManager
+from repro.wal.records import (
+    CheckpointData,
+    LogRecord,
+    RecordKind,
+    decode_op,
+    make_clr,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cs.client import CsClient
+
+# The server's system id in log records and on the network fabric.
+SERVER_ID = 0
+
+_COMMITTED = 1
+_ACTIVE = 0
+
+
+@dataclass
+class _Batch:
+    """One shipped batch of client log records in the server log."""
+
+    first_lsn: Lsn
+    last_lsn: Lsn
+    offset: int
+
+
+@dataclass
+class ClientRecoverySummary:
+    """What recovering a failed client involved (experiment E8)."""
+
+    records_scanned: int = 0
+    records_redone: int = 0
+    redo_skipped_buffer_hit: int = 0
+    redo_skipped_by_lsn: int = 0
+    loser_transactions: int = 0
+    clrs_written: int = 0
+
+
+class CsServer:
+    """The server of Figure 1's client-server sibling."""
+
+    def __init__(
+        self,
+        n_data_pages: int = 2048,
+        data_start: int = 64,
+        smp_start: int = 1,
+        stats: Optional[StatsRegistry] = None,
+        network: Optional[Network] = None,
+        buffer_capacity: int = 256,
+    ) -> None:
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.network = network if network is not None else Network(stats=self.stats)
+        self.disk = SharedDisk(capacity=data_start + n_data_pages + 64,
+                               stats=self.stats)
+        self.log = LogManager(SERVER_ID, stats=self.stats)
+        self.pool = BufferPool(self.disk, self.log, capacity=buffer_capacity)
+        self.glm = LockManager(stats=self.stats)
+        self.space_map = SpaceMap(smp_start=smp_start, data_start=data_start,
+                                  n_data_pages=n_data_pages)
+        self.network.register(SERVER_ID, self.log)
+        self.system_id = SERVER_ID  # duck-type for the generic ARIES passes
+        self.crashed = False
+        # Coherency: which client may hold each page dirty; who caches it.
+        self._writer: Dict[int, int] = {}
+        self._readers: Dict[int, Set[int]] = {}
+        self._clients: Dict[int, "CsClient"] = {}
+        # RecLSN -> RecAddr machinery.
+        self._batches: Dict[int, List[_Batch]] = {}
+        # Global transaction table, maintained from appended records.
+        self._txn_table: Dict[int, Tuple[Lsn, int]] = {}
+        # Per-client latest checkpoint: (server log offset, data).
+        self._client_checkpoints: Dict[int, Tuple[int, CheckpointData]] = {}
+        self._initialize_database()
+
+    def _initialize_database(self) -> None:
+        for smp_page_id in self.space_map.smp_page_ids():
+            page = Page()
+            page.format(smp_page_id, PageType.SPACE_MAP)
+            self.disk.write_page(page)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def attach_client(self, client: "CsClient") -> None:
+        if client.client_id in self._clients or client.client_id == SERVER_ID:
+            raise ReproError(f"bad client id {client.client_id}")
+        self._clients[client.client_id] = client
+        self.network.register(client.client_id, client.log)
+
+    # ------------------------------------------------------------------
+    # locking service
+    # ------------------------------------------------------------------
+    def lock(self, client_id: int, txn_id: int, resource: Hashable,
+             mode: LockMode) -> LockStatus:
+        self._check_up()
+        self.network.message(client_id, SERVER_ID, "lock_request")
+        status = self.glm.acquire(txn_id, resource, mode)
+        self.network.message(SERVER_ID, client_id, "lock_reply")
+        return status
+
+    def unlock(self, client_id: int, txn_id: int, resource: Hashable) -> None:
+        self.network.message(client_id, SERVER_ID, "unlock")
+        self.glm.release(txn_id, resource)
+
+    def release_txn_locks(self, txn_id: int) -> None:
+        self.glm.release_all(txn_id)
+
+    # ------------------------------------------------------------------
+    # page service (callback coherency)
+    # ------------------------------------------------------------------
+    def fetch_page(self, client: "CsClient", page_id: int,
+                   for_update: bool) -> Page:
+        """Give a client a copy of a page, recalling it first if another
+        client holds a dirty version."""
+        self._check_up()
+        self.network.message(client.client_id, SERVER_ID, "page_request")
+        holder_id = self._writer.get(page_id)
+        if holder_id is not None and holder_id != client.client_id:
+            holder = self._clients[holder_id]
+            if holder.crashed:
+                raise ProtocolError(
+                    f"page {page_id} held by crashed client {holder_id}; "
+                    f"recover it first"
+                )
+            self._recall_page(holder, page_id)
+        if for_update:
+            for reader_id in sorted(self._readers.get(page_id, set())):
+                if reader_id != client.client_id:
+                    self._clients[reader_id].invalidate(page_id)
+                    self.network.message(SERVER_ID, reader_id, "invalidate")
+            self._writer[page_id] = client.client_id
+            self._readers[page_id] = {client.client_id}
+        else:
+            self._readers.setdefault(page_id, set()).add(client.client_id)
+        page = self.pool.fix(page_id)
+        try:
+            image = page.copy()
+        finally:
+            self.pool.unfix(page_id)
+        self.network.message(SERVER_ID, client.client_id, "page_reply",
+                             nbytes=PAGE_SIZE)
+        return image
+
+    def _recall_page(self, holder: "CsClient", page_id: int) -> None:
+        """Call back a dirty page (and, per protocol, the covering log
+        records) from the client currently holding it."""
+        self.network.message(SERVER_ID, holder.client_id, "page_recall")
+        holder.send_page_back(page_id)
+        self._writer.pop(page_id, None)
+
+    def note_new_page(self, client: "CsClient", page_id: int) -> None:
+        """A client formatted a fresh page without fetching it.
+
+        Stale copies of the page's previous (deallocated) life cached at
+        other clients are purged, dirty or not — the format record
+        supersedes them on every recovery path.
+        """
+        for other_id, other in self._clients.items():
+            if other_id != client.client_id and page_id in other.cache:
+                other.cache.pop(page_id)
+                self.network.message(SERVER_ID, other_id, "invalidate")
+        self._writer[page_id] = client.client_id
+        self._readers[page_id] = {client.client_id}
+
+    def relinquish_page(self, client_id: int, page_id: int) -> None:
+        """Client no longer caches the page (eviction of a clean copy)."""
+        self._readers.get(page_id, set()).discard(client_id)
+        if self._writer.get(page_id) == client_id:
+            self._writer.pop(page_id, None)
+
+    # ------------------------------------------------------------------
+    # log and page receipt
+    # ------------------------------------------------------------------
+    def receive_log_records(self, client: "CsClient") -> Optional[int]:
+        """Ship the client's buffered records into the server log.
+
+        Returns the server-log offset of the appended batch (None when
+        the client had nothing to ship).
+        """
+        self._check_up()
+        data = client.log.ship()
+        if not data:
+            return None
+        records = [rec for _, rec in LogRecord.parse_stream(data)]
+        addr = self.log.append_raw(data)
+        self.network.message(client.client_id, SERVER_ID, "log_ship",
+                             nbytes=len(data))
+        self._batches.setdefault(client.client_id, []).append(
+            _Batch(first_lsn=records[0].lsn, last_lsn=records[-1].lsn,
+                   offset=addr.offset)
+        )
+        for record in records:
+            self._track_txn(record)
+        return addr.offset
+
+    def _track_txn(self, record: LogRecord) -> None:
+        if not record.txn_id:
+            return
+        if record.kind == RecordKind.END:
+            self._txn_table.pop(record.txn_id, None)
+        elif record.kind == RecordKind.COMMIT:
+            self._txn_table[record.txn_id] = (record.lsn, _COMMITTED)
+        else:
+            state = self._txn_table.get(record.txn_id, (0, _ACTIVE))[1]
+            self._txn_table[record.txn_id] = (record.lsn, state)
+
+    def map_rec_lsn(self, client_id: int, rec_lsn: Lsn) -> int:
+        """RecLSN -> RecAddr: offset of the batch containing ``rec_lsn``.
+
+        Conservative: the batch start bounds the record's address from
+        below, which is all a redo starting point needs.
+        """
+        for batch in self._batches.get(client_id, []):
+            if batch.first_lsn <= rec_lsn <= batch.last_lsn:
+                return batch.offset
+        return 0
+
+    def receive_dirty_page(self, client: "CsClient", page: Page,
+                           rec_lsn: Lsn) -> None:
+        """A client sends a dirty page back (with its RecLSN).
+
+        Protocol rule (Section 3.3): the client's buffered log records
+        are shipped first, so the server log covers every update on the
+        received page before the page can reach disk (WAL).
+        """
+        self._check_up()
+        self.receive_log_records(client)
+        self.network.message(client.client_id, SERVER_ID, "dirty_page",
+                             nbytes=PAGE_SIZE)
+        rec_addr = self.map_rec_lsn(client.client_id, rec_lsn)
+        self.pool.receive_dirty(page, rec_lsn, rec_addr,
+                                last_update_end=self.log.end_offset)
+
+    def commit_point(self, client: "CsClient", txn_id: int) -> None:
+        """Client commit: ship records, force the single log, ack."""
+        self._check_up()
+        self.receive_log_records(client)
+        self.log.force()
+        self.release_txn_locks(txn_id)
+        self.network.message(SERVER_ID, client.client_id, "commit_ack")
+
+    def client_checkpoint(self, client: "CsClient",
+                          dirty_pages: Dict[int, Lsn],
+                          transactions: Dict[int, Lsn]) -> None:
+        """Record a client checkpoint in the server log (Section 3.1:
+        "Each client periodically takes a checkpoint.  The server keeps
+        track of the most recent checkpoint records of all the
+        clients.")"""
+        self._check_up()
+        self.receive_log_records(client)
+        data = CheckpointData(
+            dirty_pages={
+                page_id: (rec_lsn, self.map_rec_lsn(client.client_id, rec_lsn))
+                for page_id, rec_lsn in dirty_pages.items()
+            },
+            transactions={
+                txn_id: (last_lsn, _ACTIVE)
+                for txn_id, last_lsn in transactions.items()
+            },
+        )
+        record = LogRecord(kind=RecordKind.END_CHECKPOINT,
+                           system_id=client.client_id,
+                           extra=data.to_bytes())
+        # The checkpoint record is the server's own bookkeeping: append
+        # through the normal path so it gets a server LSN.
+        addr = self.log.append(record)
+        self.log.force()
+        self._client_checkpoints[client.client_id] = (addr.offset, data)
+
+    # ------------------------------------------------------------------
+    # client failure recovery (Section 3.1)
+    # ------------------------------------------------------------------
+    def recover_client(self, client_id: int) -> ClientRecoverySummary:
+        """Recover a failed client from the server's single log.
+
+        Analysis filters the log by the client's identity (carried in
+        every record); redo applies only updates missing from the
+        server's buffer/disk version (page_LSN test); undo rolls back
+        the client's loser transactions with CLRs.
+        """
+        self._check_up()
+        client = self._clients[client_id]
+        if not client.crashed:
+            raise ReproError(f"client {client_id} is not down")
+        summary = ClientRecoverySummary()
+        dpt, losers, index = self._client_analysis(client_id, summary)
+        summary.loser_transactions = len(losers)
+        self._client_redo(dpt, summary)
+        self._client_undo(losers, index, summary)
+        self.log.force()
+        # Retained resources are released only now.
+        for txn_id in list(self._owned_txns(client_id)):
+            self.glm.release_all(txn_id)
+        for page_id in [p for p, w in self._writer.items() if w == client_id]:
+            del self._writer[page_id]
+        for readers in self._readers.values():
+            readers.discard(client_id)
+        self._client_checkpoints.pop(client_id, None)
+        return summary
+
+    def _owned_txns(self, client_id: int) -> Set[int]:
+        owners: Set[int] = set()
+        for resource in list(self.glm._table):
+            for owner in self.glm.holders(resource):
+                if isinstance(owner, int) and owner // _SYSTEM_STRIDE == client_id:
+                    owners.add(owner)
+        for txn_id in self._txn_table:
+            if txn_id // _SYSTEM_STRIDE == client_id:
+                owners.add(txn_id)
+        return owners
+
+    def _client_analysis(self, client_id: int, summary: ClientRecoverySummary):
+        checkpoint = self._client_checkpoints.get(client_id)
+        dpt: Dict[int, Tuple[Lsn, int]] = {}
+        txn_table: Dict[int, Tuple[Lsn, int]] = {}
+        start = 0
+        if checkpoint is not None:
+            start, data = checkpoint
+            dpt.update(data.dirty_pages)
+            txn_table.update(data.transactions)
+        scan_start = min(
+            [addr for _, addr in dpt.values()] + [start]
+        ) if dpt else start
+        index: Dict[Lsn, LogRecord] = {}
+        for addr, record in self.log.scan(from_offset=scan_start):
+            mine = (record.system_id == client_id or
+                    (record.txn_id and
+                     record.txn_id // _SYSTEM_STRIDE == client_id))
+            if not mine:
+                continue
+            summary.records_scanned += 1
+            if record.kind == RecordKind.END_CHECKPOINT:
+                continue
+            if record.txn_id:
+                if record.kind == RecordKind.END:
+                    txn_table.pop(record.txn_id, None)
+                elif record.kind == RecordKind.COMMIT:
+                    txn_table[record.txn_id] = (record.lsn, _COMMITTED)
+                else:
+                    state = txn_table.get(record.txn_id, (0, _ACTIVE))[1]
+                    txn_table[record.txn_id] = (record.lsn, state)
+                index[record.lsn] = record
+            if record.is_page_oriented():
+                dpt.setdefault(record.page_id, (record.lsn, addr.offset))
+        losers = {
+            txn_id: last_lsn
+            for txn_id, (last_lsn, state) in txn_table.items()
+            if state != _COMMITTED and txn_id // _SYSTEM_STRIDE == client_id
+        }
+        # Loser chains can reach back before the analysis scan start
+        # (records logged before the client's checkpoint): index every
+        # loser record over the whole log so undo can follow them.
+        if losers:
+            for _, record in self.log.scan():
+                if record.txn_id in losers:
+                    index[record.lsn] = record
+        return dpt, losers, index
+
+    def _client_redo(self, dpt: Dict[int, Tuple[Lsn, int]],
+                     summary: ClientRecoverySummary) -> None:
+        if not dpt:
+            return
+        redo_start = min(rec_addr for _, rec_addr in dpt.values())
+        for addr, record in self.log.scan(from_offset=redo_start):
+            if not record.is_page_oriented():
+                continue
+            entry = dpt.get(record.page_id)
+            if entry is None or addr.offset < entry[1]:
+                continue
+            buffered = self.pool.contains(record.page_id)
+            page = self.pool.fix(record.page_id)
+            try:
+                if record.lsn > page.page_lsn:
+                    apply_redo(page, record)
+                    self.pool.note_update(record.page_id, record.lsn,
+                                          addr.offset, self.log.end_offset)
+                    summary.records_redone += 1
+                elif buffered:
+                    summary.redo_skipped_buffer_hit += 1
+                else:
+                    summary.redo_skipped_by_lsn += 1
+            finally:
+                self.pool.unfix(record.page_id)
+
+    def _client_undo(self, losers: Dict[int, Lsn],
+                     index: Dict[Lsn, LogRecord],
+                     summary: ClientRecoverySummary) -> None:
+        next_undo = dict(losers)
+        last_lsn = dict(losers)
+        while next_undo:
+            txn_id = max(next_undo, key=lambda t: next_undo[t])
+            lsn = next_undo[txn_id]
+            record = index.get(lsn)
+            if record is None or lsn == NULL_LSN:
+                self._end_txn(txn_id, last_lsn[txn_id])
+                del next_undo[txn_id]
+                continue
+            if record.kind == RecordKind.CLR:
+                follow = record.undo_next_lsn
+            elif record.is_undoable():
+                # Under record locking the loser's page may live,
+                # newer, in a *live* client's cache (it was recalled
+                # there with the loser's uncommitted bytes on it).
+                # Undoing against the server's stale copy would assign
+                # the CLR an LSN that can collide with that client's
+                # unshipped records; recalling first ships those
+                # records (raising the server's Local_Max_LSN past
+                # them) and hands the server the current version.  A
+                # *crashed* holder is safe as-is: its records either
+                # shipped (already absorbed) or died with it.
+                holder_id = self._writer.get(record.page_id)
+                if holder_id is not None and holder_id in self._clients:
+                    holder = self._clients[holder_id]
+                    if not holder.crashed:
+                        self._recall_page(holder, record.page_id)
+                page = self.pool.fix(record.page_id)
+                try:
+                    clr = make_clr(
+                        txn_id=txn_id, system_id=SERVER_ID,
+                        page_id=record.page_id, slot=record.slot,
+                        redo=record.undo, undo_next_lsn=record.prev_lsn,
+                        prev_lsn=last_lsn[txn_id],
+                    )
+                    addr = self.log.append(clr, page_lsn=page.page_lsn)
+                    op, data = decode_op(record.undo)
+                    apply_op(page, record.slot, op, data)
+                    page.page_lsn = clr.lsn
+                    self.pool.note_update(record.page_id, clr.lsn,
+                                          addr.offset, self.log.end_offset)
+                    index[clr.lsn] = clr
+                    last_lsn[txn_id] = clr.lsn
+                    summary.clrs_written += 1
+                finally:
+                    self.pool.unfix(record.page_id)
+                follow = record.prev_lsn
+            else:
+                follow = record.prev_lsn
+            if follow == NULL_LSN:
+                self._end_txn(txn_id, last_lsn[txn_id])
+                del next_undo[txn_id]
+            else:
+                next_undo[txn_id] = follow
+
+    def _end_txn(self, txn_id: int, prev_lsn: Lsn) -> None:
+        end = LogRecord(kind=RecordKind.END, txn_id=txn_id, prev_lsn=prev_lsn)
+        self.log.append(end)
+        self._txn_table.pop(txn_id, None)
+
+    # ------------------------------------------------------------------
+    # server checkpoint & server failure (handled like SD-complex failure)
+    # ------------------------------------------------------------------
+    def take_checkpoint(self) -> int:
+        """Server checkpoint covering its pool and the global txn table."""
+        self._check_up()
+        begin = LogRecord(kind=RecordKind.BEGIN_CHECKPOINT)
+        begin_addr = self.log.append(begin)
+        data = CheckpointData(
+            dirty_pages=dict(self.pool.dirty_page_table()),
+            transactions={
+                txn_id: entry
+                for txn_id, entry in self._txn_table.items()
+                if entry[1] != _COMMITTED
+            },
+        )
+        end = LogRecord(kind=RecordKind.END_CHECKPOINT, extra=data.to_bytes())
+        self.log.append(end)
+        self.log.force()
+        self.log.master_record_offset = begin_addr.offset
+        return begin_addr.offset
+
+    def crash(self) -> None:
+        """Server failure takes the complex down: every client's cached
+        state is unusable without the server, so all clients fail too."""
+        self.crashed = True
+        self.pool.crash()
+        self.log.crash()
+        self._writer.clear()
+        self._readers.clear()
+        self._batches.clear()
+        self._txn_table.clear()
+        self._client_checkpoints.clear()
+        for client in self._clients.values():
+            if not client.crashed:
+                client.crash()
+
+    def restart(self):
+        """Restart after server failure: ARIES over the single log.
+
+        Reuses the generic restart passes — the server log plays the
+        role of an SD instance's local log, with records from *all*
+        clients (redo's page_LSN test handles the interleaving).
+        """
+        from repro.recovery.aries import restart_recovery
+
+        if not self.crashed:
+            raise ReproError("server is not down")
+        self.crashed = False
+        # system_id attribute satisfies restart_recovery's duck type.
+        self.system_id = SERVER_ID
+        summary = restart_recovery(self)
+        self.pool.flush_all()
+        self.glm = LockManager(stats=self.stats)
+        return summary
+
+    # ------------------------------------------------------------------
+    def _check_up(self) -> None:
+        if self.crashed:
+            raise ReproError("server is down")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CsServer(clients={sorted(self._clients)}, "
+            f"log_bytes={self.log.end_offset})"
+        )

@@ -1,0 +1,77 @@
+"""A complete client-server deployment: one server, many clients."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.stats import StatsRegistry
+from repro.cs.client import CsClient
+from repro.cs.server import ClientRecoverySummary, CsServer
+from repro.net.network import Network
+from repro.recovery.commit_lsn import CommitLsnService
+
+
+class CsSystem:
+    """Convenience wrapper wiring server, clients, network and the
+    complex-wide Commit_LSN service together."""
+
+    def __init__(
+        self,
+        n_data_pages: int = 2048,
+        piggyback_enabled: bool = True,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.network = Network(stats=self.stats,
+                               piggyback_enabled=piggyback_enabled)
+        self.server = CsServer(n_data_pages=n_data_pages, stats=self.stats,
+                               network=self.network)
+        self.clients: Dict[int, CsClient] = {}
+        self.commit_lsn = CommitLsnService(stats=self.stats)
+
+    def add_client(self, client_id: int, **kwargs) -> CsClient:
+        client = CsClient(client_id, self.server, **kwargs)
+        self.clients[client_id] = client
+        self.commit_lsn.register(client)
+        return client
+
+    # ------------------------------------------------------------------
+    # failure orchestration
+    # ------------------------------------------------------------------
+    def crash_client(self, client_id: int) -> None:
+        self.clients[client_id].crash()
+
+    def recover_client(self, client_id: int) -> ClientRecoverySummary:
+        """Server-side recovery of a failed client, then let the client
+        machine rejoin with a cold cache."""
+        summary = self.server.recover_client(client_id)
+        self.clients[client_id].rejoin()
+        return summary
+
+    def crash_server(self) -> None:
+        """Server failure takes every client down with it."""
+        self.server.crash()
+
+    def restart_server(self):
+        """Restart the whole deployment after a server failure
+        (handled like an SD-complex failure, Section 3.1)."""
+        summary = self.server.restart()
+        for client in self.clients.values():
+            if client.crashed:
+                client.rejoin()
+        return summary
+
+    # ------------------------------------------------------------------
+    def broadcast_max_lsns(self) -> None:
+        """Periodic Local_Max_LSN exchange (Section 3.5)."""
+        self.network.broadcast_max_lsns()
+
+    def quiesce(self) -> None:
+        """Ship every dirty page to the server and flush it to disk."""
+        for client in self.clients.values():
+            if not client.crashed:
+                client.flush_all()
+        self.server.pool.flush_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CsSystem(clients={sorted(self.clients)})"

@@ -1,0 +1,25 @@
+"""Experiment harness: formatting, result capture, invariant checking."""
+
+from repro.harness.experiment import (
+    ExperimentResult,
+    Table,
+    format_factor,
+    print_banner,
+)
+from repro.harness.verifier import (
+    VerificationReport,
+    verify_cs_system,
+    verify_logs,
+    verify_sd_complex,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "Table",
+    "VerificationReport",
+    "format_factor",
+    "print_banner",
+    "verify_cs_system",
+    "verify_logs",
+    "verify_sd_complex",
+]

@@ -1,0 +1,84 @@
+"""Tiny reporting toolkit used by every benchmark.
+
+The paper has no numeric tables of its own (it is an algorithms paper),
+so the benches print tables derived from its quantitative claims; this
+module keeps their formatting uniform so EXPERIMENTS.md can quote them
+verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def print_banner(experiment_id: str, title: str) -> None:
+    """Standard header line for an experiment's output."""
+    line = f"=== {experiment_id}: {title} ==="
+    print()
+    print(line)
+
+
+def format_factor(numerator: float, denominator: float) -> str:
+    """A 'N.Nx' ratio string, guarding against zero denominators."""
+    if denominator == 0:
+        return "inf"
+    return f"{numerator / denominator:.1f}x"
+
+
+class Table:
+    """Aligned ASCII table with typed cells."""
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([self._fmt(cell) for cell in cells])
+
+    @staticmethod
+    def _fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        def line(cells):
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+        out = [line(self.columns), line(["-" * w for w in widths])]
+        out.extend(line(r) for r in self.rows)
+        return "\n".join(out)
+
+    def show(self) -> None:
+        print(self.render())
+
+
+@dataclass
+class ExperimentResult:
+    """Captured outcome of one experiment run (for tests to assert on
+    and for EXPERIMENTS.md bookkeeping)."""
+
+    experiment_id: str
+    claim: str
+    measurements: Dict[str, Any] = field(default_factory=dict)
+    holds: Optional[bool] = None
+
+    def record(self, name: str, value: Any) -> None:
+        self.measurements[name] = value
+
+    def conclude(self, holds: bool) -> "ExperimentResult":
+        self.holds = holds
+        return self
+
+    def summary_line(self) -> str:
+        verdict = {True: "HOLDS", False: "FAILS", None: "N/A"}[self.holds]
+        return f"[{self.experiment_id}] {verdict}: {self.claim}"

@@ -1,0 +1,157 @@
+"""Complex-wide invariant verification.
+
+A diagnostic for tests, experiments and downstream users: given a live
+:class:`~repro.sd.complex.SDComplex` or :class:`~repro.cs.system.
+CsSystem`, check the paper's structural invariants (DESIGN.md §5)
+directly against the logs and the disk:
+
+* I1 — per-page LSN uniqueness across every log, and (for quiesced
+  complexes) the disk version carrying the per-page maximum;
+* I2 — strict LSN monotonicity within each local log (USN scheme);
+* I3 — WAL: every dirty buffered page's latest update record is in its
+  log, and no disk page carries an LSN its logs cannot account for.
+
+Violations are returned, not raised, so callers can report all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Violation:
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"[{self.invariant}] {self.detail}"
+
+
+@dataclass
+class VerificationReport:
+    violations: List[Violation] = field(default_factory=list)
+    logs_checked: int = 0
+    records_checked: int = 0
+    pages_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, invariant: str, detail: str) -> None:
+        self.violations.append(Violation(invariant, detail))
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"{status}: {self.logs_checked} logs, "
+            f"{self.records_checked} records, "
+            f"{self.pages_checked} pages checked"
+        )
+
+
+def _per_page_lsns(logs) -> Dict[int, List[int]]:
+    per_page: Dict[int, List[int]] = {}
+    for log in logs:
+        for _, record in log.scan():
+            if record.is_page_oriented():
+                per_page.setdefault(record.page_id, []).append(record.lsn)
+    return per_page
+
+
+def verify_logs(logs) -> VerificationReport:
+    """Check I1 (uniqueness) and I2 (per-log monotonicity) over logs."""
+    report = VerificationReport()
+    for log in logs:
+        report.logs_checked += 1
+        previous = 0
+        for _, record in log.scan():
+            report.records_checked += 1
+            if record.lsn <= previous:
+                report.add("I2", (
+                    f"log {log.system_id}: LSN {record.lsn} after "
+                    f"{previous} (must strictly increase)"
+                ))
+            previous = record.lsn
+    for page_id, lsns in _per_page_lsns(logs).items():
+        if len(lsns) != len(set(lsns)):
+            dupes = sorted({l for l in lsns if lsns.count(l) > 1})
+            report.add("I1", (
+                f"page {page_id}: duplicate LSNs {dupes} across logs"
+            ))
+    return report
+
+
+def verify_sd_complex(sd, quiesced: bool = False) -> VerificationReport:
+    """Full check of a shared-disks complex.
+
+    With ``quiesced=True`` (every pool flushed, no in-flight work) the
+    disk version of each page must carry the maximum LSN ever logged
+    for it — the strongest form of I1.
+    """
+    logs = [inst.log for inst in sd.instances.values()]
+    report = verify_logs(logs)
+    per_page = _per_page_lsns(logs)
+    for page_id, lsns in per_page.items():
+        report.pages_checked += 1
+        disk_lsn = sd.disk.page_lsn_on_disk(page_id)
+        maximum = max(lsns)
+        if disk_lsn is not None and disk_lsn > maximum:
+            report.add("I1", (
+                f"page {page_id}: disk LSN {disk_lsn} exceeds every "
+                f"logged LSN (max {maximum}) — update lost from the logs"
+            ))
+        if quiesced and disk_lsn != maximum:
+            report.add("I1", (
+                f"page {page_id}: quiesced disk LSN {disk_lsn} != "
+                f"logged maximum {maximum}"
+            ))
+    # I3: dirty buffered pages must have their update records in the log.
+    for instance in sd.instances.values():
+        if instance.crashed:
+            continue
+        for bcb in instance.pool.pages():
+            if bcb.dirty and bcb.last_update_end > instance.log.end_offset:
+                report.add("I3", (
+                    f"system {instance.system_id} page {bcb.page_id}: "
+                    f"WAL high-water mark past the end of the log"
+                ))
+    return report
+
+
+def verify_cs_system(cs, quiesced: bool = False) -> VerificationReport:
+    """Full check of a client-server system (single interleaved log).
+
+    Per-client LSN streams must be increasing; per-page LSNs unique;
+    with ``quiesced=True`` the disk carries each page's maximum.
+    """
+    report = VerificationReport()
+    report.logs_checked = 1
+    per_client: Dict[int, int] = {}
+    per_page: Dict[int, List[int]] = {}
+    for _, record in cs.server.log.scan():
+        report.records_checked += 1
+        if record.lsn and record.system_id:
+            previous = per_client.get(record.system_id, 0)
+            if record.lsn <= previous and record.is_page_oriented():
+                report.add("I2", (
+                    f"client {record.system_id}: LSN {record.lsn} "
+                    f"after {previous}"
+                ))
+            per_client[record.system_id] = max(previous, record.lsn)
+        if record.is_page_oriented():
+            per_page.setdefault(record.page_id, []).append(record.lsn)
+    for page_id, lsns in per_page.items():
+        report.pages_checked += 1
+        if len(lsns) != len(set(lsns)):
+            report.add("I1", f"page {page_id}: duplicate LSNs in server log")
+        if quiesced:
+            disk_lsn = cs.server.disk.page_lsn_on_disk(page_id)
+            if disk_lsn != max(lsns):
+                report.add("I1", (
+                    f"page {page_id}: quiesced disk LSN {disk_lsn} != "
+                    f"logged maximum {max(lsns)}"
+                ))
+    return report

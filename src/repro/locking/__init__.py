@@ -1,0 +1,28 @@
+"""Global locking for the SD complex and the CS server.
+
+Both architectures in the paper need global locking: in SD a global
+lock manager coordinates the instances; in CS the server "takes care of
+global locking across the clients" (Section 1.3).  Record locking is
+assumed throughout (Section 3.1), with page locks used by the
+coherency layer and the Section 1.5 anomaly reconstruction.
+"""
+
+from repro.locking.lock_manager import (
+    LockManager,
+    LockMode,
+    LockStatus,
+    are_compatible,
+    page_lock,
+    record_lock,
+    supremum,
+)
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "LockStatus",
+    "are_compatible",
+    "page_lock",
+    "record_lock",
+    "supremum",
+]

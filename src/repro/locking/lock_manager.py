@@ -1,0 +1,354 @@
+"""A global lock manager with hierarchical modes and deadlock detection.
+
+Single-threaded simulation semantics: :meth:`LockManager.acquire`
+either grants immediately or enqueues the request and reports
+``WAITING``; the caller (the workload driver or architecture layer)
+reschedules the blocked work and calls :meth:`LockManager.release`
+later, which returns the newly granted requests so their owners can
+resume.  Deadlocks are detected on demand via the wait-for graph; the
+youngest transaction in the cycle is the victim.
+
+Lock names are arbitrary hashable tuples; :func:`record_lock` and
+:func:`page_lock` build the conventional ones.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.common.errors import DeadlockError
+from repro.common.stats import LOCK_REQUESTS, LOCK_WAITS, StatsRegistry
+
+
+class LockMode(enum.IntEnum):
+    """Hierarchical lock modes (System R lineage)."""
+
+    IS = 1
+    IX = 2
+    S = 3
+    SIX = 4
+    X = 5
+
+
+_COMPAT: Dict[Tuple[LockMode, LockMode], bool] = {}
+
+
+def _fill_compat() -> None:
+    yes = {
+        (LockMode.IS, LockMode.IS), (LockMode.IS, LockMode.IX),
+        (LockMode.IS, LockMode.S), (LockMode.IS, LockMode.SIX),
+        (LockMode.IX, LockMode.IS), (LockMode.IX, LockMode.IX),
+        (LockMode.S, LockMode.IS), (LockMode.S, LockMode.S),
+        (LockMode.SIX, LockMode.IS),
+    }
+    for a in LockMode:
+        for b in LockMode:
+            _COMPAT[(a, b)] = (a, b) in yes
+
+
+_fill_compat()
+
+# Least upper bound of two modes (for conversions).
+_SUPREMUM: Dict[Tuple[LockMode, LockMode], LockMode] = {}
+
+
+def _fill_supremum() -> None:
+    order = {
+        (LockMode.IS, LockMode.IX): LockMode.IX,
+        (LockMode.IS, LockMode.S): LockMode.S,
+        (LockMode.IS, LockMode.SIX): LockMode.SIX,
+        (LockMode.IS, LockMode.X): LockMode.X,
+        (LockMode.IX, LockMode.S): LockMode.SIX,
+        (LockMode.IX, LockMode.SIX): LockMode.SIX,
+        (LockMode.IX, LockMode.X): LockMode.X,
+        (LockMode.S, LockMode.SIX): LockMode.SIX,
+        (LockMode.S, LockMode.X): LockMode.X,
+        (LockMode.SIX, LockMode.X): LockMode.X,
+    }
+    for a in LockMode:
+        _SUPREMUM[(a, a)] = a
+        for b in LockMode:
+            if (a, b) in order:
+                _SUPREMUM[(a, b)] = order[(a, b)]
+                _SUPREMUM[(b, a)] = order[(a, b)]
+
+
+_fill_supremum()
+
+
+def are_compatible(a: LockMode, b: LockMode) -> bool:
+    """Can modes ``a`` and ``b`` be held simultaneously?"""
+    return _COMPAT[(a, b)]
+
+
+def supremum(a: LockMode, b: LockMode) -> LockMode:
+    """The weakest mode at least as strong as both."""
+    return _SUPREMUM[(a, b)]
+
+
+def record_lock(page_id: int, slot: int) -> Tuple[str, int, int]:
+    """Lock name for a record (the paper assumes record locking)."""
+    return ("record", page_id, slot)
+
+
+def page_lock(page_id: int) -> Tuple[str, int]:
+    """Lock name for a whole page (coherency / Section 1.5 example)."""
+    return ("page", page_id)
+
+
+class LockStatus(enum.Enum):
+    GRANTED = "granted"
+    WAITING = "waiting"
+    WOULD_BLOCK = "would_block"   # try_acquire only: nothing enqueued
+
+
+@dataclass
+class _Request:
+    owner: Hashable           # (system_id, txn_id) or any hashable owner
+    mode: LockMode
+    convert_from: Optional[LockMode] = None
+
+
+@dataclass
+class _LockHead:
+    granted: Dict[Hashable, LockMode] = field(default_factory=dict)
+    queue: List[_Request] = field(default_factory=list)
+
+
+class LockManager:
+    """Global lock table shared by all systems/clients."""
+
+    def __init__(self, stats: Optional[StatsRegistry] = None) -> None:
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._table: Dict[Hashable, _LockHead] = {}
+        # owner -> resource currently waited for (for the WFG)
+        self._waiting_on: Dict[Hashable, Hashable] = {}
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        owner: Hashable,
+        resource: Hashable,
+        mode: LockMode,
+    ) -> LockStatus:
+        """Request ``resource`` in ``mode`` for ``owner``.
+
+        Returns GRANTED or WAITING.  Raises :class:`DeadlockError` if
+        enqueueing this request closes a cycle in the wait-for graph and
+        ``owner`` is chosen as the victim (the youngest, i.e. the one
+        with the greatest owner key).
+        """
+        self.stats.incr(LOCK_REQUESTS)
+        head = self._table.setdefault(resource, _LockHead())
+        if any(r.owner == owner for r in head.queue):
+            # Retry of a still-queued request: keep the queue position.
+            return LockStatus.WAITING
+        held = head.granted.get(owner)
+        if held is not None:
+            target = supremum(held, mode)
+            if target == held:
+                return LockStatus.GRANTED
+            if self._conversion_compatible(head, owner, target):
+                head.granted[owner] = target
+                return LockStatus.GRANTED
+            request = _Request(owner=owner, mode=target, convert_from=held)
+            head.queue.insert(0, request)  # conversions go first
+        else:
+            if not head.queue and self._grant_compatible(head, mode):
+                head.granted[owner] = mode
+                return LockStatus.GRANTED
+            request = _Request(owner=owner, mode=mode)
+            head.queue.append(request)
+        self.stats.incr(LOCK_WAITS)
+        self._waiting_on[owner] = resource
+        if self._find_cycle(owner):
+            # The requester whose wait closes the cycle is the victim:
+            # every other participant is already parked and will never
+            # re-enter acquire(), so it is the only one positioned to
+            # break the deadlock.
+            self._remove_request(resource, owner)
+            raise DeadlockError(f"{owner} chosen as deadlock victim on {resource}")
+        return LockStatus.WAITING
+
+    def try_acquire(
+        self,
+        owner: Hashable,
+        resource: Hashable,
+        mode: LockMode,
+    ) -> LockStatus:
+        """Like :meth:`acquire` but never waits: a conflicting request
+        returns WOULD_BLOCK without being enqueued.  Used for
+        opportunistic operations such as lock escalation."""
+        self.stats.incr(LOCK_REQUESTS)
+        head = self._table.setdefault(resource, _LockHead())
+        if any(r.owner == owner for r in head.queue):
+            return LockStatus.WOULD_BLOCK
+        held = head.granted.get(owner)
+        if held is not None:
+            target = supremum(held, mode)
+            if target == held:
+                return LockStatus.GRANTED
+            if self._conversion_compatible(head, owner, target):
+                head.granted[owner] = target
+                return LockStatus.GRANTED
+        elif not head.queue and self._grant_compatible(head, mode):
+            head.granted[owner] = mode
+            return LockStatus.GRANTED
+        if not head.granted and not head.queue:
+            del self._table[resource]
+        return LockStatus.WOULD_BLOCK
+
+    def release(self, owner: Hashable, resource: Hashable) -> List[Hashable]:
+        """Release ``owner``'s lock on ``resource``.
+
+        Returns the owners whose queued requests became granted.
+        """
+        head = self._table.get(resource)
+        if head is None or owner not in head.granted:
+            raise KeyError(f"{owner} holds no lock on {resource}")
+        del head.granted[owner]
+        return self._promote(resource, head)
+
+    def release_all(self, owner: Hashable) -> List[Tuple[Hashable, Hashable]]:
+        """Release every lock ``owner`` holds (commit/abort/crash).
+
+        Returns ``(resource, new_owner)`` pairs for promoted waiters.
+        """
+        promoted: List[Tuple[Hashable, Hashable]] = []
+        self._remove_waits(owner)
+        for resource in list(self._table):
+            head = self._table[resource]
+            if owner in head.granted:
+                del head.granted[owner]
+                promoted.extend(
+                    (resource, new_owner)
+                    for new_owner in self._promote(resource, head)
+                )
+            else:
+                before = len(head.queue)
+                head.queue = [r for r in head.queue if r.owner != owner]
+                if len(head.queue) != before:
+                    promoted.extend(
+                        (resource, new_owner)
+                        for new_owner in self._promote(resource, head)
+                    )
+        return promoted
+
+    # ------------------------------------------------------------------
+    def holds(self, owner: Hashable, resource: Hashable,
+              mode: Optional[LockMode] = None) -> bool:
+        """Does ``owner`` hold ``resource`` (at least in ``mode``)?"""
+        head = self._table.get(resource)
+        if head is None:
+            return False
+        held = head.granted.get(owner)
+        if held is None:
+            return False
+        return mode is None or supremum(held, mode) == held
+
+    def holders(self, resource: Hashable) -> Dict[Hashable, LockMode]:
+        head = self._table.get(resource)
+        return dict(head.granted) if head else {}
+
+    def waiters(self, resource: Hashable) -> List[Hashable]:
+        head = self._table.get(resource)
+        return [r.owner for r in head.queue] if head else []
+
+    def locks_of(self, owner: Hashable) -> Dict[Hashable, LockMode]:
+        """Every lock ``owner`` currently holds."""
+        return {
+            resource: head.granted[owner]
+            for resource, head in self._table.items()
+            if owner in head.granted
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _grant_compatible(head: _LockHead, mode: LockMode) -> bool:
+        return all(are_compatible(mode, held) for held in head.granted.values())
+
+    @staticmethod
+    def _conversion_compatible(
+        head: _LockHead, owner: Hashable, target: LockMode
+    ) -> bool:
+        return all(
+            are_compatible(target, held)
+            for other, held in head.granted.items()
+            if other != owner
+        )
+
+    def _promote(self, resource: Hashable, head: _LockHead) -> List[Hashable]:
+        granted: List[Hashable] = []
+        while head.queue:
+            request = head.queue[0]
+            if request.convert_from is not None:
+                ok = self._conversion_compatible(head, request.owner, request.mode)
+            else:
+                ok = self._grant_compatible(head, request.mode)
+            if not ok:
+                break
+            head.queue.pop(0)
+            head.granted[request.owner] = request.mode
+            self._waiting_on.pop(request.owner, None)
+            granted.append(request.owner)
+        if not head.granted and not head.queue:
+            del self._table[resource]
+        return granted
+
+    def _remove_request(self, resource: Hashable, owner: Hashable) -> None:
+        head = self._table.get(resource)
+        if head is not None:
+            head.queue = [r for r in head.queue if r.owner != owner]
+            if not head.granted and not head.queue:
+                del self._table[resource]
+        self._waiting_on.pop(owner, None)
+
+    def _remove_waits(self, owner: Hashable) -> None:
+        self._waiting_on.pop(owner, None)
+
+    def _blockers(self, owner: Hashable) -> List[Hashable]:
+        """Owners that must release or advance before ``owner`` can run."""
+        resource = self._waiting_on.get(owner)
+        if resource is None:
+            return []
+        head = self._table.get(resource)
+        if head is None:
+            return []
+        request = next((r for r in head.queue if r.owner == owner), None)
+        if request is None:
+            return []
+        blockers = [
+            other for other, held in head.granted.items()
+            if other != owner and not are_compatible(request.mode, held)
+        ]
+        for queued in head.queue:  # FIFO: earlier requests block later ones
+            if queued.owner == owner:
+                break
+            blockers.append(queued.owner)
+        return blockers
+
+    def _find_cycle(self, start: Hashable) -> bool:
+        """Is ``start`` on a wait-for cycle?  Full DFS over all blocker
+        edges (a single-successor walk can miss cycles when a resource
+        has several incompatible holders)."""
+        stack = list(self._blockers(start))
+        seen: Set[Hashable] = set()
+        while stack:
+            current = stack.pop()
+            if current == start:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._blockers(current))
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LockManager(resources={len(self._table)}, "
+            f"waiting={len(self._waiting_on)})"
+        )

@@ -1,0 +1,5 @@
+"""Simulated inter-system messaging with Local_Max_LSN piggybacking."""
+
+from repro.net.network import Network
+
+__all__ = ["Network"]

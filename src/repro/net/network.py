@@ -1,0 +1,104 @@
+"""The message fabric between systems.
+
+Section 3.5 of the paper: "periodically all the systems are informed of
+the other systems' Local_Max_LSNs... To make the process efficient, the
+transmission of Local_Max_LSNs can be piggybacked onto the other
+messages being exchanged between the systems.  This essentially amounts
+to a Lamport logical clock scheme."
+
+Our simulation is synchronous (a message is a counted method call), but
+the piggybacking is a real code path: every :meth:`Network.message`
+carries the sender's current ``Local_Max_LSN`` and the receiver's log
+manager absorbs it.  Turning ``piggyback_enabled`` off reproduces the
+paper's failure mode — skewed systems keep issuing low LSNs and the
+complex-wide Commit_LSN drags behind (experiment E2).
+
+Participants register an object exposing ``local_max_lsn`` and
+``observe_remote_max`` (both :class:`~repro.wal.log_manager.LogManager`
+and :class:`~repro.wal.client_log.ClientLogManager` qualify).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+from repro.common.lsn import Lsn
+from repro.common.stats import MESSAGES_SENT, MESSAGE_BYTES, StatsRegistry
+
+
+class LamportParticipant(Protocol):
+    """What the network needs from each registered system."""
+
+    local_max_lsn: Lsn
+
+    def observe_remote_max(self, remote_max_lsn: Lsn) -> None: ...
+
+
+class Network:
+    """Counts messages between systems and piggybacks LSN maxima."""
+
+    def __init__(
+        self,
+        stats: Optional[StatsRegistry] = None,
+        piggyback_enabled: bool = True,
+    ) -> None:
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.piggyback_enabled = piggyback_enabled
+        self._participants: Dict[int, LamportParticipant] = {}
+
+    def register(self, system_id: int, participant: LamportParticipant) -> None:
+        """Attach a system's log manager to the fabric."""
+        self._participants[system_id] = participant
+
+    def deregister(self, system_id: int) -> None:
+        self._participants.pop(system_id, None)
+
+    def message(
+        self,
+        src_id: int,
+        dst_id: int,
+        kind: str,
+        nbytes: int = 64,
+    ) -> None:
+        """Account one message from ``src_id`` to ``dst_id``.
+
+        ``kind`` labels the message for per-type counters (page
+        transfer, lock grant, log ship, ...).  When piggybacking is on,
+        the destination learns the source's Local_Max_LSN for free.
+        """
+        if src_id == dst_id:
+            return  # local calls are not messages
+        self.stats.incr(MESSAGES_SENT)
+        self.stats.incr(MESSAGE_BYTES, nbytes)
+        self.stats.incr(f"net.messages.{kind}")
+        if self.piggyback_enabled:
+            src = self._participants.get(src_id)
+            dst = self._participants.get(dst_id)
+            if src is not None and dst is not None:
+                dst.observe_remote_max(src.local_max_lsn)
+
+    def broadcast_max_lsns(self) -> None:
+        """The explicit periodic exchange of Section 3.5.
+
+        Every system sends its Local_Max_LSN to every other system;
+        each receiver keeps the maximum.  Used when regular traffic is
+        too sparse for piggybacking alone.
+        """
+        participants = list(self._participants.items())
+        maxima = {sid: p.local_max_lsn for sid, p in participants}
+        for src_id, _ in participants:
+            for dst_id, dst in participants:
+                if src_id == dst_id:
+                    continue
+                self.stats.incr(MESSAGES_SENT)
+                self.stats.incr("net.messages.max_lsn_broadcast")
+                dst.observe_remote_max(maxima[src_id])
+
+    def participants(self) -> Dict[int, LamportParticipant]:
+        return dict(self._participants)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Network(participants={sorted(self._participants)}, "
+            f"piggyback={self.piggyback_enabled})"
+        )

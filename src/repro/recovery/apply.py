@@ -1,0 +1,66 @@
+"""Applying logged operations to pages (redo and undo paths).
+
+Operations are physiological (Section 1.4 lineage): they name a page
+and slot, and the operation is replayed against the page's current
+organisation.  The page_LSN test decides *whether* to apply; this
+module only knows *how*.
+"""
+
+from __future__ import annotations
+
+from repro.storage.page import Page, PageType
+from repro.storage.space_map import SpaceMap
+from repro.wal.records import LogRecord, PageOp, decode_op, encode_op
+
+
+def apply_op(page: Page, slot: int, op: PageOp, data: bytes) -> None:
+    """Apply one operation to ``page`` (no LSN bookkeeping here)."""
+    if op == PageOp.INSERT:
+        page.insert_record_at(slot, data)
+    elif op == PageOp.DELETE:
+        page.delete_record(slot)
+    elif op == PageOp.SET:
+        page.update_record(slot, data)
+    elif op == PageOp.FORMAT:
+        page.format(page.page_id, PageType(data[0]))
+    elif op == PageOp.SMP_SET:
+        SpaceMap.apply_entry_update(page, data)
+    elif op == PageOp.SMP_SET_RANGE:
+        SpaceMap.apply_range_update(page, data)
+    elif op == PageOp.NOOP:
+        pass
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unknown operation {op}")
+
+
+def apply_redo(page: Page, record: LogRecord) -> None:
+    """Apply ``record``'s redo operation and stamp its LSN on the page.
+
+    Caller has already decided the record must be applied (the
+    ``record.lsn > page.page_lsn`` test, Section 3.2.1 "Restart
+    Processing").
+    """
+    op, data = decode_op(record.redo)
+    apply_op(page, record.slot, op, data)
+    page.page_lsn = record.lsn
+
+
+def apply_undo(page: Page, record: LogRecord, clr_lsn: int) -> bytes:
+    """Undo ``record``'s update on ``page``; returns the CLR redo payload.
+
+    The CLR's redo payload is exactly the undo operation performed, so
+    that repeating history after a crash-during-rollback replays it.
+    The page is stamped with the CLR's LSN (``clr_lsn``), which the
+    caller obtained from the log manager when writing the CLR.
+    """
+    op, data = decode_op(record.undo)
+    apply_op(page, record.slot, op, data)
+    page.page_lsn = clr_lsn
+    return encode_op(op, data)
+
+
+def inverse_op(record: LogRecord) -> bytes:
+    """The undo payload of ``record`` (present for undoable kinds)."""
+    if not record.undo:
+        raise ValueError(f"record {record.lsn} has no undo information")
+    return record.undo

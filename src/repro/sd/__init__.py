@@ -1,0 +1,16 @@
+"""The shared disks (SD) architecture — Figure 1 of the paper.
+
+Multiple DBMS instances, each with a private buffer pool and a private
+local log, share one set of disks.  A global lock manager coordinates
+transaction locking; a coherency controller migrates pages between
+buffer pools under the **medium page-transfer scheme** (Section 3.1's
+assumption: a modified page is written to disk before another system
+may update it, so a page on disk carries dirty updates of at most one
+system and restart redo needs only the failed instance's log).
+"""
+
+from repro.sd.complex import SDComplex
+from repro.sd.coherency import CoherencyController
+from repro.sd.instance import DbmsInstance
+
+__all__ = ["CoherencyController", "DbmsInstance", "SDComplex"]

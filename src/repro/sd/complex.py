@@ -1,0 +1,315 @@
+"""The shared-disks complex: Figure 1 as an object graph.
+
+An :class:`SDComplex` owns the pieces every instance shares — the disk
+farm, the global lock manager (with lock value blocks that piggyback
+``Local_Max_LSN``), the coherency controller, the message fabric, the
+space map geometry and the Commit_LSN service — plus the set of DBMS
+instances.
+
+Lock value blocks deserve a note: when a transaction releases a lock,
+the releasing system's ``Local_Max_LSN`` is stored with the lock; when
+another system later acquires it, its log manager absorbs that value.
+This gives Lamport causality *through the lock hierarchy*: any update
+protected by a lock happens-before a conflicting acquisition, so the
+acquirer's LSNs are guaranteed to exceed the LSNs of the updates it can
+now see.  (DEC's VAXcluster lock value blocks carried similar freight,
+Section 4.1.)  Mass delete's correctness rests on this: the deleter
+never reads the emptied pages, but the table lock it acquired carried
+the last updater's maximum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.common.errors import ReproError
+from repro.common.lsn import Lsn
+from repro.common.stats import StatsRegistry
+from repro.locking.lock_manager import LockManager, LockMode, LockStatus
+from repro.net.network import Network
+from repro.recovery.commit_lsn import CommitLsnService
+from repro.sd.coherency import CoherencyController
+from repro.sd.instance import DbmsInstance
+from repro.storage.disk import SharedDisk
+from repro.storage.page import Page, PageType
+from repro.storage.space_map import SpaceMap
+from repro.txn.manager import _SYSTEM_STRIDE
+
+# Default database geometry: SMPs first, data pages after.
+DEFAULT_SMP_START = 1
+DEFAULT_DATA_START = 64
+DEFAULT_DATA_PAGES = 4096
+
+
+class SDComplex:
+    """A complete shared-disks data sharing complex."""
+
+    def __init__(
+        self,
+        n_data_pages: int = DEFAULT_DATA_PAGES,
+        data_start: int = DEFAULT_DATA_START,
+        smp_start: int = DEFAULT_SMP_START,
+        disk_capacity: Optional[int] = None,
+        piggyback_enabled: bool = True,
+        lock_value_blocks: bool = True,
+        transfer_scheme: str = "medium",
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.stats = stats if stats is not None else StatsRegistry()
+        capacity = disk_capacity or (data_start + n_data_pages + 64)
+        self.disk = SharedDisk(capacity=capacity, stats=self.stats)
+        self.network = Network(stats=self.stats,
+                               piggyback_enabled=piggyback_enabled)
+        self.glm = LockManager(stats=self.stats)
+        self.transfer_scheme = transfer_scheme
+        self.coherency = CoherencyController(self, scheme=transfer_scheme)
+        self.commit_lsn = CommitLsnService(stats=self.stats)
+        self.space_map = SpaceMap(smp_start=smp_start, data_start=data_start,
+                                  n_data_pages=n_data_pages)
+        self.instances: Dict[int, DbmsInstance] = {}
+        self.lock_value_blocks = lock_value_blocks
+        self._lock_values: Dict[Hashable, Lsn] = {}
+        self._initialize_database()
+
+    def _initialize_database(self) -> None:
+        """Format the space map pages (volume initialisation utility)."""
+        for smp_page_id in self.space_map.smp_page_ids():
+            page = Page()
+            page.format(smp_page_id, PageType.SPACE_MAP)
+            self.disk.write_page(page)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_instance(self, system_id: int, instance_cls=DbmsInstance,
+                     **kwargs) -> DbmsInstance:
+        """Bring a new DBMS instance into the complex.
+
+        ``instance_cls`` lets experiments swap the LSN scheme (e.g.
+        :class:`repro.baselines.naive.NaiveDbmsInstance`) while keeping
+        every other component identical.
+        """
+        if system_id in self.instances:
+            raise ReproError(f"system {system_id} already exists")
+        if system_id <= 0:
+            raise ValueError("system ids must be positive")
+        instance = instance_cls(system_id, self, **kwargs)
+        self.instances[system_id] = instance
+        self.network.register(system_id, instance.log)
+        self.commit_lsn.register(instance)
+        return instance
+
+    # ------------------------------------------------------------------
+    # global locking (with value-block piggyback)
+    # ------------------------------------------------------------------
+    def lock(
+        self,
+        instance: DbmsInstance,
+        txn_id: int,
+        resource: Hashable,
+        mode: LockMode,
+    ) -> LockStatus:
+        status = self.glm.acquire(txn_id, resource, mode)
+        if status is LockStatus.GRANTED and self.lock_value_blocks:
+            value = self._lock_values.get(resource)
+            if value is not None:
+                instance.log.observe_remote_max(value)
+        return status
+
+    def try_lock(
+        self,
+        instance: DbmsInstance,
+        txn_id: int,
+        resource: Hashable,
+        mode: LockMode,
+    ) -> LockStatus:
+        """Opportunistic acquire: never enqueues (for escalation)."""
+        status = self.glm.try_acquire(txn_id, resource, mode)
+        if status is LockStatus.GRANTED and self.lock_value_blocks:
+            value = self._lock_values.get(resource)
+            if value is not None:
+                instance.log.observe_remote_max(value)
+        return status
+
+    def release_lock(
+        self, instance: DbmsInstance, txn_id: int, resource: Hashable
+    ) -> None:
+        self._store_lock_value(instance, resource)
+        self.glm.release(txn_id, resource)
+
+    def release_txn_locks(self, instance: DbmsInstance, txn_id: int) -> None:
+        """Commit/abort-time release of everything a transaction holds."""
+        for resource in self.glm.locks_of(txn_id):
+            self._store_lock_value(instance, resource)
+        self.glm.release_all(txn_id)
+
+    def _store_lock_value(self, instance: DbmsInstance,
+                          resource: Hashable) -> None:
+        if not self.lock_value_blocks:
+            return
+        current = self._lock_values.get(resource, 0)
+        self._lock_values[resource] = max(current,
+                                          instance.log.local_max_lsn)
+
+    def release_system_locks(self, system_id: int) -> None:
+        """Drop the retained locks of a recovered system's transactions."""
+        owners = [
+            owner for owner in self._all_lock_owners()
+            if isinstance(owner, int) and owner // _SYSTEM_STRIDE == system_id
+        ]
+        for owner in owners:
+            self.glm.release_all(owner)
+
+    def _all_lock_owners(self) -> List[Hashable]:
+        owners = set()
+        for resource in list(self.glm._table):
+            owners.update(self.glm.holders(resource))
+            owners.update(self.glm.waiters(resource))
+        return list(owners)
+
+    # ------------------------------------------------------------------
+    # failure / recovery orchestration
+    # ------------------------------------------------------------------
+    def crash_instance(self, system_id: int) -> None:
+        self.instances[system_id].crash()
+
+    def restart_instance(self, system_id: int):
+        """Run restart recovery for a crashed instance; returns the
+        recovery summary.  Retained locks and page ownership are
+        released once recovery completes.
+
+        Under the medium transfer scheme this uses only the failed
+        instance's local log (the paper's Section 3.1 payoff); under
+        the fast scheme, redo replays the merged local logs for the
+        pages the failed instance owned (Section 5 extension).
+        """
+        from repro.recovery.aries import fast_restart_recovery, restart_recovery
+
+        instance = self.instances[system_id]
+        if not instance.crashed:
+            raise ReproError(f"system {system_id} is not down")
+        instance.crashed = False
+        if self.transfer_scheme == "fast":
+            candidates = self.coherency.pages_owned_by(system_id)
+            skip = set()
+            for other_id, other in self.instances.items():
+                if other_id == system_id or other.crashed:
+                    continue
+                for bcb in other.pool.pages():
+                    if bcb.dirty:
+                        skip.add(bcb.page_id)
+
+            def fix_fast(page_id):
+                from repro.common.errors import ProtocolError
+
+                try:
+                    return self.coherency.access(instance, page_id,
+                                                 for_update=True)
+                except ProtocolError:
+                    # Complex-wide failure: the page's retained owner is
+                    # another crashed system.  The merged-log redo pass
+                    # above already reconstructed every analysis-DPT
+                    # page into our pool, so undo can proceed on that
+                    # version; the owner's own later recovery stays
+                    # idempotent thanks to the page_LSN test.
+                    return instance.pool.fix(page_id)
+
+            summary = fast_restart_recovery(
+                instance,
+                [inst.log for inst in self.instances.values()],
+                candidate_pages=candidates,
+                skip_page_ids=skip,
+                fix_page=fix_fast,
+                unfix_page=instance.pool.unfix,
+            )
+        else:
+            summary = restart_recovery(
+                instance,
+                fix_page=self.recovery_page_fixer(instance),
+                unfix_page=instance.pool.unfix,
+            )
+        instance.pool.flush_all()
+        # Cold cache after recovery: keeping reconstructed pages around
+        # would require re-registering every copy with the coherency
+        # layer and invites stale-read hazards; dropping them is simple
+        # and what a real restart does anyway.
+        for bcb in list(instance.pool.pages()):
+            instance.pool.drop_page(bcb.page_id)
+        self.coherency.note_recovered(system_id)
+        self.release_system_locks(system_id)
+        return summary
+
+    def recovery_page_fixer(self, instance: DbmsInstance):
+        """Page accessor for a recovering instance's **undo** pass.
+
+        Normally routes through the coherency layer (the loser's page
+        may live, current, in another system's pool).  When the page's
+        retained owner is *another crashed system*, its committed
+        updates exist only in its stable log — the disk version is
+        stale — so the page is first reconstructed from the merged
+        stable logs (all covering records are forced: WAL for anything
+        that reached disk or migrated, commit forces for the rest).
+        The owner's own later recovery stays idempotent via the
+        page_LSN test.
+        """
+        from repro.common.errors import ProtocolError
+        from repro.recovery.apply import apply_redo
+        from repro.wal.merge import merge_local_logs
+
+        def fix_page(page_id: int):
+            try:
+                return self.coherency.access(instance, page_id,
+                                             for_update=True)
+            except ProtocolError:
+                if instance.pool.contains(page_id):
+                    instance.pool.drop_page(page_id, allow_dirty=True)
+                page = self.disk.read_page(page_id)
+                for _, record in merge_local_logs(self.local_logs()):
+                    if record.page_id == page_id \
+                            and record.lsn > page.page_lsn:
+                        apply_redo(page, record)
+                self.disk.write_page(page)
+                return instance.pool.install_page(page, dirty=False)
+
+        return fix_page
+
+    def begin_staged_restart(self, system_id: int):
+        """Start a staged restart ([Moha91]-style early access): call
+        ``run_redo()`` to open the system for new transactions with only
+        the losers' retained locks in force, then ``run_undo()``."""
+        from repro.recovery.staged import StagedRestart
+
+        return StagedRestart(self, self.instances[system_id])
+
+    def crash_complex(self) -> None:
+        """Every instance fails at once (site power loss)."""
+        for instance in self.instances.values():
+            if not instance.crashed:
+                instance.crash()
+
+    def restart_complex(self):
+        """Recover every instance, one at a time (any order is fine:
+        each instance's redo needs only its own log under the medium
+        transfer scheme, and undo is per-transaction)."""
+        summaries = {}
+        for system_id in sorted(self.instances):
+            if self.instances[system_id].crashed:
+                summaries[system_id] = self.restart_instance(system_id)
+        return summaries
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def broadcast_max_lsns(self) -> None:
+        """Periodic Section 3.5 exchange (on top of piggybacking)."""
+        self.network.broadcast_max_lsns()
+
+    def local_logs(self) -> List:
+        """Every instance's log manager (media recovery input)."""
+        return [inst.log for inst in self.instances.values()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SDComplex(instances={sorted(self.instances)}, "
+            f"data_pages={self.space_map.n_data_pages})"
+        )

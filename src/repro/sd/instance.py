@@ -1,0 +1,628 @@
+"""One DBMS instance of the shared-disks complex.
+
+An instance bundles the four per-system components of Figure 1 — a
+local log manager (with USN LSN assignment), a private buffer pool, a
+transaction manager, and an unsynchronized clock — and implements the
+data operations the experiments drive: record insert/update/delete/read,
+page allocation and deallocation (including the read-free reallocation
+of Section 3.4), mass delete (Section 4.2), commit and rollback.
+
+Locking goes through the complex's global lock manager; page access
+goes through the coherency controller so cross-system transfers follow
+the medium page-transfer scheme.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+from repro.buffer.buffer_pool import BufferPool
+from repro.common.clock import SkewedClock
+from repro.common.errors import LockWouldBlock, ReproError
+from repro.common.lsn import Lsn
+from repro.common.stats import PAGE_READS_AVOIDED
+from repro.locking.lock_manager import LockMode, LockStatus, page_lock, record_lock
+from repro.recovery.apply import apply_op
+from repro.storage.page import Page, PageType
+from repro.storage.space_map import SpaceMap
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import Transaction, TxnState
+from repro.wal.log_manager import LogManager
+from repro.wal.records import (
+    LogRecord,
+    PageOp,
+    RecordKind,
+    decode_op,
+    encode_op,
+    make_clr,
+    make_format,
+    make_update,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sd.complex import SDComplex
+
+
+class DbmsInstance:
+    """A DBMS instance: private log + private buffer pool, shared disks."""
+
+    def __init__(
+        self,
+        system_id: int,
+        sd_complex: "SDComplex",
+        buffer_capacity: int = 128,
+        lock_granularity: str = "record",
+        isolation: str = "cursor_stability",
+        escalation_threshold: Optional[int] = None,
+        clock: Optional[SkewedClock] = None,
+    ) -> None:
+        """``isolation`` is "cursor_stability" (degree 2: read locks
+        released after the read — the level the Commit_LSN optimization
+        targets) or "repeatable_read" (degree 3: read locks held to
+        commit).  ``escalation_threshold``, when set, escalates a
+        transaction's record locks on a page to one page X lock after
+        that many record locks — opportunistically, never waiting."""
+        if lock_granularity not in ("record", "page"):
+            raise ValueError("lock_granularity must be 'record' or 'page'")
+        if isolation not in ("cursor_stability", "repeatable_read"):
+            raise ValueError(
+                "isolation must be 'cursor_stability' or 'repeatable_read'"
+            )
+        if escalation_threshold is not None and escalation_threshold < 2:
+            raise ValueError("escalation threshold must be >= 2")
+        self.system_id = system_id
+        self.complex = sd_complex
+        self.stats = sd_complex.stats
+        self.log = LogManager(system_id, stats=self.stats)
+        self.pool = BufferPool(
+            sd_complex.disk, self.log, capacity=buffer_capacity
+        )
+        self.txns = TransactionManager(system_id)
+        self.lock_granularity = lock_granularity
+        self.isolation = isolation
+        self.escalation_threshold = escalation_threshold
+        # Unsynchronized on purpose: recovery must never consult it.
+        self.clock = clock if clock is not None else SkewedClock(
+            offset=37.0 * system_id, rate=1.0 + 0.13 * system_id
+        )
+        self.crashed = False
+        # Lazy (group) commits awaiting their covering log force.
+        self._pending_commits: List[Transaction] = []
+
+    # ------------------------------------------------------------------
+    # transaction control
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        self._check_up()
+        return self.txns.begin()
+
+    def commit(self, txn: Transaction, lazy: bool = False) -> None:
+        """Commit: force the log through the commit record (WAL commit
+        rule), then release locks and end the transaction.
+
+        ``lazy=True`` enables group commit: the commit record is
+        appended but the force is deferred until :meth:`sync_commits`
+        (or a later eager commit) flushes the log — one force then
+        covers a whole batch.  A lazy commit is **not acknowledged**
+        until synced: its locks stay held, and a crash before the sync
+        rolls it back like any in-flight transaction.
+        """
+        self._check_up()
+        self._check_active(txn)
+        commit = LogRecord(kind=RecordKind.COMMIT, txn_id=txn.txn_id,
+                           prev_lsn=txn.last_lsn)
+        addr = self.log.append(commit)
+        txn.note_logged(commit.lsn, addr.offset, undoable=False)
+        if lazy:
+            self._pending_commits.append(txn)
+            return
+        self.log.force()
+        self._finish_commit(txn)
+        self._finish_pending()
+
+    def sync_commits(self) -> int:
+        """Group-commit sync: one log force acknowledges every pending
+        lazy commit.  Returns the number of transactions completed."""
+        self._check_up()
+        if not self._pending_commits:
+            return 0
+        self.log.force()
+        return self._finish_pending()
+
+    def _finish_pending(self) -> int:
+        finished = 0
+        while self._pending_commits:
+            self._finish_commit(self._pending_commits.pop(0))
+            finished += 1
+        return finished
+
+    def _finish_commit(self, txn: Transaction) -> None:
+        txn.state = TxnState.COMMITTED
+        end = LogRecord(kind=RecordKind.END, txn_id=txn.txn_id,
+                        prev_lsn=txn.last_lsn)
+        self.log.append(end)
+        self.complex.release_txn_locks(self, txn.txn_id)
+        self.txns.end(txn)
+
+    def rollback(self, txn: Transaction, to_savepoint: Optional[str] = None) -> None:
+        """Undo the transaction's updates (all of them, or back to a
+        savepoint), writing CLRs so the rollback itself is redoable.
+
+        Undo entries are consumed as they are compensated, so a
+        rollback that fails midway (e.g. a loser's page is fenced
+        behind another system's crash) can simply be retried without
+        double-compensation.
+        """
+        self._check_up()
+        if txn.state not in (TxnState.ACTIVE, TxnState.ABORTING):
+            raise ReproError(f"cannot roll back txn in state {txn.state}")
+        txn.state = TxnState.ABORTING
+        stop_at = 0
+        if to_savepoint is not None:
+            stop_at = txn.savepoints[to_savepoint]
+        while len(txn.undo_entries) > stop_at:
+            entry = txn.undo_entries[-1]
+            record = self.log.read_record_at(entry.offset)
+            self._undo_one(txn, record)
+            txn.undo_entries.pop()
+        if to_savepoint is not None:
+            txn.truncate_to_savepoint(to_savepoint)
+            txn.state = TxnState.ACTIVE
+            return
+        end = LogRecord(kind=RecordKind.END, txn_id=txn.txn_id,
+                        prev_lsn=txn.last_lsn)
+        self.log.append(end)
+        self.complex.release_txn_locks(self, txn.txn_id)
+        self.txns.end(txn)
+
+    def _undo_one(self, txn: Transaction, record: LogRecord) -> None:
+        """Undo a single update record, logging a CLR first."""
+        page = self._access(record.page_id, for_update=True)
+        try:
+            clr = make_clr(
+                txn_id=txn.txn_id, system_id=self.system_id,
+                page_id=record.page_id, slot=record.slot,
+                redo=record.undo, undo_next_lsn=record.prev_lsn,
+                prev_lsn=txn.last_lsn,
+            )
+            addr = self.log.append(clr, page_lsn=page.page_lsn)
+            op, data = decode_op(record.undo)
+            apply_op(page, record.slot, op, data)
+            page.page_lsn = clr.lsn
+            self.pool.note_update(record.page_id, clr.lsn, addr.offset,
+                                  self.log.end_offset)
+            txn.note_logged(clr.lsn, addr.offset, undoable=False)
+        finally:
+            self.pool.unfix(record.page_id)
+
+    def set_savepoint(self, txn: Transaction, name: str) -> None:
+        self._check_active(txn)
+        txn.set_savepoint(name)
+
+    # ------------------------------------------------------------------
+    # record operations
+    # ------------------------------------------------------------------
+    def insert(self, txn: Transaction, page_id: int, payload: bytes) -> int:
+        """Insert a record; returns its slot number."""
+        self._check_active(txn)
+        page = self._access(page_id, for_update=True)
+        try:
+            slot = page.insert_record(payload)
+            # Undo the optimistic insert before locking: the lock may
+            # block and the caller will retry the whole operation.
+            self._lock_for_write(txn, page_id, slot, unfix_first=page)
+            record = make_update(
+                txn_id=txn.txn_id, system_id=self.system_id,
+                page_id=page_id, slot=slot,
+                redo=encode_op(PageOp.INSERT, payload),
+                undo=encode_op(PageOp.DELETE),
+                prev_lsn=txn.last_lsn,
+            )
+            self._log_update(txn, page, record, already_applied=True)
+            return slot
+        finally:
+            self.pool.unfix(page_id)
+
+    def update(self, txn: Transaction, page_id: int, slot: int,
+               payload: bytes) -> None:
+        """Overwrite the record in ``slot`` with ``payload``."""
+        self._check_active(txn)
+        self._lock_for_write(txn, page_id, slot)
+        page = self._access(page_id, for_update=True)
+        try:
+            old = page.read_record(slot)
+            if old is None:
+                raise ReproError(f"page {page_id} slot {slot} is empty")
+            record = make_update(
+                txn_id=txn.txn_id, system_id=self.system_id,
+                page_id=page_id, slot=slot,
+                redo=encode_op(PageOp.SET, payload),
+                undo=encode_op(PageOp.SET, old),
+                prev_lsn=txn.last_lsn,
+            )
+            page.update_record(slot, payload)
+            self._log_update(txn, page, record, already_applied=True)
+        finally:
+            self.pool.unfix(page_id)
+
+    def delete(self, txn: Transaction, page_id: int, slot: int) -> None:
+        """Delete the record in ``slot``."""
+        self._check_active(txn)
+        self._lock_for_write(txn, page_id, slot)
+        page = self._access(page_id, for_update=True)
+        try:
+            old = page.read_record(slot)
+            if old is None:
+                raise ReproError(f"page {page_id} slot {slot} is empty")
+            record = make_update(
+                txn_id=txn.txn_id, system_id=self.system_id,
+                page_id=page_id, slot=slot,
+                redo=encode_op(PageOp.DELETE),
+                undo=encode_op(PageOp.INSERT, old),
+                prev_lsn=txn.last_lsn,
+            )
+            page.delete_record(slot)
+            self._log_update(txn, page, record, already_applied=True)
+        finally:
+            self.pool.unfix(page_id)
+
+    def read(self, txn: Transaction, page_id: int, slot: int,
+             use_commit_lsn: bool = False) -> Optional[bytes]:
+        """Read a record with cursor-stability semantics.
+
+        With ``use_commit_lsn`` the Commit_LSN optimization is applied
+        first (Section 2 problem 4): if the page's LSN is below the
+        complex-wide Commit_LSN, everything on the page is committed and
+        no record lock is needed.  Otherwise an S record lock is taken
+        and immediately released (degree-2 consistency).
+        """
+        self._check_active(txn)
+        page = self._access(page_id, for_update=False)
+        try:
+            if use_commit_lsn and self.complex.commit_lsn.check(page.page_lsn):
+                return page.read_record(slot)
+        finally:
+            self.pool.unfix(page_id)
+        # Slow path: lock hierarchically, re-fetch, read; under cursor
+        # stability the record-level lock is released right after.
+        releasable = self._lock_for_read(txn, page_id, slot)
+        page = self._access(page_id, for_update=False)
+        try:
+            return page.read_record(slot)
+        finally:
+            self.pool.unfix(page_id)
+            if self.isolation == "cursor_stability":
+                for resource in releasable:
+                    self.complex.release_lock(self, txn.txn_id, resource)
+
+    # ------------------------------------------------------------------
+    # page allocation / deallocation (Section 3.4)
+    # ------------------------------------------------------------------
+    def allocate_page(self, txn: Transaction,
+                      page_type: PageType = PageType.DATA,
+                      page_id: Optional[int] = None) -> int:
+        """Allocate a data page **without reading its old version**.
+
+        The format record's LSN is derived from the covering SMP's
+        page_LSN (which the deallocation already pushed above the dead
+        page's final LSN), so the reallocated page's LSN sequence keeps
+        increasing even though we never saw the old image.
+        """
+        self._check_active(txn)
+        geometry = self.complex.space_map
+        chosen = page_id
+        if chosen is None:
+            chosen = self._find_free_page()
+            if chosen is None:
+                raise ReproError("no free pages left")
+        slot = geometry.slot_for(chosen)
+        smp_page = self._access(slot.smp_page_id, for_update=True)
+        try:
+            if SpaceMap.read_allocated(smp_page, slot.index):
+                raise ReproError(f"page {chosen} is already allocated")
+            smp_record = LogRecord(
+                kind=RecordKind.SMP_UPDATE, txn_id=txn.txn_id,
+                page_id=slot.smp_page_id,
+                slot=0,
+                redo=encode_op(PageOp.SMP_SET,
+                               SpaceMap.encode_entry_update(slot.index, True)),
+                undo=encode_op(PageOp.SMP_SET,
+                               SpaceMap.encode_entry_update(slot.index, False)),
+                prev_lsn=txn.last_lsn,
+            )
+            SpaceMap.write_allocated(smp_page, slot.index, True)
+            self._log_update(txn, smp_page, smp_record, already_applied=True)
+            # The paper's trick: pass the SMP's (fresh) LSN as the hint
+            # for the format record, guaranteeing it exceeds any LSN the
+            # deallocated disk version may carry.
+            fmt = make_format(
+                txn_id=txn.txn_id, system_id=self.system_id,
+                page_id=chosen, page_type=int(page_type),
+                prev_lsn=txn.last_lsn,
+            )
+            addr = self.log.append(fmt, page_lsn=smp_page.page_lsn)
+            txn.note_logged(fmt.lsn, addr.offset, undoable=False)
+            fresh = Page()
+            fresh.format(chosen, page_type, page_lsn=fmt.lsn)
+            if self.pool.contains(chosen):
+                # A stale cached copy of the dead page may linger, even
+                # dirty; its content is moot once deallocated.
+                self.pool.drop_page(chosen, allow_dirty=True)
+            self.pool.install_page(fresh, dirty=False)
+            # note_update performs the clean->dirty transition so the
+            # format record becomes the page's RecAddr.
+            self.pool.note_update(chosen, fmt.lsn, addr.offset,
+                                  self.log.end_offset)
+            self.pool.unfix(chosen)
+            self.complex.coherency.note_new_page(self, chosen)
+            self.stats.incr(PAGE_READS_AVOIDED)
+            return chosen
+        finally:
+            self.pool.unfix(slot.smp_page_id)
+
+    def deallocate_page(self, txn: Transaction, page_id: int) -> None:
+        """Deallocate an (empty) page.
+
+        The SMP update's LSN hint is the max of the SMP's LSN and the
+        dead page's current LSN; the USN rule then guarantees the SMP
+        LSN ends up above everything ever written to the page — the
+        property reallocation relies on.
+        """
+        self._check_active(txn)
+        slot = self.complex.space_map.slot_for(page_id)
+        page = self._access(page_id, for_update=True)
+        try:
+            if not page.is_empty():
+                raise ReproError(f"page {page_id} is not empty")
+            dead_page_lsn = page.page_lsn
+        finally:
+            self.pool.unfix(page_id)
+        smp_page = self._access(slot.smp_page_id, for_update=True)
+        try:
+            if not SpaceMap.read_allocated(smp_page, slot.index):
+                raise ReproError(f"page {page_id} is not allocated")
+            record = LogRecord(
+                kind=RecordKind.SMP_UPDATE, txn_id=txn.txn_id,
+                page_id=slot.smp_page_id, slot=0,
+                redo=encode_op(PageOp.SMP_SET,
+                               SpaceMap.encode_entry_update(slot.index, False)),
+                undo=encode_op(PageOp.SMP_SET,
+                               SpaceMap.encode_entry_update(slot.index, True)),
+                prev_lsn=txn.last_lsn,
+            )
+            SpaceMap.write_allocated(smp_page, slot.index, False)
+            hint = max(smp_page.page_lsn, dead_page_lsn)
+            self._log_update(txn, smp_page, record, already_applied=True,
+                             lsn_hint=hint)
+        finally:
+            self.pool.unfix(slot.smp_page_id)
+
+    def mass_delete(self, txn: Transaction, page_ids: Iterable[int]) -> int:
+        """Deallocate many pages by visiting **only** their SMPs.
+
+        This is DB2's segmented-tablespace mass delete (Section 4.2):
+        one SMP_SET_RANGE log record per contiguous run per SMP page,
+        and *no* data-page reads.  Returns the number of log records
+        written.  Correctness of later reallocation rests on the lock
+        value-block piggybacking: the table lock that protected the last
+        updates of these pages carried the updater's Local_Max_LSN to
+        us, so our SMP record's LSN exceeds every page's final LSN.
+        """
+        self._check_active(txn)
+        runs = self._contiguous_smp_runs(sorted(set(page_ids)))
+        records = 0
+        for smp_page_id, start, count in runs:
+            smp_page = self._access(smp_page_id, for_update=True)
+            try:
+                record = LogRecord(
+                    kind=RecordKind.SMP_UPDATE, txn_id=txn.txn_id,
+                    page_id=smp_page_id, slot=0,
+                    redo=encode_op(
+                        PageOp.SMP_SET_RANGE,
+                        SpaceMap.encode_range_update(start, count, False)),
+                    undo=encode_op(
+                        PageOp.SMP_SET_RANGE,
+                        SpaceMap.encode_range_update(start, count, True)),
+                    prev_lsn=txn.last_lsn,
+                )
+                SpaceMap.write_range(smp_page, start, count, False)
+                self._log_update(txn, smp_page, record, already_applied=True)
+                records += 1
+            finally:
+                self.pool.unfix(smp_page_id)
+        return records
+
+    def _contiguous_smp_runs(
+        self, page_ids: List[int]
+    ) -> List[Tuple[int, int, int]]:
+        """Group sorted page ids into (smp_page, start_index, count) runs."""
+        geometry = self.complex.space_map
+        runs: List[Tuple[int, int, int]] = []
+        for page_id in page_ids:
+            slot = geometry.slot_for(page_id)
+            if runs and runs[-1][0] == slot.smp_page_id and \
+                    runs[-1][1] + runs[-1][2] == slot.index:
+                smp, start, count = runs[-1]
+                runs[-1] = (smp, start, count + 1)
+            else:
+                runs.append((slot.smp_page_id, slot.index, 1))
+        return runs
+
+    def is_allocated(self, page_id: int) -> bool:
+        """Current allocation status of ``page_id`` (reads the SMP)."""
+        slot = self.complex.space_map.slot_for(page_id)
+        smp_page = self._access(slot.smp_page_id, for_update=False)
+        try:
+            return SpaceMap.read_allocated(smp_page, slot.index)
+        finally:
+            self.pool.unfix(slot.smp_page_id)
+
+    def _find_free_page(self) -> Optional[int]:
+        geometry = self.complex.space_map
+        for smp_page_id in geometry.smp_page_ids():
+            smp_page = self._access(smp_page_id, for_update=False)
+            try:
+                base = (smp_page_id - geometry.smp_start) * geometry.entries_per_page
+                limit = min(geometry.entries_per_page,
+                            geometry.n_data_pages - base)
+                for index in range(limit):
+                    if not SpaceMap.read_allocated(smp_page, index):
+                        return geometry.data_start + base + index
+            finally:
+                self.pool.unfix(smp_page_id)
+        return None
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _log_update(
+        self,
+        txn: Transaction,
+        page: Page,
+        record: LogRecord,
+        already_applied: bool = False,
+        lsn_hint: Optional[Lsn] = None,
+    ) -> None:
+        """Log ``record`` against ``page`` and do the USN bookkeeping.
+
+        Implements the normal-processing steps of Section 3.2.1: pass
+        the current page_LSN to the log manager, then place the returned
+        LSN into the page header and the BCB.
+        """
+        hint = page.page_lsn if lsn_hint is None else lsn_hint
+        addr = self.log.append(record, page_lsn=hint)
+        if not already_applied:
+            op, data = decode_op(record.redo)
+            apply_op(page, record.slot, op, data)
+        page.page_lsn = record.lsn
+        self.pool.note_update(page.page_id, record.lsn, addr.offset,
+                              self.log.end_offset)
+        txn.note_logged(record.lsn, addr.offset,
+                        undoable=record.is_undoable())
+
+    def _lock_for_write(self, txn: Transaction, page_id: int, slot: int,
+                        unfix_first: Optional[Page] = None) -> None:
+        """Hierarchical write locking: page IX then record X (or one
+        page X in page-granularity mode / after escalation)."""
+        try:
+            if self.lock_granularity == "page":
+                self._lock(txn, page_lock(page_id), LockMode.X)
+                return
+            if page_id in txn.escalated_pages:
+                return  # the page X lock covers every record
+            self._lock(txn, page_lock(page_id), LockMode.IX)
+            self._lock(txn, record_lock(page_id, slot), LockMode.X)
+            self._maybe_escalate(txn, page_id)
+        except LockWouldBlock:
+            if unfix_first is not None:
+                # Roll back the uncommitted in-page insert so the retry
+                # starts clean (nothing was logged yet).
+                if unfix_first.read_record(slot) is not None:
+                    unfix_first.delete_record(slot)
+            raise
+
+    def _lock_for_read(self, txn: Transaction, page_id: int,
+                       slot: int) -> List:
+        """Hierarchical read locking: page IS then record S.
+
+        Returns the resources a cursor-stability reader may release
+        after the read (never a lock the transaction held already for
+        other reasons, and never the intention lock, which is kept to
+        commit — it is compatible with everything but X).
+        """
+        glm = self.complex.glm
+        if self.lock_granularity == "page":
+            resource = page_lock(page_id)
+            held_before = glm.holds(txn.txn_id, resource)
+            self._lock(txn, resource, LockMode.S)
+            return [] if held_before else [resource]
+        if page_id in txn.escalated_pages:
+            return []
+        self._lock(txn, page_lock(page_id), LockMode.IS)
+        resource = record_lock(page_id, slot)
+        held_before = glm.holds(txn.txn_id, resource)
+        self._lock(txn, resource, LockMode.S)
+        return [] if held_before else [resource]
+
+    def _maybe_escalate(self, txn: Transaction, page_id: int) -> None:
+        """Opportunistic record->page lock escalation.
+
+        After ``escalation_threshold`` record locks on one page, try to
+        convert the page intention lock to X; on success further record
+        locks on the page are unnecessary.  Never waits — a conflicting
+        reader simply postpones escalation.
+        """
+        if self.escalation_threshold is None:
+            return
+        count = txn.record_lock_counts.get(page_id, 0) + 1
+        txn.record_lock_counts[page_id] = count
+        if count < self.escalation_threshold:
+            return
+        status = self.complex.try_lock(self, txn.txn_id,
+                                       page_lock(page_id), LockMode.X)
+        if status is LockStatus.GRANTED:
+            txn.escalated_pages.add(page_id)
+            self.stats.incr("lock.escalations")
+
+    def _lock(self, txn: Transaction, resource, mode: LockMode) -> None:
+        status = self.complex.lock(self, txn.txn_id, resource, mode)
+        if status is LockStatus.WAITING:
+            raise LockWouldBlock(txn.txn_id, resource)
+
+    def _access(self, page_id: int, for_update: bool) -> Page:
+        self._check_up()
+        return self.complex.coherency.access(self, page_id, for_update)
+
+    def _check_up(self) -> None:
+        if self.crashed:
+            raise ReproError(f"system {self.system_id} is down")
+
+    def _check_active(self, txn: Transaction) -> None:
+        self._check_up()
+        if txn.state != TxnState.ACTIVE:
+            raise ReproError(
+                f"txn {txn.txn_id} is {txn.state.value}, not active"
+            )
+
+    def fix_page(self, page_id: int, for_update: bool = False) -> Page:
+        """Fix a page through the coherency layer (public accessor for
+        access methods like the B-tree that need page-level traversal).
+        Pair with :meth:`unfix_page`."""
+        return self._access(page_id, for_update)
+
+    def unfix_page(self, page_id: int) -> None:
+        """Release a pin taken by :meth:`fix_page`."""
+        self.pool.unfix(page_id)
+
+    def write_filler(self, n_records: int, payload_bytes: int = 64) -> None:
+        """Grow this system's log without touching the database.
+
+        Models unrelated workload on the system.  Under the naive
+        scheme this inflates future LSNs (the Section 1.5 setup); under
+        the USN scheme it advances ``Local_Max_LSN`` by one per record,
+        creating LSN-rate skew for the Commit_LSN experiments (E2).
+        """
+        filler = b"x" * payload_bytes
+        for _ in range(n_records):
+            record = LogRecord(kind=RecordKind.DUMMY, redo=filler)
+            self.log.append(record)
+
+    # ------------------------------------------------------------------
+    # failure
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """System failure: buffers, transaction state and the unforced
+        log tail all evaporate.  Locks of in-flight transactions are
+        *retained* by the global lock manager until restart recovery."""
+        self.crashed = True
+        self.pool.crash()
+        self.txns.crash()
+        self.log.crash()
+        self._pending_commits.clear()
+        self.complex.coherency.note_crash(self.system_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DbmsInstance(system={self.system_id}, "
+            f"crashed={self.crashed}, log={self.log!r})"
+        )

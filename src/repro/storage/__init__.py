@@ -1,0 +1,29 @@
+"""Byte-level storage engine: slotted pages, disks, space maps, dumps.
+
+The paper's algorithms are stated in terms of a concrete page header
+field (``page_LSN``) and space map pages (SMPs) with one allocation bit
+per data page.  This package implements that layout for real — pages
+are 4 KiB byte buffers with packed headers and checksums — so that the
+recovery experiments exercise genuine serialization boundaries.
+"""
+
+from repro.storage.disk import SharedDisk
+from repro.storage.image_copy import ImageCopy
+from repro.storage.page import Page, PageType
+from repro.storage.space_map import (
+    LOMET_LSN_BYTES_CHOICES,
+    LometSpaceMap,
+    SpaceMap,
+    smp_entries_per_page,
+)
+
+__all__ = [
+    "ImageCopy",
+    "LOMET_LSN_BYTES_CHOICES",
+    "LometSpaceMap",
+    "Page",
+    "PageType",
+    "SharedDisk",
+    "SpaceMap",
+    "smp_entries_per_page",
+]

@@ -1,0 +1,143 @@
+"""Simulated shared disk.
+
+One :class:`SharedDisk` instance plays the role of the disk farm in
+Figure 1: in the shared-disks architecture every DBMS instance reads and
+writes it directly; in client-server only the server touches it.
+
+The disk maintains CRC32 checksums on write and verifies them on read,
+counts I/Os in a :class:`~repro.common.stats.StatsRegistry`, and offers
+fault-injection hooks (:meth:`lose_page`, :meth:`corrupt_page`) that the
+media-recovery experiment (E9) uses.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterator, Optional, Set
+
+from repro.common.config import PAGE_SIZE
+from repro.common.errors import MediaError
+from repro.common.stats import (
+    DISK_PAGE_READS,
+    DISK_PAGE_WRITES,
+    StatsRegistry,
+)
+from repro.storage.page import Page, PageType
+
+# Checksum covers everything except the 4-byte checksum field itself
+# (header bytes 17..20, see the header layout in repro.storage.page).
+_CKSUM_OFFSET = 17
+_CKSUM_END = 21
+
+
+def _compute_checksum(image: bytes) -> int:
+    return zlib.crc32(image[:_CKSUM_OFFSET] + image[_CKSUM_END:])
+
+
+class SharedDisk:
+    """A page-addressed, checksummed, crash-consistent page store.
+
+    Writes are atomic at page granularity (the classic WAL assumption).
+    ``capacity`` bounds the page-id space; pages are materialised lazily
+    so sparse databases are cheap.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1 << 20,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("disk capacity must be positive")
+        self.capacity = capacity
+        self.stats = stats if stats is not None else StatsRegistry()
+        self._pages: Dict[int, bytes] = {}
+        self._lost: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def _check_page_id(self, page_id: int) -> None:
+        if not 0 <= page_id < self.capacity:
+            raise ValueError(
+                f"page id {page_id} outside disk capacity {self.capacity}"
+            )
+
+    def write_page(self, page: Page) -> None:
+        """Persist ``page``, stamping a fresh checksum into the image."""
+        self._check_page_id(page.page_id)
+        image = bytearray(page.to_bytes())
+        cksum = _compute_checksum(bytes(image))
+        # Stamp the checksum directly into the image copy so the caller's
+        # in-memory page is not mutated by the act of writing it.
+        probe = Page(image)
+        probe.set_checksum(cksum)
+        self._pages[page.page_id] = probe.to_bytes()
+        self._lost.discard(page.page_id)
+        self.stats.incr(DISK_PAGE_WRITES)
+
+    def read_page(self, page_id: int) -> Page:
+        """Read a page; raises :class:`MediaError` for lost/corrupt pages.
+
+        Reading a never-written page returns a zeroed (FREE) page, like
+        a freshly formatted volume.
+        """
+        self._check_page_id(page_id)
+        self.stats.incr(DISK_PAGE_READS)
+        if page_id in self._lost:
+            raise MediaError(f"page {page_id} unreadable (media failure)")
+        image = self._pages.get(page_id)
+        if image is None:
+            blank = Page()
+            blank.format(page_id, PageType.FREE)
+            return blank
+        page = Page.from_bytes(image)
+        if _compute_checksum(image) != page.checksum:
+            raise MediaError(
+                f"page {page_id} failed checksum verification"
+            )
+        return page
+
+    def page_exists(self, page_id: int) -> bool:
+        """True if the page has ever been written (and not lost)."""
+        return page_id in self._pages and page_id not in self._lost
+
+    def page_lsn_on_disk(self, page_id: int) -> Optional[int]:
+        """page_LSN of the disk version without counting an I/O.
+
+        Test/verification helper: lets invariant checks inspect the disk
+        state non-invasively.
+        """
+        image = self._pages.get(page_id)
+        if image is None or page_id in self._lost:
+            return None
+        return Page.from_bytes(image).page_lsn
+
+    def written_page_ids(self) -> Iterator[int]:
+        """All page ids with a disk version, in ascending order."""
+        return iter(sorted(self._pages))
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def lose_page(self, page_id: int) -> None:
+        """Simulate a media failure: subsequent reads raise MediaError."""
+        self._check_page_id(page_id)
+        self._lost.add(page_id)
+
+    def corrupt_page(self, page_id: int, byte_offset: int = 100) -> None:
+        """Flip a byte in the stored image (checksum will catch it)."""
+        image = self._pages.get(page_id)
+        if image is None:
+            raise ValueError(f"page {page_id} has no disk version to corrupt")
+        if not 0 <= byte_offset < PAGE_SIZE:
+            raise ValueError("byte offset outside the page")
+        mutated = bytearray(image)
+        mutated[byte_offset] ^= 0xFF
+        self._pages[page_id] = bytes(mutated)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SharedDisk(capacity={self.capacity}, "
+            f"pages={len(self._pages)}, lost={len(self._lost)})"
+        )

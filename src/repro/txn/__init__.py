@@ -1,0 +1,11 @@
+"""Transactions: identity, state, undo chains, savepoints.
+
+A transaction executes entirely at one system (SD, Section 1.1) or one
+client (CS), so its log records all live in one local log and its undo
+never needs a merged log — one of the paper's headline advantages.
+"""
+
+from repro.txn.transaction import Transaction, TxnState
+from repro.txn.manager import TransactionManager
+
+__all__ = ["Transaction", "TransactionManager", "TxnState"]

@@ -1,0 +1,39 @@
+"""Write-ahead logging: records, local log managers, merging.
+
+This package implements the paper's contribution proper:
+
+* :class:`~repro.wal.log_manager.LogManager` assigns LSNs with the USN
+  rule ``LSN = max(page_LSN, Local_Max_LSN) + 1`` and merges remote
+  ``Local_Max_LSN`` values Lamport-style (Sections 3.2.1 and 3.5);
+* :class:`~repro.wal.client_log.ClientLogManager` is the client-server
+  variant that buffers records in virtual storage and ships them to the
+  server (Section 3.1);
+* :mod:`repro.wal.merge` performs the LSN-only k-way merge of local
+  logs for media recovery (Section 3.2.2) and, for the baseline
+  comparison, the more complex per-page merge Lomet's scheme needs.
+"""
+
+from repro.wal.records import (
+    CheckpointData,
+    LogRecord,
+    PageOp,
+    RecordKind,
+    decode_op,
+    encode_op,
+)
+from repro.wal.log_manager import LogManager
+from repro.wal.client_log import ClientLogManager
+from repro.wal.merge import merge_local_logs, lomet_merge
+
+__all__ = [
+    "CheckpointData",
+    "ClientLogManager",
+    "LogManager",
+    "LogRecord",
+    "PageOp",
+    "RecordKind",
+    "decode_op",
+    "encode_op",
+    "lomet_merge",
+    "merge_local_logs",
+]

@@ -1,0 +1,260 @@
+"""Binary log record format.
+
+Every record serializes to a 48-byte packed header followed by three
+variable-length payloads (redo, undo, extra).  Fields:
+
+==============  =====  ====================================================
+field           bytes  meaning
+==============  =====  ====================================================
+lsn             8      update sequence number assigned by the log manager
+prev_lsn        8      LSN of this transaction's previous record (0 = none)
+txn_id          8      owning transaction
+undo_next_lsn   8      CLRs only: next record of the txn to undo (0 = done)
+page_id         4      page the record describes (0xFFFFFFFF = none)
+system_id       2      writer system / client id (Section 3.1: client log
+                       records carry the client's identity)
+slot            2      record slot within the page (0xFFFF = none)
+redo_len        2
+undo_len        2
+extra_len       2
+kind            1      :class:`RecordKind`
+padding         1
+==============  =====  ====================================================
+
+Update payloads are *physiological*: an operation byte
+(:class:`PageOp`) plus operand bytes, applied to a named slot of a named
+page.  Lomet-baseline records reuse this format, carrying the before-
+state identifier (BSI) in the ``extra`` field.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.common.lsn import Lsn
+
+_HEADER = struct.Struct("<QQQQIHHHHHBx")
+HEADER_SIZE = _HEADER.size
+assert HEADER_SIZE == 48
+
+NO_PAGE = 0xFFFFFFFF
+NO_SLOT = 0xFFFF
+
+
+class RecordKind(enum.IntEnum):
+    """Discriminates log record roles during the recovery passes."""
+
+    UPDATE = 1            # redo+undo page change
+    CLR = 2               # compensation record (redo-only)
+    COMMIT = 3            # transaction committed (forces the log)
+    ABORT = 4             # rollback started
+    END = 5               # transaction fully finished (after commit/undo)
+    BEGIN_CHECKPOINT = 6
+    END_CHECKPOINT = 7    # carries serialized DPT + transaction table
+    FORMAT_PAGE = 8       # page (re)allocation format record (redo-only)
+    SMP_UPDATE = 9        # space map page bit flip (redo+undo)
+    DUMMY = 10            # filler for log-production-rate experiments
+
+
+class PageOp(enum.IntEnum):
+    """Physiological operation encoded at the head of redo/undo data."""
+
+    INSERT = 1      # operand: record payload, inserted at the named slot
+    DELETE = 2      # operand: empty
+    SET = 3         # operand: full new/old record payload
+    FORMAT = 4      # operand: u8 page type
+    SMP_SET = 5        # operand: SpaceMap.encode_entry_update payload
+    NOOP = 6           # operand: ignored
+    SMP_SET_RANGE = 7  # operand: SpaceMap.encode_range_update payload
+                       # (mass delete logs one record per SMP page)
+
+
+def encode_op(op: PageOp, data: bytes = b"") -> bytes:
+    """Serialize an operation payload."""
+    return bytes([int(op)]) + data
+
+
+def decode_op(payload: bytes) -> Tuple[PageOp, bytes]:
+    """Inverse of :func:`encode_op`."""
+    if not payload:
+        raise ValueError("empty operation payload")
+    return PageOp(payload[0]), payload[1:]
+
+
+@dataclass
+class LogRecord:
+    """One log record; mutable because the log manager stamps the LSN."""
+
+    kind: RecordKind
+    txn_id: int = 0
+    system_id: int = 0
+    page_id: int = NO_PAGE
+    slot: int = NO_SLOT
+    lsn: Lsn = 0
+    prev_lsn: Lsn = 0
+    undo_next_lsn: Lsn = 0
+    redo: bytes = b""
+    undo: bytes = b""
+    extra: bytes = b""
+
+    # ------------------------------------------------------------------
+    def is_page_oriented(self) -> bool:
+        """Does this record describe a change to a specific page?"""
+        return self.page_id != NO_PAGE
+
+    def is_undoable(self) -> bool:
+        """UPDATE/SMP_UPDATE records are undone during rollback; CLRs,
+        format records and control records are not."""
+        return self.kind in (RecordKind.UPDATE, RecordKind.SMP_UPDATE)
+
+    def serialized_size(self) -> int:
+        return HEADER_SIZE + len(self.redo) + len(self.undo) + len(self.extra)
+
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        header = _HEADER.pack(
+            self.lsn, self.prev_lsn, self.txn_id, self.undo_next_lsn,
+            self.page_id, self.system_id, self.slot,
+            len(self.redo), len(self.undo), len(self.extra), int(self.kind),
+        )
+        return header + self.redo + self.undo + self.extra
+
+    @classmethod
+    def from_bytes(cls, data: bytes, offset: int = 0) -> Tuple["LogRecord", int]:
+        """Parse one record at ``offset``; returns ``(record, next_offset)``."""
+        (lsn, prev_lsn, txn_id, undo_next_lsn, page_id, system_id, slot,
+         redo_len, undo_len, extra_len, kind) = _HEADER.unpack_from(data, offset)
+        pos = offset + HEADER_SIZE
+        redo = bytes(data[pos:pos + redo_len])
+        pos += redo_len
+        undo = bytes(data[pos:pos + undo_len])
+        pos += undo_len
+        extra = bytes(data[pos:pos + extra_len])
+        pos += extra_len
+        record = cls(
+            kind=RecordKind(kind), txn_id=txn_id, system_id=system_id,
+            page_id=page_id, slot=slot, lsn=lsn, prev_lsn=prev_lsn,
+            undo_next_lsn=undo_next_lsn, redo=redo, undo=undo, extra=extra,
+        )
+        return record, pos
+
+    @staticmethod
+    def parse_stream(data: bytes) -> Iterator[Tuple[int, "LogRecord"]]:
+        """Yield ``(offset, record)`` for every record in ``data``."""
+        offset = 0
+        end = len(data)
+        while offset < end:
+            record, offset_next = LogRecord.from_bytes(data, offset)
+            yield offset, record
+            offset = offset_next
+
+
+# ----------------------------------------------------------------------
+# checkpoint payloads
+# ----------------------------------------------------------------------
+_CKPT_HDR = struct.Struct("<HH")
+_DPT_ENTRY = struct.Struct("<IQQ")     # page_id, rec_lsn, rec_addr_offset
+_TT_ENTRY = struct.Struct("<QQB")      # txn_id, last_lsn, state
+
+
+@dataclass
+class CheckpointData:
+    """Serializable content of an END_CHECKPOINT record.
+
+    ``dirty_pages`` maps page_id -> (RecLSN, RecAddr offset): the LSN of
+    the first update that dirtied the page plus the local-log byte
+    offset of that record (the paper's RecAddr, Section 3.2.2, which
+    bounds where the restart redo scan must begin).
+
+    ``transactions`` maps txn_id -> (last_lsn, state) for in-flight
+    transactions, where ``state`` is 0 = active, 1 = committing.
+    """
+
+    dirty_pages: Dict[int, Tuple[Lsn, int]] = field(default_factory=dict)
+    transactions: Dict[int, Tuple[Lsn, int]] = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        parts: List[bytes] = [
+            _CKPT_HDR.pack(len(self.dirty_pages), len(self.transactions))
+        ]
+        for page_id in sorted(self.dirty_pages):
+            rec_lsn, rec_addr = self.dirty_pages[page_id]
+            parts.append(_DPT_ENTRY.pack(page_id, rec_lsn, rec_addr))
+        for txn_id in sorted(self.transactions):
+            last_lsn, state = self.transactions[txn_id]
+            parts.append(_TT_ENTRY.pack(txn_id, last_lsn, state))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CheckpointData":
+        n_dpt, n_tt = _CKPT_HDR.unpack_from(data, 0)
+        pos = _CKPT_HDR.size
+        dirty: Dict[int, Tuple[Lsn, int]] = {}
+        for _ in range(n_dpt):
+            page_id, rec_lsn, rec_addr = _DPT_ENTRY.unpack_from(data, pos)
+            dirty[page_id] = (rec_lsn, rec_addr)
+            pos += _DPT_ENTRY.size
+        txns: Dict[int, Tuple[Lsn, int]] = {}
+        for _ in range(n_tt):
+            txn_id, last_lsn, state = _TT_ENTRY.unpack_from(data, pos)
+            txns[txn_id] = (last_lsn, state)
+            pos += _TT_ENTRY.size
+        return cls(dirty_pages=dirty, transactions=txns)
+
+
+# Convenience constructors ------------------------------------------------
+
+def make_update(
+    txn_id: int,
+    system_id: int,
+    page_id: int,
+    slot: int,
+    redo: bytes,
+    undo: bytes,
+    prev_lsn: Lsn = 0,
+) -> LogRecord:
+    """An ordinary redo/undo page update record."""
+    return LogRecord(
+        kind=RecordKind.UPDATE, txn_id=txn_id, system_id=system_id,
+        page_id=page_id, slot=slot, redo=redo, undo=undo, prev_lsn=prev_lsn,
+    )
+
+
+def make_clr(
+    txn_id: int,
+    system_id: int,
+    page_id: int,
+    slot: int,
+    redo: bytes,
+    undo_next_lsn: Lsn,
+    prev_lsn: Lsn = 0,
+) -> LogRecord:
+    """A compensation log record: redo-only, never undone."""
+    return LogRecord(
+        kind=RecordKind.CLR, txn_id=txn_id, system_id=system_id,
+        page_id=page_id, slot=slot, redo=redo,
+        undo_next_lsn=undo_next_lsn, prev_lsn=prev_lsn,
+    )
+
+
+def make_format(
+    txn_id: int,
+    system_id: int,
+    page_id: int,
+    page_type: int,
+    prev_lsn: Lsn = 0,
+) -> LogRecord:
+    """A page-format record, written when (re)allocating a page.
+
+    Redo-only: formatting wipes the page, so there is nothing to undo at
+    the page level (deallocation of the page is what gets undone, via
+    the covering SMP_UPDATE record).
+    """
+    return LogRecord(
+        kind=RecordKind.FORMAT_PAGE, txn_id=txn_id, system_id=system_id,
+        page_id=page_id, slot=NO_SLOT,
+        redo=encode_op(PageOp.FORMAT, bytes([page_type])), prev_lsn=prev_lsn,
+    )

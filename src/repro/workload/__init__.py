@@ -1,0 +1,21 @@
+"""Workload generation and interleaved execution drivers."""
+
+from repro.workload.generator import (
+    OpKind,
+    TxnScript,
+    WorkloadConfig,
+    build_scripts,
+    populate_pages,
+    run_interleaved_cs,
+    run_interleaved_sd,
+)
+
+__all__ = [
+    "OpKind",
+    "TxnScript",
+    "WorkloadConfig",
+    "build_scripts",
+    "populate_pages",
+    "run_interleaved_cs",
+    "run_interleaved_sd",
+]

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CsSystem, SDComplex
+
+
+@pytest.fixture
+def sd():
+    """A two-instance shared-disks complex."""
+    complex_ = SDComplex(n_data_pages=512)
+    complex_.add_instance(1)
+    complex_.add_instance(2)
+    return complex_
+
+
+@pytest.fixture
+def sd3():
+    """A three-instance shared-disks complex."""
+    complex_ = SDComplex(n_data_pages=512)
+    for system_id in (1, 2, 3):
+        complex_.add_instance(system_id)
+    return complex_
+
+
+@pytest.fixture
+def cs():
+    """A client-server system with two clients."""
+    system = CsSystem(n_data_pages=512)
+    system.add_client(1)
+    system.add_client(2)
+    return system

@@ -1,0 +1,374 @@
+"""Tests for the B-tree access method on the multi-system engine."""
+
+import random
+
+import pytest
+
+from repro import SDComplex
+from repro.access.btree import BTree
+
+
+@pytest.fixture
+def env():
+    sd = SDComplex(n_data_pages=1024)
+    s1 = sd.add_instance(1)
+    s2 = sd.add_instance(2)
+    txn = s1.begin()
+    tree = BTree.create(s1, txn, fanout=8)
+    s1.commit(txn)
+    return sd, s1, s2, tree
+
+
+def key(i):
+    return b"k%06d" % i
+
+
+class TestBasics:
+    def test_insert_and_search(self, env):
+        sd, s1, _, tree = env
+        txn = s1.begin()
+        tree.insert(s1, txn, b"alpha", b"1")
+        tree.insert(s1, txn, b"beta", b"2")
+        s1.commit(txn)
+        txn = s1.begin()
+        assert tree.search(s1, txn, b"alpha") == b"1"
+        assert tree.search(s1, txn, b"beta") == b"2"
+        assert tree.search(s1, txn, b"gamma") is None
+        s1.commit(txn)
+
+    def test_overwrite_existing_key(self, env):
+        sd, s1, _, tree = env
+        txn = s1.begin()
+        tree.insert(s1, txn, b"k", b"old")
+        tree.insert(s1, txn, b"k", b"new")
+        s1.commit(txn)
+        txn = s1.begin()
+        assert tree.search(s1, txn, b"k") == b"new"
+        s1.commit(txn)
+
+    def test_empty_key_rejected(self, env):
+        sd, s1, _, tree = env
+        txn = s1.begin()
+        with pytest.raises(ValueError):
+            tree.insert(s1, txn, b"", b"v")
+        s1.rollback(txn)
+
+    def test_scan_in_key_order(self, env):
+        sd, s1, _, tree = env
+        keys = [key(i) for i in (5, 1, 9, 3, 7)]
+        txn = s1.begin()
+        for k in keys:
+            tree.insert(s1, txn, k, b"v" + k)
+        s1.commit(txn)
+        txn = s1.begin()
+        scanned = [k for k, _ in tree.scan(s1, txn)]
+        s1.commit(txn)
+        assert scanned == sorted(keys)
+
+    def test_delete(self, env):
+        sd, s1, _, tree = env
+        txn = s1.begin()
+        tree.insert(s1, txn, b"a", b"1")
+        assert tree.delete(s1, txn, b"a")
+        assert not tree.delete(s1, txn, b"missing")
+        s1.commit(txn)
+        txn = s1.begin()
+        assert tree.search(s1, txn, b"a") is None
+        s1.commit(txn)
+
+
+class TestSplits:
+    def test_grows_beyond_one_page(self, env):
+        sd, s1, _, tree = env
+        txn = s1.begin()
+        for i in range(100):
+            tree.insert(s1, txn, key(i), b"v%d" % i)
+        s1.commit(txn)
+        assert tree.depth(s1) >= 2
+        txn = s1.begin()
+        for i in range(100):
+            assert tree.search(s1, txn, key(i)) == b"v%d" % i
+        s1.commit(txn)
+
+    def test_root_page_id_stable_across_splits(self, env):
+        sd, s1, _, tree = env
+        root_before = tree.root_page_id
+        txn = s1.begin()
+        for i in range(100):
+            tree.insert(s1, txn, key(i), b"v")
+        s1.commit(txn)
+        assert tree.root_page_id == root_before
+
+    def test_random_order_inserts(self, env):
+        sd, s1, _, tree = env
+        rng = random.Random(7)
+        keys = [key(i) for i in range(150)]
+        rng.shuffle(keys)
+        txn = s1.begin()
+        for k in keys:
+            tree.insert(s1, txn, k, k.upper())
+        s1.commit(txn)
+        txn = s1.begin()
+        scanned = [k for k, _ in tree.scan(s1, txn)]
+        s1.commit(txn)
+        assert scanned == sorted(keys)
+
+
+class TestEmptyLeafReuse:
+    def test_emptied_leaf_is_deallocated(self, env):
+        sd, s1, _, tree = env
+        txn = s1.begin()
+        for i in range(40):
+            tree.insert(s1, txn, key(i), b"v")
+        s1.commit(txn)
+        assert tree.depth(s1) >= 2
+        allocated_before = sum(
+            1 for pid in range(sd.space_map.data_start,
+                               sd.space_map.data_start + 100)
+            if s1.is_allocated(pid)
+        )
+        txn = s1.begin()
+        for i in range(40):
+            tree.delete(s1, txn, key(i))
+        s1.commit(txn)
+        allocated_after = sum(
+            1 for pid in range(sd.space_map.data_start,
+                               sd.space_map.data_start + 100)
+            if s1.is_allocated(pid)
+        )
+        assert allocated_after < allocated_before
+
+    def test_reuse_after_mass_removal(self, env):
+        """Delete everything, then refill: splits reallocate the freed
+        pages read-free (the paper's index-page churn)."""
+        sd, s1, _, tree = env
+        txn = s1.begin()
+        for i in range(60):
+            tree.insert(s1, txn, key(i), b"v1")
+        s1.commit(txn)
+        txn = s1.begin()
+        for i in range(60):
+            tree.delete(s1, txn, key(i))
+        s1.commit(txn)
+        avoided_before = sd.stats.get("storage.page_reads_avoided")
+        txn = s1.begin()
+        for i in range(60):
+            tree.insert(s1, txn, key(i), b"v2")
+        s1.commit(txn)
+        assert sd.stats.get("storage.page_reads_avoided") > avoided_before
+        txn = s1.begin()
+        assert tree.search(s1, txn, key(30)) == b"v2"
+        s1.commit(txn)
+
+
+class TestMultiSystem:
+    def test_tree_shared_across_systems(self, env):
+        sd, s1, s2, tree = env
+        txn = s1.begin()
+        tree.insert(s1, txn, b"from-s1", b"1")
+        s1.commit(txn)
+        handle = BTree(tree.root_page_id, fanout=tree.fanout)
+        txn = s2.begin()
+        assert handle.search(s2, txn, b"from-s1") == b"1"
+        handle.insert(s2, txn, b"from-s2", b"2")
+        s2.commit(txn)
+        txn = s1.begin()
+        assert tree.search(s1, txn, b"from-s2") == b"2"
+        s1.commit(txn)
+
+    def test_alternating_inserts_with_splits(self, env):
+        sd, s1, s2, tree = env
+        systems = (s1, s2)
+        for i in range(80):
+            instance = systems[i % 2]
+            txn = instance.begin()
+            tree.insert(instance, txn, key(i), b"s%d" % (i % 2))
+            instance.commit(txn)
+        txn = s1.begin()
+        assert len(list(tree.scan(s1, txn))) == 80
+        s1.commit(txn)
+
+
+class TestRecovery:
+    def test_tree_survives_crash(self, env):
+        sd, s1, s2, tree = env
+        txn = s1.begin()
+        for i in range(50):
+            tree.insert(s1, txn, key(i), b"v%d" % i)
+        s1.commit(txn)
+        sd.crash_instance(1)
+        sd.restart_instance(1)
+        reopened = BTree(tree.root_page_id, fanout=tree.fanout)
+        txn = s2.begin()
+        for i in range(50):
+            assert reopened.search(s2, txn, key(i)) == b"v%d" % i
+        s2.commit(txn)
+
+    def test_uncommitted_inserts_rolled_back_at_restart(self, env):
+        sd, s1, s2, tree = env
+        txn = s1.begin()
+        tree.insert(s1, txn, b"durable", b"1")
+        s1.commit(txn)
+        loser = s1.begin()
+        tree.insert(s1, loser, b"ghost", b"2")
+        s1.pool.flush_all()     # steal the dirty index pages
+        sd.crash_instance(1)
+        sd.restart_instance(1)
+        reopened = BTree(tree.root_page_id, fanout=tree.fanout)
+        txn = s2.begin()
+        assert reopened.search(s2, txn, b"durable") == b"1"
+        assert reopened.search(s2, txn, b"ghost") is None
+        s2.commit(txn)
+
+    def test_rollback_of_split_restores_structure(self, env):
+        sd, s1, _, tree = env
+        txn = s1.begin()
+        for i in range(7):
+            tree.insert(s1, txn, key(i), b"v")
+        s1.commit(txn)
+        depth_before = tree.depth(s1)
+        loser = s1.begin()
+        for i in range(100, 140):
+            tree.insert(s1, loser, key(i), b"x")
+        assert tree.depth(s1) > depth_before
+        s1.rollback(loser)
+        assert tree.depth(s1) == depth_before
+        txn = s1.begin()
+        scanned = [k for k, _ in tree.scan(s1, txn)]
+        s1.commit(txn)
+        assert scanned == [key(i) for i in range(7)]
+
+
+class TestBTreeOnClientServer:
+    """The same B-tree code runs against CS clients — the engines share
+    the page-access and record-operation protocols."""
+
+    def make_cs(self):
+        from repro import CsSystem
+        cs = CsSystem(n_data_pages=1024)
+        return cs, cs.add_client(1), cs.add_client(2)
+
+    def test_insert_search_on_client(self):
+        cs, c1, c2 = self.make_cs()
+        txn = c1.begin()
+        tree = BTree.create(c1, txn, fanout=8)
+        for i in range(50):
+            tree.insert(c1, txn, key(i), b"v%d" % i)
+        c1.commit(txn)
+        txn = c1.begin()
+        for i in range(50):
+            assert tree.search(c1, txn, key(i)) == b"v%d" % i
+        c1.commit(txn)
+
+    def test_tree_shared_across_clients(self):
+        cs, c1, c2 = self.make_cs()
+        txn = c1.begin()
+        tree = BTree.create(c1, txn, fanout=8)
+        tree.insert(c1, txn, b"alice", b"1")
+        c1.commit(txn)
+        handle = BTree(tree.root_page_id, fanout=8)
+        txn = c2.begin()
+        assert handle.search(c2, txn, b"alice") == b"1"
+        handle.insert(c2, txn, b"bob", b"2")
+        c2.commit(txn)
+        txn = c1.begin()
+        assert tree.search(c1, txn, b"bob") == b"2"
+        c1.commit(txn)
+
+    def test_tree_survives_client_crash(self):
+        cs, c1, c2 = self.make_cs()
+        txn = c1.begin()
+        tree = BTree.create(c1, txn, fanout=8)
+        for i in range(30):
+            tree.insert(c1, txn, key(i), b"v")
+        c1.commit(txn)
+        cs.crash_client(1)
+        cs.recover_client(1)
+        handle = BTree(tree.root_page_id, fanout=8)
+        txn = c2.begin()
+        assert [k for k, _ in handle.scan(c2, txn)] == \
+            [key(i) for i in range(30)]
+        c2.commit(txn)
+
+
+class TestRangeScan:
+    def test_closed_range(self, env):
+        sd, s1, _, tree = env
+        txn = s1.begin()
+        for i in range(60):
+            tree.insert(s1, txn, key(i), b"v")
+        s1.commit(txn)
+        txn = s1.begin()
+        got = [k for k, _ in tree.range_scan(s1, txn, key(10), key(20))]
+        s1.commit(txn)
+        assert got == [key(i) for i in range(10, 20)]
+
+    def test_open_ended_ranges(self, env):
+        sd, s1, _, tree = env
+        txn = s1.begin()
+        for i in range(30):
+            tree.insert(s1, txn, key(i), b"v")
+        s1.commit(txn)
+        txn = s1.begin()
+        assert [k for k, _ in tree.range_scan(s1, txn, lo=key(25))] == \
+            [key(i) for i in range(25, 30)]
+        assert [k for k, _ in tree.range_scan(s1, txn, hi=key(5))] == \
+            [key(i) for i in range(5)]
+        assert len(list(tree.range_scan(s1, txn))) == 30
+        s1.commit(txn)
+
+    def test_empty_and_inverted_ranges(self, env):
+        sd, s1, _, tree = env
+        txn = s1.begin()
+        tree.insert(s1, txn, b"m", b"v")
+        s1.commit(txn)
+        txn = s1.begin()
+        assert list(tree.range_scan(s1, txn, b"x", b"z")) == []
+        assert list(tree.range_scan(s1, txn, b"z", b"a")) == []
+        s1.commit(txn)
+
+    def test_range_matches_filtered_full_scan(self, env):
+        import random as _random
+        sd, s1, _, tree = env
+        rng = _random.Random(11)
+        keys = sorted({key(rng.randrange(500)) for _ in range(120)})
+        txn = s1.begin()
+        for k in keys:
+            tree.insert(s1, txn, k, b"v")
+        s1.commit(txn)
+        txn = s1.begin()
+        lo, hi = key(100), key(400)
+        expected = [k for k in keys if lo <= k < hi]
+        got = [k for k, _ in tree.range_scan(s1, txn, lo, hi)]
+        s1.commit(txn)
+        assert got == expected
+
+
+class TestRoutingAfterChildRemoval:
+    def test_lower_bound_survives_middle_child_removal(self, env):
+        """Regression (found by the soak test): removing an inner
+        node's lowest child must hand its separator to the next child,
+        or keys in the gap become unroutable."""
+        sd, s1, _, tree = env
+        txn = s1.begin()
+        for i in range(64):
+            tree.insert(s1, txn, key(i), b"v")
+        s1.commit(txn)
+        assert tree.depth(s1) >= 3   # needs inner nodes below the root
+        # Carve a hole in the middle, emptying several leaves.
+        txn = s1.begin()
+        for i in range(16, 48):
+            tree.delete(s1, txn, key(i))
+        s1.commit(txn)
+        # Every key in the hole must still be routable (to a miss) and
+        # re-insertable.
+        txn = s1.begin()
+        for i in range(16, 48):
+            assert tree.search(s1, txn, key(i)) is None
+        for i in range(16, 48):
+            tree.insert(s1, txn, key(i), b"again")
+        s1.commit(txn)
+        txn = s1.begin()
+        assert [k for k, _ in tree.scan(s1, txn)] == \
+            [key(i) for i in range(64)]
+        s1.commit(txn)

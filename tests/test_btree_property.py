@@ -1,0 +1,92 @@
+"""Model-based property tests for the B-tree.
+
+Hypothesis drives random insert/overwrite/delete sequences (with
+occasional crash/restart) against a dict oracle; the tree must agree on
+membership, values, and in-order iteration.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import BTree, SDComplex
+
+
+def ops_strategy():
+    key = st.integers(0, 60)
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), key, st.integers(0, 255)),
+            st.tuples(st.just("delete"), key, st.just(0)),
+            st.tuples(st.just("crash"), st.just(0), st.just(0)),
+        ),
+        min_size=1, max_size=80,
+    )
+
+
+def encode_key(i):
+    return b"k%04d" % i
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=ops_strategy())
+def test_property_btree_matches_dict_model(ops):
+    sd = SDComplex(n_data_pages=1024)
+    s1 = sd.add_instance(1)
+    txn = s1.begin()
+    tree = BTree.create(s1, txn, fanout=6)
+    s1.commit(txn)
+
+    model = {}
+    for kind, k, v in ops:
+        if kind == "insert":
+            txn = s1.begin()
+            tree.insert(s1, txn, encode_key(k), bytes([v]))
+            s1.commit(txn)
+            model[encode_key(k)] = bytes([v])
+        elif kind == "delete":
+            txn = s1.begin()
+            existed = tree.delete(s1, txn, encode_key(k))
+            s1.commit(txn)
+            assert existed == (encode_key(k) in model)
+            model.pop(encode_key(k), None)
+        elif kind == "crash":
+            sd.crash_instance(1)
+            sd.restart_instance(1)
+            tree = BTree(tree.root_page_id, fanout=6)
+
+    txn = s1.begin()
+    scanned = list(tree.scan(s1, txn))
+    for key, value in model.items():
+        assert tree.search(s1, txn, key) == value
+    s1.commit(txn)
+    assert dict(scanned) == model
+    assert [k for k, _ in scanned] == sorted(model)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 200), min_size=1, max_size=120,
+                  unique=True),
+    crash_at=st.integers(0, 119),
+)
+def test_property_committed_inserts_survive_crash(keys, crash_at):
+    """Durability for the index: everything committed before an
+    arbitrary crash point is present afterwards."""
+    sd = SDComplex(n_data_pages=1024)
+    s1 = sd.add_instance(1)
+    txn = s1.begin()
+    tree = BTree.create(s1, txn, fanout=6)
+    s1.commit(txn)
+    committed = []
+    for i, k in enumerate(keys):
+        if i == crash_at:
+            sd.crash_instance(1)
+            sd.restart_instance(1)
+        txn = s1.begin()
+        tree.insert(s1, txn, encode_key(k), b"v")
+        s1.commit(txn)
+        committed.append(encode_key(k))
+    sd.crash_instance(1)
+    sd.restart_instance(1)
+    txn = s1.begin()
+    assert [k for k, _ in tree.scan(s1, txn)] == sorted(committed)
+    s1.commit(txn)

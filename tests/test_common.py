@@ -1,0 +1,117 @@
+"""Unit tests for the foundational types in repro.common."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import SkewedClock
+from repro.common.config import NULL_LSN
+from repro.common.lsn import (
+    LogAddress,
+    NULL_LOG_ADDRESS,
+    is_null_address,
+    max_lsn,
+)
+from repro.common.stats import StatsRegistry
+
+
+class TestSkewedClock:
+    def test_offset_and_rate(self):
+        clock = SkewedClock(offset=100.0, rate=2.0)
+        assert clock.now() == 100.0
+        clock.tick(5)
+        assert clock.now() == 110.0
+        assert clock.ticks == 5
+
+    def test_monotone_under_positive_rate(self):
+        clock = SkewedClock(offset=-3.0, rate=0.5)
+        readings = []
+        for _ in range(10):
+            readings.append(clock.now())
+            clock.tick()
+        assert readings == sorted(readings)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            SkewedClock(rate=0)
+        with pytest.raises(ValueError):
+            SkewedClock(rate=-1)
+
+    def test_negative_tick_rejected(self):
+        clock = SkewedClock()
+        with pytest.raises(ValueError):
+            clock.tick(-1)
+
+    def test_determinism(self):
+        a, b = SkewedClock(7.0, 1.5), SkewedClock(7.0, 1.5)
+        for _ in range(4):
+            a.tick()
+            b.tick()
+        assert a.now() == b.now()
+
+
+class TestLogAddress:
+    def test_ordering_within_system(self):
+        assert LogAddress(1, 10) < LogAddress(1, 20)
+        assert LogAddress(1, 20) <= LogAddress(1, 20)
+
+    def test_advance(self):
+        addr = LogAddress(3, 100)
+        assert addr.advance(48) == LogAddress(3, 148)
+        assert addr == LogAddress(3, 100)  # frozen
+
+    def test_null_sentinel(self):
+        assert is_null_address(NULL_LOG_ADDRESS)
+        assert not is_null_address(LogAddress(0, 0))
+
+    def test_hashable(self):
+        assert len({LogAddress(1, 0), LogAddress(1, 0),
+                    LogAddress(2, 0)}) == 2
+
+
+class TestLsnHelpers:
+    def test_max_lsn(self):
+        assert max_lsn([3, 9, 1]) == 9
+        assert max_lsn([]) == NULL_LSN
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 2**63)))
+    def test_property_max_lsn_matches_builtin(self, values):
+        assert max_lsn(values) == (max(values) if values else NULL_LSN)
+
+
+class TestStatsRegistry:
+    def test_incr_and_get(self):
+        stats = StatsRegistry()
+        stats.incr("x")
+        stats.incr("x", 4)
+        assert stats.get("x") == 5
+        assert stats.get("never") == 0
+
+    def test_negative_rejected(self):
+        stats = StatsRegistry()
+        with pytest.raises(ValueError):
+            stats.incr("x", -1)
+
+    def test_snapshot_isolated(self):
+        stats = StatsRegistry()
+        stats.incr("a")
+        snap = stats.snapshot()
+        stats.incr("a")
+        assert snap == {"a": 1}
+        assert stats.get("a") == 2
+
+    def test_diff(self):
+        stats = StatsRegistry()
+        stats.incr("a", 2)
+        before = stats.snapshot()
+        stats.incr("a", 3)
+        stats.incr("b")
+        assert stats.diff(before) == {"a": 3, "b": 1}
+
+    def test_reset_and_iter(self):
+        stats = StatsRegistry()
+        stats.incr("b")
+        stats.incr("a")
+        assert list(stats) == [("a", 1), ("b", 1)]
+        stats.reset()
+        assert stats.snapshot() == {}

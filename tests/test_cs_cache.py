@@ -1,0 +1,93 @@
+"""Tests for the bounded client page cache (LRU, dirty write-back)."""
+
+import pytest
+
+from repro import CsSystem
+
+
+def system_with_bounded_client(capacity=3):
+    cs = CsSystem(n_data_pages=256)
+    client = cs.add_client(1, cache_capacity=capacity)
+    return cs, client
+
+
+def make_rows(client, n_pages):
+    txn = client.begin()
+    handles = []
+    for _ in range(n_pages):
+        page_id = client.allocate_page(txn)
+        slot = client.insert(txn, page_id, b"row")
+        handles.append((page_id, slot))
+    client.commit(txn)
+    return handles
+
+
+class TestEviction:
+    def test_cache_respects_capacity(self):
+        cs, client = system_with_bounded_client(capacity=3)
+        make_rows(client, 6)
+        assert len(client.cache) <= 3
+
+    def test_dirty_victim_shipped_to_server(self):
+        cs, client = system_with_bounded_client(capacity=2)
+        handles = make_rows(client, 5)
+        # Evicted dirty pages must have reached the server pool/disk.
+        for page_id, slot in handles:
+            if page_id not in client.cache:
+                page = cs.server.pool.fix(page_id)
+                try:
+                    assert page.read_record(slot) == b"row"
+                finally:
+                    cs.server.pool.unfix(page_id)
+
+    def test_evicted_page_refetchable(self):
+        cs, client = system_with_bounded_client(capacity=2)
+        handles = make_rows(client, 5)
+        txn = client.begin()
+        for page_id, slot in handles:
+            assert client.read(txn, page_id, slot) == b"row"
+        client.commit(txn)
+
+    def test_lru_order(self):
+        cs, client = system_with_bounded_client(capacity=0)
+        handles = make_rows(client, 3)
+        client.cache_capacity = 4  # SMP page + 3 data pages
+        txn = client.begin()
+        client.read(txn, handles[0][0], handles[0][1])  # touch page 0
+        client.commit(txn)
+        # Force an eviction by fetching something new.
+        txn = client.begin()
+        new_page = client.allocate_page(txn)
+        client.commit(txn)
+        assert handles[0][0] in client.cache, "recently-used page kept"
+
+    def test_unbounded_by_default(self):
+        cs = CsSystem(n_data_pages=256)
+        client = cs.add_client(1)
+        make_rows(client, 10)
+        assert len(client.cache) > 10  # data pages + SMP
+
+    def test_negative_capacity_rejected(self):
+        cs = CsSystem(n_data_pages=128)
+        with pytest.raises(ValueError):
+            cs.add_client(1, cache_capacity=-1)
+
+    def test_crash_recovery_with_bounded_cache(self):
+        cs, client = system_with_bounded_client(capacity=2)
+        handles = make_rows(client, 5)
+        txn = client.begin()
+        client.update(txn, handles[0][0], handles[0][1], b"newer")
+        client.commit(txn)
+        cs.crash_client(1)
+        cs.recover_client(1)
+        cs.quiesce()
+        assert cs.server.disk.read_page(handles[0][0]) \
+            .read_record(handles[0][1]) == b"newer"
+
+    def test_send_back_releases_server_registration(self):
+        cs, client = system_with_bounded_client(capacity=0)
+        handles = make_rows(client, 1)
+        page_id = handles[0][0]
+        assert cs.server._writer.get(page_id) == 1
+        client.send_page_back(page_id)
+        assert cs.server._writer.get(page_id) is None

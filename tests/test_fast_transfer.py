@@ -1,0 +1,218 @@
+"""Tests for the fast page-transfer scheme (paper Section 5 extension).
+
+Under "fast", a dirty page moves between buffer pools memory-to-memory
+(after the sender forces its log) with no intermediate disk write;
+restart recovery of a failed instance then redoes its pages from the
+merged local logs.
+"""
+
+import pytest
+
+from repro import SDComplex
+from repro.common.stats import DISK_PAGE_WRITES
+
+
+def fast_complex(n=2):
+    sd = SDComplex(n_data_pages=256, transfer_scheme="fast")
+    instances = [sd.add_instance(i + 1) for i in range(n)]
+    return sd, instances
+
+
+def committed_row(instance, payload=b"v0"):
+    txn = instance.begin()
+    page_id = instance.allocate_page(txn)
+    slot = instance.insert(txn, page_id, payload)
+    instance.commit(txn)
+    return page_id, slot
+
+
+class TestTransfer:
+    def test_dirty_transfer_skips_disk_write(self):
+        sd, (s1, s2) = fast_complex()
+        page_id, slot = committed_row(s1)
+        writes_before = sd.stats.get(DISK_PAGE_WRITES)
+        txn = s2.begin()
+        s2.update(txn, page_id, slot, b"x")
+        s2.commit(txn)
+        assert sd.stats.get(DISK_PAGE_WRITES) == writes_before
+        assert sd.disk.page_lsn_on_disk(page_id) is None  # never written
+
+    def test_senders_log_forced_before_transfer(self):
+        sd, (s1, s2) = fast_complex()
+        page_id, slot = committed_row(s1)
+        setup = s1.begin()
+        other_slot = s1.insert(setup, page_id, b"other")
+        s1.commit(setup)
+        # Dirty the page with an *uncommitted* update, then transfer.
+        txn = s1.begin()
+        s1.update(txn, page_id, slot, b"uncommitted")
+        update_end = s1.pool.bcb(page_id).last_update_end
+        assert not s1.log.is_stable(update_end)
+        t2 = s2.begin()
+        # Record locking lets S2 read the *other* record; the page copy
+        # it receives still carries S1's uncommitted bytes, so S1's log
+        # must be forced first.
+        assert s2.read(t2, page_id, other_slot) == b"other"
+        s2.commit(t2)
+        assert s1.log.is_stable(update_end)
+        s1.commit(txn)
+
+    def test_dirty_status_travels_with_page(self):
+        sd, (s1, s2) = fast_complex()
+        page_id, slot = committed_row(s1)
+        assert s1.pool.is_dirty(page_id)
+        txn = s2.begin()
+        s2.update(txn, page_id, slot, b"x")
+        s2.commit(txn)
+        assert not s1.pool.contains(page_id)
+        assert s2.pool.is_dirty(page_id)
+
+    def test_fast_read_leaves_writer_in_place(self):
+        sd, (s1, s2) = fast_complex()
+        page_id, slot = committed_row(s1)
+        txn = s2.begin()
+        assert s2.read(txn, page_id, slot) == b"v0"
+        s2.commit(txn)
+        assert sd.coherency.writer_of(page_id) == 1
+        assert s1.pool.is_dirty(page_id)
+
+    def test_receiver_can_evict_transferred_dirty_page(self):
+        """WAL at the receiver: the covering records are stable in the
+        sender's log, so the receiver may write the page freely."""
+        sd, (s1, s2) = fast_complex()
+        page_id, slot = committed_row(s1)
+        txn = s2.begin()
+        s2.update(txn, page_id, slot, b"x")
+        s2.commit(txn)
+        s2.pool.write_page(page_id)   # must not raise
+        assert sd.disk.read_page(page_id).read_record(slot) == b"x"
+
+
+class TestFastRestart:
+    def test_migrated_never_written_page_recovers_via_merged_logs(self):
+        """The defining scenario: updates from two systems on a page
+        that never reached disk; the second system crashes; redo needs
+        BOTH logs."""
+        sd, (s1, s2) = fast_complex()
+        page_id, slot = committed_row(s1, b"from-s1")
+        txn = s2.begin()
+        s2.update(txn, page_id, slot, b"from-s2")
+        s2.commit(txn)
+        assert sd.disk.page_lsn_on_disk(page_id) is None
+        sd.crash_instance(2)
+        summary = sd.restart_instance(2)
+        page = sd.disk.read_page(page_id)
+        assert page.read_record(slot) == b"from-s2"
+        # Redo replayed records from s1's log too (format+insert).
+        assert summary.records_redone >= 3
+
+    def test_uncommitted_migrated_update_undone(self):
+        sd, (s1, s2) = fast_complex()
+        page_id, slot = committed_row(s1, b"good")
+        txn = s2.begin()
+        s2.update(txn, page_id, slot, b"BAD")
+        s2.log.force()   # records stable, txn uncommitted
+        sd.crash_instance(2)
+        summary = sd.restart_instance(2)
+        assert summary.loser_transactions == 1
+        assert sd.disk.read_page(page_id).read_record(slot) == b"good"
+
+    def test_undo_reaches_page_living_at_another_system(self):
+        """Loser's page migrated onward before the crash: undo must
+        fetch the current version via coherency."""
+        sd, (s1, s2) = fast_complex()
+        page_id, slot_a = committed_row(s1, b"keep")
+        # S1 starts a txn, inserts a record, and the page migrates to
+        # S2 (with S1's uncommitted insert on it) via S2's own update.
+        t1 = s1.begin()
+        slot_b = s1.insert(t1, page_id, b"uncommitted")
+        t2 = s2.begin()
+        slot_c = s2.insert(t2, page_id, b"s2-row")
+        s2.commit(t2)
+        assert sd.coherency.writer_of(page_id) == 2
+        # Now S1 crashes with t1 in flight; its insert lives in S2's
+        # buffered page version.
+        s1.log.force()
+        sd.crash_instance(1)
+        sd.restart_instance(1)
+        # S2 flushes; the page must keep committed rows, lose t1's.
+        s2.pool.flush_all()
+        page = sd.disk.read_page(page_id)
+        assert page.read_record(slot_a) == b"keep"
+        assert page.read_record(slot_b) is None
+        assert page.read_record(slot_c) == b"s2-row"
+
+    def test_skip_pages_held_dirty_by_live_system(self):
+        """A page whose current version sits dirty in a live pool needs
+        no reconstruction during another system's restart."""
+        sd, (s1, s2) = fast_complex()
+        page_id, slot = committed_row(s1, b"mine")
+        other_page, other_slot = committed_row(s2, b"theirs")
+        sd.crash_instance(1)
+        sd.restart_instance(1)
+        # S2's dirty page untouched by S1's recovery.
+        assert s2.pool.is_dirty(other_page)
+        s2.pool.flush_all()
+        assert sd.disk.read_page(other_page).read_record(other_slot) \
+            == b"theirs"
+        assert sd.disk.read_page(page_id).read_record(slot) == b"mine"
+
+    def test_stale_reader_copies_dropped_after_recovery(self):
+        sd, (s1, s2) = fast_complex()
+        page_id, slot = committed_row(s1, b"v1")
+        txn = s2.begin()
+        assert s2.read(txn, page_id, slot) == b"v1"   # cached copy at S2
+        s2.commit(txn)
+        t1 = s1.begin()
+        s1.update(t1, page_id, slot, b"v2")
+        s1.commit(t1)
+        sd.crash_instance(1)
+        sd.restart_instance(1)
+        txn = s2.begin()
+        assert s2.read(txn, page_id, slot) == b"v2"   # not the stale copy
+        s2.commit(txn)
+
+    def test_whole_complex_crash_and_recovery(self):
+        sd, (s1, s2) = fast_complex()
+        rows = [committed_row(s1, b"a"), committed_row(s2, b"b")]
+        # Ping-pong so pages carry multi-system histories.
+        for i in range(4):
+            instance = (s1, s2)[i % 2]
+            txn = instance.begin()
+            instance.update(txn, rows[0][0], rows[0][1], b"p%d" % i)
+            instance.commit(txn)
+        sd.crash_complex()
+        sd.restart_complex()
+        assert sd.disk.read_page(rows[0][0]).read_record(rows[0][1]) == b"p3"
+        assert sd.disk.read_page(rows[1][0]).read_record(rows[1][1]) == b"b"
+
+    def test_restart_idempotent(self):
+        sd, (s1, s2) = fast_complex()
+        page_id, slot = committed_row(s1, b"v")
+        txn = s2.begin()
+        s2.update(txn, page_id, slot, b"w")
+        s2.commit(txn)
+        for _ in range(2):
+            sd.crash_instance(2)
+            sd.restart_instance(2)
+        assert sd.disk.read_page(page_id).read_record(slot) == b"w"
+
+
+class TestSchemeComparison:
+    def test_fast_writes_less_than_medium_under_ping_pong(self):
+        def ping_pong(scheme):
+            sd = SDComplex(n_data_pages=128, transfer_scheme=scheme)
+            s1, s2 = sd.add_instance(1), sd.add_instance(2)
+            page_id, slot = committed_row(s1)
+            for i in range(10):
+                instance = (s1, s2)[i % 2]
+                txn = instance.begin()
+                instance.update(txn, page_id, slot, b"r%d" % i)
+                instance.commit(txn)
+            return sd.stats.get(DISK_PAGE_WRITES)
+
+        assert ping_pong("fast") < ping_pong("medium")
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            SDComplex(transfer_scheme="teleport")

@@ -1,0 +1,207 @@
+"""Tests for group commit (lazy commit + batched log force)."""
+
+import pytest
+
+from repro import SDComplex
+from repro.common.errors import LockWouldBlock
+from repro.common.stats import LOG_FORCES
+
+
+def fresh():
+    sd = SDComplex(n_data_pages=256)
+    return sd, sd.add_instance(1), sd.add_instance(2)
+
+
+def committed_row(instance, payload=b"v0"):
+    txn = instance.begin()
+    page_id = instance.allocate_page(txn)
+    slot = instance.insert(txn, page_id, payload)
+    instance.commit(txn)
+    return page_id, slot
+
+
+class TestBatching:
+    def test_one_force_covers_a_batch(self):
+        """Ten independent transactions, one force.  (Lazy commits keep
+        their locks until synced, so the batch touches ten distinct
+        records — the realistic group-commit shape.)"""
+        sd, s1, _ = fresh()
+        rows = [committed_row(s1, b"r%d" % i) for i in range(10)]
+        forces_before = sd.stats.get(LOG_FORCES)
+        for i, (page_id, slot) in enumerate(rows):
+            txn = s1.begin()
+            s1.update(txn, page_id, slot, b"v%d" % i)
+            s1.commit(txn, lazy=True)
+        assert sd.stats.get(LOG_FORCES) == forces_before
+        assert s1.sync_commits() == 10
+        assert sd.stats.get(LOG_FORCES) == forces_before + 1
+
+    def test_eager_commit_drains_pending(self):
+        sd, s1, _ = fresh()
+        (page_a, slot_a), (page_b, slot_b) = (committed_row(s1),
+                                              committed_row(s1))
+        txn_a = s1.begin()
+        s1.update(txn_a, page_a, slot_a, b"a")
+        s1.commit(txn_a, lazy=True)
+        txn_b = s1.begin()
+        s1.update(txn_b, page_b, slot_b, b"b")
+        s1.commit(txn_b)           # eager: forces and completes both
+        assert s1.txns.active_count() == 0
+        assert s1.sync_commits() == 0
+
+    def test_sync_with_nothing_pending_is_free(self):
+        sd, s1, _ = fresh()
+        forces_before = sd.stats.get(LOG_FORCES)
+        assert s1.sync_commits() == 0
+        assert sd.stats.get(LOG_FORCES) == forces_before
+
+
+class TestAckSemantics:
+    def test_locks_held_until_sync(self):
+        sd, s1, s2 = fresh()
+        page_id, slot = committed_row(s1)
+        txn = s1.begin()
+        s1.update(txn, page_id, slot, b"pending")
+        s1.commit(txn, lazy=True)
+        other = s2.begin()
+        with pytest.raises(LockWouldBlock):
+            s2.update(other, page_id, slot, b"blocked")
+        s1.sync_commits()
+        s2.update(other, page_id, slot, b"now-ok")
+        s2.commit(other)
+
+    def test_unsynced_lazy_commit_lost_on_crash(self):
+        """Group-commit loss semantics: a commit never acknowledged may
+        vanish — and must vanish *atomically*."""
+        sd, s1, _ = fresh()
+        page_id, slot = committed_row(s1, b"durable")
+        txn = s1.begin()
+        s1.update(txn, page_id, slot, b"unacked")
+        s1.commit(txn, lazy=True)
+        sd.crash_instance(1)
+        summary = sd.restart_instance(1)
+        assert sd.disk.read_page(page_id).read_record(slot) == b"durable"
+
+    def test_synced_lazy_commit_is_durable(self):
+        sd, s1, _ = fresh()
+        page_id, slot = committed_row(s1, b"old")
+        txn = s1.begin()
+        s1.update(txn, page_id, slot, b"grouped")
+        s1.commit(txn, lazy=True)
+        s1.sync_commits()
+        sd.crash_instance(1)
+        sd.restart_instance(1)
+        assert sd.disk.read_page(page_id).read_record(slot) == b"grouped"
+
+    def test_wal_force_stops_short_of_commit_record(self):
+        """A WAL-driven page write forces the log only through the
+        page's last *update* record; the lazy COMMIT behind it stays
+        volatile, so the transaction still rolls back at restart."""
+        sd, s1, _ = fresh()
+        page_id, slot = committed_row(s1, b"durable")
+        txn = s1.begin()
+        s1.update(txn, page_id, slot, b"unacked")
+        s1.commit(txn, lazy=True)
+        s1.pool.write_page(page_id)   # forces up to the update only
+        sd.crash_instance(1)
+        summary = sd.restart_instance(1)
+        assert summary.loser_transactions == 1
+        assert sd.disk.read_page(page_id).read_record(slot) == b"durable"
+
+    def test_externally_forced_lazy_commit_is_a_winner(self):
+        """Once the commit record reaches stable storage by *any* path,
+        restart treats the transaction as committed — acknowledgement
+        is a liveness courtesy, durability follows the log."""
+        sd, s1, _ = fresh()
+        page_id, slot = committed_row(s1, b"old")
+        txn = s1.begin()
+        s1.update(txn, page_id, slot, b"lazy-win")
+        s1.commit(txn, lazy=True)
+        s1.log.force()                # e.g. another txn's eager commit
+        sd.crash_instance(1)
+        summary = sd.restart_instance(1)
+        assert summary.loser_transactions == 0
+        assert sd.disk.read_page(page_id).read_record(slot) == b"lazy-win"
+
+
+class TestCsGroupCommit:
+    def make_cs(self):
+        from repro import CsSystem
+        cs = CsSystem(n_data_pages=256)
+        return cs, cs.add_client(1), cs.add_client(2)
+
+    def committed_row(self, client, payload=b"v0"):
+        txn = client.begin()
+        page_id = client.allocate_page(txn)
+        slot = client.insert(txn, page_id, payload)
+        client.commit(txn)
+        return page_id, slot
+
+    def test_one_ship_and_force_covers_a_batch(self):
+        cs, c1, _ = self.make_cs()
+        rows = [self.committed_row(c1, b"r%d" % i) for i in range(5)]
+        forces_before = cs.stats.get("log.forces")
+        ships_before = cs.stats.get("net.messages.log_ship")
+        for i, (page_id, slot) in enumerate(rows):
+            txn = c1.begin()
+            c1.update(txn, page_id, slot, b"v%d" % i)
+            c1.commit(txn, lazy=True)
+        assert cs.stats.get("log.forces") == forces_before
+        assert c1.sync_commits() == 5
+        assert cs.stats.get("log.forces") == forces_before + 1
+        assert cs.stats.get("net.messages.log_ship") == ships_before + 1
+
+    def test_locks_held_until_sync(self):
+        from repro.common.errors import LockWouldBlock
+        cs, c1, c2 = self.make_cs()
+        page_id, slot = self.committed_row(c1)
+        txn = c1.begin()
+        c1.update(txn, page_id, slot, b"pending")
+        c1.commit(txn, lazy=True)
+        other = c2.begin()
+        with pytest.raises(LockWouldBlock):
+            c2.update(other, page_id, slot, b"blocked")
+        c1.sync_commits()
+        c2.update(other, page_id, slot, b"ok")
+        c2.commit(other)
+
+    def test_unsynced_batch_lost_consistently_on_crash(self):
+        cs, c1, _ = self.make_cs()
+        page_id, slot = self.committed_row(c1, b"durable")
+        c1.flush_all()
+        txn = c1.begin()
+        c1.update(txn, page_id, slot, b"unacked")
+        c1.commit(txn, lazy=True)
+        cs.crash_client(1)
+        summary = cs.server.recover_client(1)
+        c1.rejoin()
+        assert summary.loser_transactions == 0   # nothing ever shipped
+        cs.quiesce()
+        assert cs.server.disk.read_page(page_id).read_record(slot) \
+            == b"durable"
+
+    def test_synced_batch_durable_across_client_crash(self):
+        cs, c1, _ = self.make_cs()
+        page_id, slot = self.committed_row(c1, b"old")
+        txn = c1.begin()
+        c1.update(txn, page_id, slot, b"batched")
+        c1.commit(txn, lazy=True)
+        c1.sync_commits()
+        cs.crash_client(1)
+        cs.recover_client(1)
+        cs.quiesce()
+        assert cs.server.disk.read_page(page_id).read_record(slot) \
+            == b"batched"
+
+    def test_eager_commit_drains_pending(self):
+        cs, c1, _ = self.make_cs()
+        (pa, sa), (pb, sb) = (self.committed_row(c1),
+                              self.committed_row(c1))
+        ta = c1.begin()
+        c1.update(ta, pa, sa, b"a")
+        c1.commit(ta, lazy=True)
+        tb = c1.begin()
+        c1.update(tb, pb, sb, b"b")
+        c1.commit(tb)
+        assert c1.txns.active_count() == 0
+        assert c1.sync_commits() == 0

@@ -1,0 +1,69 @@
+"""Tests for the experiment harness utilities."""
+
+import pytest
+
+from repro.harness.experiment import (
+    ExperimentResult,
+    Table,
+    format_factor,
+    print_banner,
+)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("a-much-longer-name", 12345)
+        lines = table.render().splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1, "all lines padded to equal width"
+
+    def test_float_formatting(self):
+        table = Table(["x"])
+        table.add_row(0.123456)
+        assert "0.123" in table.render()
+
+    def test_cell_count_enforced(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_table_renders_header(self):
+        table = Table(["only", "header"])
+        lines = table.render().splitlines()
+        assert lines[0].split() == ["only", "header"]
+
+    def test_show_prints(self, capsys):
+        table = Table(["h"])
+        table.add_row("v")
+        table.show()
+        out = capsys.readouterr().out
+        assert "h" in out and "v" in out
+
+
+class TestHelpers:
+    def test_format_factor(self):
+        assert format_factor(10, 4) == "2.5x"
+        assert format_factor(1, 0) == "inf"
+
+    def test_print_banner(self, capsys):
+        print_banner("E1", "anomaly")
+        assert "=== E1: anomaly ===" in capsys.readouterr().out
+
+
+class TestExperimentResult:
+    def test_record_and_conclude(self):
+        result = ExperimentResult("E1", "claim text")
+        result.record("metric", 42)
+        result.conclude(True)
+        assert result.measurements == {"metric": 42}
+        assert result.summary_line() == "[E1] HOLDS: claim text"
+
+    def test_fails_verdict(self):
+        result = ExperimentResult("E2", "claim").conclude(False)
+        assert "FAILS" in result.summary_line()
+
+    def test_unconcluded(self):
+        assert "N/A" in ExperimentResult("E3", "claim").summary_line()

@@ -1,0 +1,207 @@
+"""Tests for hierarchical locking, isolation levels, lock escalation."""
+
+import pytest
+
+from repro import SDComplex
+from repro.common.errors import LockWouldBlock
+from repro.locking.lock_manager import (
+    LockManager,
+    LockMode,
+    LockStatus,
+    page_lock,
+    record_lock,
+)
+
+
+def fresh(**kwargs):
+    sd = SDComplex(n_data_pages=256)
+    s1 = sd.add_instance(1, **kwargs)
+    s2 = sd.add_instance(2, **kwargs)
+    return sd, s1, s2
+
+
+def wide_row(instance, n_records=3):
+    txn = instance.begin()
+    page_id = instance.allocate_page(txn)
+    slots = [instance.insert(txn, page_id, b"r%d" % i)
+             for i in range(n_records)]
+    instance.commit(txn)
+    return page_id, slots
+
+
+class TestTryAcquire:
+    def test_grant_on_free(self):
+        lm = LockManager()
+        assert lm.try_acquire(1, page_lock(5), LockMode.X) \
+            is LockStatus.GRANTED
+
+    def test_would_block_leaves_no_queue(self):
+        lm = LockManager()
+        lm.acquire(1, page_lock(5), LockMode.X)
+        assert lm.try_acquire(2, page_lock(5), LockMode.S) \
+            is LockStatus.WOULD_BLOCK
+        assert lm.waiters(page_lock(5)) == []
+
+    def test_conversion(self):
+        lm = LockManager()
+        lm.acquire(1, page_lock(5), LockMode.IX)
+        assert lm.try_acquire(1, page_lock(5), LockMode.X) \
+            is LockStatus.GRANTED
+        assert lm.holds(1, page_lock(5), LockMode.X)
+
+    def test_conversion_blocked_by_sharer(self):
+        lm = LockManager()
+        lm.acquire(1, page_lock(5), LockMode.IX)
+        lm.acquire(2, page_lock(5), LockMode.IS)
+        assert lm.try_acquire(1, page_lock(5), LockMode.X) \
+            is LockStatus.WOULD_BLOCK
+        assert lm.holds(1, page_lock(5), LockMode.IX)  # unchanged
+
+
+class TestIntentionLocks:
+    def test_writers_take_page_ix(self):
+        sd, s1, _ = fresh()
+        page_id, slots = wide_row(s1)
+        txn = s1.begin()
+        s1.update(txn, page_id, slots[0], b"x")
+        assert sd.glm.holds(txn.txn_id, page_lock(page_id), LockMode.IX)
+        assert sd.glm.holds(txn.txn_id, record_lock(page_id, slots[0]),
+                            LockMode.X)
+        s1.commit(txn)
+
+    def test_record_writer_blocks_page_mode_writer(self):
+        """The hierarchy makes record- and page-granularity instances
+        interoperate: IX on the page conflicts with a page X."""
+        sd = SDComplex(n_data_pages=256)
+        s1 = sd.add_instance(1, lock_granularity="record")
+        s2 = sd.add_instance(2, lock_granularity="page")
+        page_id, slots = wide_row(s1)
+        t1 = s1.begin()
+        s1.update(t1, page_id, slots[0], b"x")
+        t2 = s2.begin()
+        with pytest.raises(LockWouldBlock):
+            s2.update(t2, page_id, slots[1], b"y")
+        s1.commit(t1)
+        s2.update(t2, page_id, slots[1], b"y")
+        s2.commit(t2)
+
+
+class TestIsolationLevels:
+    def test_cursor_stability_releases_read_lock(self):
+        sd, s1, s2 = fresh(isolation="cursor_stability")
+        page_id, slots = wide_row(s1)
+        reader = s1.begin()
+        s1.read(reader, page_id, slots[0])
+        writer = s2.begin()
+        s2.update(writer, page_id, slots[0], b"new")   # not blocked
+        s2.commit(writer)
+        s1.commit(reader)
+
+    def test_repeatable_read_holds_read_lock(self):
+        sd, s1, s2 = fresh(isolation="repeatable_read")
+        page_id, slots = wide_row(s1)
+        reader = s1.begin()
+        first = s1.read(reader, page_id, slots[0])
+        writer = s2.begin()
+        with pytest.raises(LockWouldBlock):
+            s2.update(writer, page_id, slots[0], b"new")
+        # Repeatable: the second read sees the same value.
+        assert s1.read(reader, page_id, slots[0]) == first
+        s1.commit(reader)
+        s2.update(writer, page_id, slots[0], b"new")
+        s2.commit(writer)
+
+    def test_read_does_not_release_callers_write_lock(self):
+        """Regression: a cursor-stability read of a record this txn has
+        already X-locked must not drop the X lock."""
+        sd, s1, s2 = fresh()
+        page_id, slots = wide_row(s1)
+        txn = s1.begin()
+        s1.update(txn, page_id, slots[0], b"mine")
+        assert s1.read(txn, page_id, slots[0]) == b"mine"
+        other = s2.begin()
+        with pytest.raises(LockWouldBlock):
+            s2.update(other, page_id, slots[0], b"steal")
+        s1.commit(txn)
+        s2.update(other, page_id, slots[0], b"steal")
+        s2.commit(other)
+
+    def test_invalid_isolation_rejected(self):
+        sd = SDComplex(n_data_pages=128)
+        with pytest.raises(ValueError):
+            sd.add_instance(1, isolation="chaos")
+
+
+class TestEscalation:
+    def test_escalates_after_threshold(self):
+        sd, s1, _ = fresh(escalation_threshold=3)
+        page_id, slots = wide_row(s1, n_records=6)
+        escalations_before = sd.stats.get("lock.escalations")
+        txn = s1.begin()
+        for slot in slots[:3]:
+            s1.update(txn, page_id, slot, b"x")
+        assert page_id in txn.escalated_pages
+        assert sd.glm.holds(txn.txn_id, page_lock(page_id), LockMode.X)
+        assert sd.stats.get("lock.escalations") == escalations_before + 1
+        # Further updates on the page take no new record locks.
+        locks_before = sd.stats.get("lock.requests")
+        s1.update(txn, page_id, slots[3], b"x")
+        assert sd.stats.get("lock.requests") == locks_before
+        s1.commit(txn)
+
+    def test_escalated_lock_blocks_other_systems(self):
+        sd, s1, s2 = fresh(escalation_threshold=2)
+        page_id, slots = wide_row(s1, n_records=4)
+        txn = s1.begin()
+        s1.update(txn, page_id, slots[0], b"x")
+        s1.update(txn, page_id, slots[1], b"x")
+        assert page_id in txn.escalated_pages
+        other = s2.begin()
+        with pytest.raises(LockWouldBlock):
+            s2.update(other, page_id, slots[3], b"y")  # untouched record!
+        s1.commit(txn)
+        s2.update(other, page_id, slots[3], b"y")
+        s2.commit(other)
+
+    def test_escalation_defeated_by_concurrent_reader(self):
+        """Opportunistic: a reader's IS lock blocks the X conversion;
+        the writer simply continues with record locks."""
+        sd, s1, s2 = fresh(escalation_threshold=2)
+        page_id, slots = wide_row(s1, n_records=4)
+        reader = s2.begin()
+        s2.read(reader, page_id, slots[3])  # leaves an IS on the page
+        txn = s1.begin()
+        s1.update(txn, page_id, slots[0], b"x")
+        s1.update(txn, page_id, slots[1], b"x")
+        assert page_id not in txn.escalated_pages
+        s1.update(txn, page_id, slots[2], b"x")  # still record-locked
+        s1.commit(txn)
+        s2.commit(reader)
+
+    def test_disabled_by_default(self):
+        sd, s1, _ = fresh()
+        page_id, slots = wide_row(s1, n_records=3)
+        txn = s1.begin()
+        for slot in slots:
+            s1.update(txn, page_id, slot, b"x")
+        assert not txn.escalated_pages
+        s1.commit(txn)
+
+    def test_threshold_validation(self):
+        sd = SDComplex(n_data_pages=128)
+        with pytest.raises(ValueError):
+            sd.add_instance(1, escalation_threshold=1)
+
+    def test_escalated_txn_recovers_after_crash(self):
+        sd, s1, _ = fresh(escalation_threshold=2)
+        page_id, slots = wide_row(s1, n_records=4)
+        txn = s1.begin()
+        s1.update(txn, page_id, slots[0], b"BAD")
+        s1.update(txn, page_id, slots[1], b"BAD")
+        s1.pool.write_page(page_id)
+        s1.log.force()
+        sd.crash_instance(1)
+        sd.restart_instance(1)
+        page = sd.disk.read_page(page_id)
+        assert page.read_record(slots[0]) == b"r0"
+        assert page.read_record(slots[1]) == b"r1"

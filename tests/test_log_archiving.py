@@ -1,0 +1,106 @@
+"""Tests for checkpoint-driven log archiving / active-log truncation."""
+
+import pytest
+
+from repro import SDComplex
+from repro.recovery.checkpoint import archive_log, log_truncation_point
+from repro.recovery.media import recover_page_from_media
+
+
+def fresh():
+    sd = SDComplex(n_data_pages=256)
+    return sd, sd.add_instance(1)
+
+
+def committed_row(instance, payload=b"v0"):
+    txn = instance.begin()
+    page_id = instance.allocate_page(txn)
+    slot = instance.insert(txn, page_id, payload)
+    instance.commit(txn)
+    return page_id, slot
+
+
+class TestTruncationPoint:
+    def test_clean_instance_truncates_to_checkpoint(self):
+        sd, s1 = fresh()
+        page_id, slot = committed_row(s1)
+        s1.pool.flush_all()
+        archived = archive_log(s1)
+        assert archived > 0
+        assert s1.log.archived_offset == s1.log.master_record_offset
+
+    def test_dirty_page_holds_the_point_back(self):
+        sd, s1 = fresh()
+        page_id, slot = committed_row(s1)   # page still dirty
+        rec_addr = s1.pool.bcb(page_id).rec_addr
+        assert log_truncation_point(s1) <= rec_addr
+        archive_log(s1)
+        assert s1.log.archived_offset <= rec_addr
+
+    def test_active_txn_holds_the_point_back(self):
+        sd, s1 = fresh()
+        page_id, slot = committed_row(s1)
+        s1.pool.flush_all()
+        txn = s1.begin()
+        s1.update(txn, page_id, slot, b"open")
+        first_offset = txn.undo_entries[0].offset
+        s1.pool.flush_all()
+        assert log_truncation_point(s1) <= first_offset
+        s1.commit(txn)
+
+    def test_cannot_archive_unforced_log(self):
+        sd, s1 = fresh()
+        committed_row(s1)
+        with pytest.raises(ValueError):
+            s1.log.archive_up_to(s1.log.end_offset + 100)
+
+
+class TestRecoveryAfterArchiving:
+    def test_restart_never_reads_the_archive(self):
+        sd, s1 = fresh()
+        page_id, slot = committed_row(s1, b"old")
+        s1.pool.flush_all()
+        archive_log(s1)
+        txn = s1.begin()
+        s1.update(txn, page_id, slot, b"new")
+        s1.commit(txn)
+        scans_before = sd.stats.get("log.archive_scans")
+        sd.crash_instance(1)
+        sd.restart_instance(1)
+        assert sd.stats.get("log.archive_scans") == scans_before
+        assert sd.disk.read_page(page_id).read_record(slot) == b"new"
+
+    def test_media_recovery_reads_the_archive_when_needed(self):
+        sd, s1 = fresh()
+        page_id, slot = committed_row(s1, b"from-archive")
+        s1.pool.flush_all()
+        archive_log(s1)
+        sd.disk.lose_page(page_id)
+        scans_before = sd.stats.get("log.archive_scans")
+        page = recover_page_from_media(page_id, None, [s1.log],
+                                       disk=sd.disk)
+        assert page.read_record(slot) == b"from-archive"
+        assert sd.stats.get("log.archive_scans") > scans_before
+
+    def test_active_log_shrinks(self):
+        sd, s1 = fresh()
+        for _ in range(5):
+            committed_row(s1)
+        s1.pool.flush_all()
+        before = s1.log.active_bytes
+        archived = archive_log(s1)
+        assert s1.log.active_bytes < before
+        assert s1.log.active_bytes + s1.log.archived_offset \
+            == s1.log.end_offset
+        assert archived == s1.log.archived_offset
+
+    def test_repeated_archiving_is_monotone(self):
+        sd, s1 = fresh()
+        offsets = []
+        for _ in range(3):
+            committed_row(s1)
+            s1.pool.flush_all()
+            archive_log(s1)
+            offsets.append(s1.log.archived_offset)
+        assert offsets == sorted(offsets)
+        assert offsets[-1] > offsets[0]

@@ -1,0 +1,169 @@
+"""Tests for media recovery: image copy + merged local logs."""
+
+import pytest
+
+from repro import SDComplex
+from repro.common.errors import MediaError
+from repro.common.stats import MERGE_COMPARISONS, StatsRegistry
+from repro.recovery.media import (
+    recover_database_from_media,
+    recover_page_from_media,
+)
+from repro.storage.image_copy import ImageCopy
+
+
+def complex_with_history():
+    """Two systems ping-pong updates to one page; plus a second page."""
+    complex_ = SDComplex(n_data_pages=128)
+    s1 = complex_.add_instance(1)
+    s2 = complex_.add_instance(2)
+    txn = s1.begin()
+    page_a = s1.allocate_page(txn)
+    slot_a = s1.insert(txn, page_a, b"a0")
+    page_b = s1.allocate_page(txn)
+    slot_b = s1.insert(txn, page_b, b"b0")
+    s1.commit(txn)
+    return complex_, s1, s2, page_a, slot_a, page_b, slot_b
+
+
+class TestSinglePage:
+    def test_recover_from_dump_plus_both_logs(self):
+        complex_, s1, s2, page_a, slot_a, _, _ = complex_with_history()
+        complex_.instances[1].pool.flush_all()
+        dump = ImageCopy.take(complex_.disk)
+        # Post-dump updates from both systems.
+        for instance, value in ((s2, b"a1"), (s1, b"a2"), (s2, b"a3")):
+            txn = instance.begin()
+            instance.update(txn, page_a, slot_a, value)
+            instance.commit(txn)
+        complex_.disk.lose_page(page_a)
+        with pytest.raises(MediaError):
+            complex_.disk.read_page(page_a)
+        page = recover_page_from_media(page_a, dump, complex_.local_logs(),
+                                       disk=complex_.disk)
+        assert page.read_record(slot_a) == b"a3"
+        assert complex_.disk.read_page(page_a).read_record(slot_a) == b"a3"
+
+    def test_recover_without_dump_replays_from_format(self):
+        """A page born after the last dump is rebuilt from its FORMAT
+        record onward."""
+        complex_, s1, s2, page_a, slot_a, _, _ = complex_with_history()
+        page = recover_page_from_media(page_a, image_copy=None,
+                                       logs=complex_.local_logs())
+        assert page.read_record(slot_a) == b"a0"
+
+    def test_recovered_page_lsn_is_latest(self):
+        complex_, s1, s2, page_a, slot_a, _, _ = complex_with_history()
+        txn = s2.begin()
+        s2.update(txn, page_a, slot_a, b"new")
+        s2.commit(txn)
+        expected_lsn = None
+        for _, record in s2.log.scan():
+            if record.page_id == page_a:
+                expected_lsn = record.lsn
+        page = recover_page_from_media(page_a, None, complex_.local_logs())
+        assert page.page_lsn == expected_lsn
+
+    def test_merge_comparisons_counted(self):
+        complex_, s1, s2, page_a, slot_a, _, _ = complex_with_history()
+        txn = s2.begin()
+        s2.update(txn, page_a, slot_a, b"a1")  # both logs now non-empty
+        s2.commit(txn)
+        stats = StatsRegistry()
+        recover_page_from_media(page_a, None, complex_.local_logs(),
+                                stats=stats)
+        assert stats.get(MERGE_COMPARISONS) > 0
+
+    def test_uncommitted_tail_reproduced_then_not_our_problem(self):
+        """Media recovery repeats history including rollbacks: a rolled
+        back update must not reappear."""
+        complex_, s1, s2, page_a, slot_a, _, _ = complex_with_history()
+        txn = s1.begin()
+        s1.update(txn, page_a, slot_a, b"oops")
+        s1.rollback(txn)
+        page = recover_page_from_media(page_a, None, complex_.local_logs())
+        assert page.read_record(slot_a) == b"a0"
+
+
+class TestWholeDatabase:
+    def test_recover_many_pages_single_pass(self):
+        complex_, s1, s2, page_a, slot_a, page_b, slot_b = complex_with_history()
+        s1.pool.flush_all()
+        dump = ImageCopy.take(complex_.disk)
+        txn = s2.begin()
+        s2.update(txn, page_a, slot_a, b"a-post")
+        s2.update(txn, page_b, slot_b, b"b-post")
+        s2.commit(txn)
+        complex_.disk.lose_page(page_a)
+        complex_.disk.lose_page(page_b)
+        n = recover_database_from_media(dump, complex_.local_logs(),
+                                        complex_.disk, [page_a, page_b])
+        assert n == 2
+        assert complex_.disk.read_page(page_a).read_record(slot_a) == b"a-post"
+        assert complex_.disk.read_page(page_b).read_record(slot_b) == b"b-post"
+
+
+class TestImageCopy:
+    def test_take_and_restore(self):
+        complex_, s1, *_ = complex_with_history()
+        s1.pool.flush_all()
+        dump = ImageCopy.take(complex_.disk)
+        assert len(dump) > 0
+        for page_id in dump.page_ids():
+            restored = dump.restore_page(page_id)
+            assert restored.page_id == page_id
+
+    def test_subset_snapshot(self):
+        complex_, s1, s2, page_a, *_ = complex_with_history()
+        s1.pool.flush_all()
+        dump = ImageCopy.take(complex_.disk, page_ids=[page_a])
+        assert dump.has_page(page_a)
+        assert len(dump) == 1
+
+    def test_missing_page_raises(self):
+        dump = ImageCopy()
+        with pytest.raises(KeyError):
+            dump.restore_page(5)
+
+    def test_snapshot_isolated_from_later_writes(self):
+        complex_, s1, s2, page_a, slot_a, *_ = complex_with_history()
+        s1.pool.flush_all()
+        dump = ImageCopy.take(complex_.disk)
+        txn = s1.begin()
+        s1.update(txn, page_a, slot_a, b"after-dump")
+        s1.commit(txn)
+        s1.pool.flush_all()
+        assert dump.restore_page(page_a).read_record(slot_a) == b"a0"
+
+
+class TestDumpBoundedScan:
+    def test_dump_offsets_shorten_the_merge(self):
+        complex_, s1, s2, page_a, slot_a, _, _ = complex_with_history()
+        s1.pool.flush_all()
+        dump = ImageCopy.take(complex_.disk, logs=complex_.local_logs())
+        assert dump.log_offsets[1] == s1.log.end_offset
+        # Post-dump updates from both systems.
+        for instance, value in ((s2, b"p1"), (s1, b"p2")):
+            txn = instance.begin()
+            instance.update(txn, page_a, slot_a, value)
+            instance.commit(txn)
+        bounded = StatsRegistry()
+        page = recover_page_from_media(page_a, dump, complex_.local_logs(),
+                                       stats=bounded)
+        assert page.read_record(slot_a) == b"p2"
+        full = StatsRegistry()
+        page = recover_page_from_media(page_a, dump, complex_.local_logs(),
+                                       stats=full, use_dump_offsets=False)
+        assert page.read_record(slot_a) == b"p2"
+        assert bounded.get(MERGE_COMPARISONS) < full.get(MERGE_COMPARISONS)
+
+    def test_page_born_after_dump_uses_full_scan(self):
+        complex_, s1, s2, *_ = complex_with_history()
+        s1.pool.flush_all()
+        dump = ImageCopy.take(complex_.disk, logs=complex_.local_logs())
+        txn = s1.begin()
+        newborn = s1.allocate_page(txn)
+        slot = s1.insert(txn, newborn, b"young")
+        s1.commit(txn)
+        page = recover_page_from_media(newborn, dump, complex_.local_logs())
+        assert page.read_record(slot) == b"young"

@@ -1,0 +1,167 @@
+"""Tests for log merging: LSN-only (USN) vs (page, LSN) (Lomet)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.stats import MERGE_COMPARISONS, StatsRegistry
+from repro.wal.log_manager import LogManager
+from repro.wal.merge import lomet_merge, merge_local_logs, merged_records_for_page
+from repro.wal.records import make_update
+from repro.baselines.lomet import LometLogManager
+
+
+def usn_logs(assignments):
+    """Build logs from {system_id: [(page_id, hint), ...]}."""
+    logs = []
+    for system_id, updates in assignments.items():
+        log = LogManager(system_id)
+        for page_id, hint in updates:
+            log.append(make_update(1, system_id, page_id, 0, b"r", b"u"),
+                       page_lsn=hint)
+        logs.append(log)
+    return logs
+
+
+class TestUsnMerge:
+    def test_merged_stream_sorted_by_lsn(self):
+        logs = usn_logs({
+            1: [(10, 0), (11, 5), (10, 20)],
+            2: [(12, 3), (10, 9)],
+        })
+        merged = [r.lsn for _, r in merge_local_logs(logs)]
+        assert merged == sorted(merged)
+
+    def test_all_records_present(self):
+        logs = usn_logs({1: [(10, 0)] * 5, 2: [(11, 0)] * 7})
+        assert len(list(merge_local_logs(logs))) == 12
+
+    def test_equal_lsns_allowed_for_different_pages(self):
+        """Two local logs may assign the same LSN — necessarily to
+        different pages — and the merge may order them either way."""
+        a = LogManager(1)
+        a.append(make_update(1, 1, 10, 0, b"r", b"u"))       # LSN 1
+        b = LogManager(2)
+        b.append(make_update(2, 2, 11, 0, b"r", b"u"))       # LSN 1
+        merged = list(merge_local_logs([a, b]))
+        assert {r.page_id for _, r in merged} == {10, 11}
+        assert [r.lsn for _, r in merged] == [1, 1]
+
+    def test_from_offsets_shortens_scan(self):
+        log = LogManager(1)
+        log.append(make_update(1, 1, 10, 0, b"r", b"u"))
+        cut = log.end_offset
+        log.append(make_update(1, 1, 11, 0, b"r", b"u"))
+        merged = list(merge_local_logs([log], from_offsets={1: cut}))
+        assert [r.page_id for _, r in merged] == [11]
+
+    def test_comparison_counting(self):
+        stats = StatsRegistry()
+        logs = usn_logs({1: [(10, 0)] * 50, 2: [(11, 0)] * 50})
+        list(merge_local_logs(logs, stats=stats))
+        assert stats.get(MERGE_COMPARISONS) > 0
+
+    def test_per_page_filter(self):
+        logs = usn_logs({1: [(10, 0), (11, 0), (10, 50)], 2: [(10, 5)]})
+        entries = merged_records_for_page(logs, 10)
+        lsns = [r.lsn for _, r in entries]
+        assert all(r.page_id == 10 for _, r in entries)
+        assert lsns == sorted(lsns)
+        assert len(lsns) == 3
+
+
+def lomet_logs(assignments):
+    """Build Lomet logs from {system_id: [(page_id, before_lsn), ...]}."""
+    logs = []
+    for system_id, updates in assignments.items():
+        log = LometLogManager(system_id)
+        for page_id, before in updates:
+            log.append(make_update(1, system_id, page_id, 0, b"r", b"u"),
+                       page_lsn=before)
+        logs.append(log)
+    return logs
+
+
+class TestLometMerge:
+    def test_lomet_local_log_not_lsn_sorted(self):
+        """The premise of Section 4.2: per-page sequences make a local
+        log's LSNs jump around."""
+        log = lomet_logs({1: [(10, 100), (11, 2), (10, 101)]})[0]
+        lsns = [r.lsn for _, r in log.scan()]
+        assert lsns == [101, 3, 102]
+        assert lsns != sorted(lsns)
+
+    def test_per_page_order_preserved(self):
+        logs = lomet_logs({
+            1: [(10, 0), (11, 5), (10, 1)],
+            2: [(10, 2), (11, 6)],
+        })
+        merged = list(lomet_merge(logs))
+        by_page = {}
+        for _, record in merged:
+            by_page.setdefault(record.page_id, []).append(record.lsn)
+        for lsns in by_page.values():
+            assert lsns == sorted(lsns)
+
+    def test_all_records_present(self):
+        logs = lomet_logs({1: [(10, i) for i in range(5)],
+                           2: [(11, i) for i in range(7)]})
+        assert len(list(lomet_merge(logs))) == 12
+
+    def test_lomet_needs_more_comparisons_than_usn(self):
+        """The E3 claim, in miniature: same logical workload, the
+        (page, LSN) merge pays more comparisons than the LSN-only one."""
+        updates = {1: [(10 + (i % 4), i) for i in range(100)],
+                   2: [(20 + (i % 4), i) for i in range(100)]}
+        usn_stats = StatsRegistry()
+        list(merge_local_logs(usn_logs(
+            {s: [(p, 0) for p, _ in ups] for s, ups in updates.items()}
+        ), stats=usn_stats))
+        lomet_stats = StatsRegistry()
+        list(lomet_merge(lomet_logs(updates), stats=lomet_stats))
+        assert (lomet_stats.get(MERGE_COMPARISONS)
+                > usn_stats.get(MERGE_COMPARISONS))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    per_log=st.lists(
+        st.lists(st.tuples(st.integers(10, 20), st.integers(0, 50)),
+                 max_size=30),
+        min_size=1, max_size=4,
+    )
+)
+def test_property_usn_merge_is_sorted_and_complete(per_log):
+    logs = usn_logs({i + 1: ups for i, ups in enumerate(per_log)})
+    merged = list(merge_local_logs(logs))
+    lsns = [r.lsn for _, r in merged]
+    assert lsns == sorted(lsns)
+    assert len(merged) == sum(len(ups) for ups in per_log)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    per_log=st.lists(
+        st.lists(st.integers(10, 14), max_size=30),
+        min_size=1, max_size=4,
+    )
+)
+def test_property_lomet_merge_preserves_per_page_runs(per_log):
+    """Each (log, page) run must appear in its original order."""
+    logs = []
+    expected_runs = {}
+    for i, pages in enumerate(per_log):
+        system_id = i + 1
+        log = LometLogManager(system_id)
+        page_versions = {}
+        for page_id in pages:
+            before = page_versions.get(page_id, 0)
+            record = make_update(1, system_id, page_id, 0, b"r", b"u")
+            log.append(record, page_lsn=before)
+            page_versions[page_id] = record.lsn
+            expected_runs.setdefault((system_id, page_id), []).append(record.lsn)
+        logs.append(log)
+    merged = list(lomet_merge(logs))
+    seen_runs = {}
+    for addr, record in merged:
+        seen_runs.setdefault((addr.system_id, record.page_id),
+                             []).append(record.lsn)
+    assert seen_runs == expected_runs

@@ -1,0 +1,96 @@
+"""Tests for the message fabric and Local_Max_LSN piggybacking."""
+
+from repro.common.stats import MESSAGES_SENT, MESSAGE_BYTES, StatsRegistry
+from repro.net.network import Network
+from repro.wal.log_manager import LogManager
+from repro.wal.records import make_update
+
+
+def rec():
+    return make_update(1, 0, 10, 0, b"r", b"u")
+
+
+def setup(piggyback=True):
+    stats = StatsRegistry()
+    net = Network(stats=stats, piggyback_enabled=piggyback)
+    a = LogManager(1, stats=stats)
+    b = LogManager(2, stats=stats)
+    net.register(1, a)
+    net.register(2, b)
+    return net, a, b, stats
+
+
+class TestPiggyback:
+    def test_message_carries_senders_max(self):
+        net, a, b, _ = setup()
+        for _ in range(7):
+            a.append(rec())
+        net.message(1, 2, "page_transfer")
+        assert b.local_max_lsn == 7
+
+    def test_receiver_keeps_higher_max(self):
+        net, a, b, _ = setup()
+        a.append(rec())
+        for _ in range(9):
+            b.append(rec())
+        net.message(1, 2, "lock_grant")
+        assert b.local_max_lsn == 9
+
+    def test_piggyback_disabled(self):
+        net, a, b, _ = setup(piggyback=False)
+        for _ in range(7):
+            a.append(rec())
+        net.message(1, 2, "page_transfer")
+        assert b.local_max_lsn == 0
+
+    def test_self_message_is_free(self):
+        net, a, _, stats = setup()
+        net.message(1, 1, "noop")
+        assert stats.get(MESSAGES_SENT) == 0
+
+
+class TestBroadcast:
+    def test_broadcast_converges_all(self):
+        net, a, b, _ = setup()
+        c = LogManager(3)
+        net.register(3, c)
+        for _ in range(5):
+            a.append(rec())
+        net.broadcast_max_lsns()
+        assert b.local_max_lsn == 5
+        assert c.local_max_lsn == 5
+
+    def test_broadcast_counts_n_squared_messages(self):
+        net, a, b, stats = setup()
+        before = stats.get(MESSAGES_SENT)
+        net.broadcast_max_lsns()
+        assert stats.get(MESSAGES_SENT) == before + 2  # 2 systems -> 2 msgs
+
+    def test_broadcast_uses_pre_exchange_snapshot(self):
+        """All systems exchange the maxima they had at broadcast start."""
+        net, a, b, _ = setup()
+        for _ in range(3):
+            a.append(rec())
+        for _ in range(5):
+            b.append(rec())
+        net.broadcast_max_lsns()
+        assert a.local_max_lsn == 5
+        assert b.local_max_lsn == 5
+
+
+class TestCounters:
+    def test_message_counters(self):
+        net, _, _, stats = setup()
+        net.message(1, 2, "page_transfer", nbytes=4096)
+        net.message(2, 1, "ack", nbytes=32)
+        assert stats.get(MESSAGES_SENT) == 2
+        assert stats.get(MESSAGE_BYTES) == 4128
+        assert stats.get("net.messages.page_transfer") == 1
+        assert stats.get("net.messages.ack") == 1
+
+    def test_deregister(self):
+        net, a, b, _ = setup()
+        net.deregister(2)
+        a.append(rec())
+        net.message(1, 2, "x")  # counted but no piggyback target
+        assert b.local_max_lsn == 0

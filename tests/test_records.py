@@ -1,0 +1,145 @@
+"""Tests for log record serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wal.records import (
+    HEADER_SIZE,
+    CheckpointData,
+    LogRecord,
+    NO_PAGE,
+    NO_SLOT,
+    PageOp,
+    RecordKind,
+    decode_op,
+    encode_op,
+    make_clr,
+    make_format,
+    make_update,
+)
+
+
+class TestOpCodec:
+    def test_roundtrip(self):
+        op, data = decode_op(encode_op(PageOp.SET, b"abc"))
+        assert op == PageOp.SET
+        assert data == b"abc"
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            decode_op(b"")
+
+    def test_no_operand(self):
+        op, data = decode_op(encode_op(PageOp.DELETE))
+        assert op == PageOp.DELETE
+        assert data == b""
+
+
+class TestRecordSerialization:
+    def test_roundtrip_all_fields(self):
+        record = LogRecord(
+            kind=RecordKind.UPDATE, txn_id=1_000_003, system_id=7,
+            page_id=42, slot=3, lsn=99, prev_lsn=55, undo_next_lsn=11,
+            redo=b"redo-bytes", undo=b"undo-bytes", extra=b"extra",
+        )
+        clone, offset = LogRecord.from_bytes(record.to_bytes())
+        assert clone == record
+        assert offset == record.serialized_size()
+
+    def test_serialized_size(self):
+        record = make_update(1, 1, 5, 0, redo=b"1234", undo=b"56")
+        assert record.serialized_size() == HEADER_SIZE + 6
+        assert len(record.to_bytes()) == record.serialized_size()
+
+    def test_defaults(self):
+        record = LogRecord(kind=RecordKind.COMMIT, txn_id=9)
+        assert record.page_id == NO_PAGE
+        assert record.slot == NO_SLOT
+        assert not record.is_page_oriented()
+
+    def test_parse_stream(self):
+        records = [
+            make_update(1, 1, 5, 0, redo=b"a", undo=b"b"),
+            LogRecord(kind=RecordKind.COMMIT, txn_id=1),
+            make_format(1, 1, 9, 1),
+        ]
+        data = b"".join(r.to_bytes() for r in records)
+        parsed = list(LogRecord.parse_stream(data))
+        assert [r for _, r in parsed] == records
+        offsets = [o for o, _ in parsed]
+        assert offsets[0] == 0
+        assert offsets[1] == records[0].serialized_size()
+
+    def test_undoable_classification(self):
+        assert make_update(1, 1, 5, 0, b"a", b"b").is_undoable()
+        assert not make_clr(1, 1, 5, 0, b"a", undo_next_lsn=3).is_undoable()
+        assert not make_format(1, 1, 9, 1).is_undoable()
+        assert not LogRecord(kind=RecordKind.COMMIT).is_undoable()
+        assert LogRecord(kind=RecordKind.SMP_UPDATE).is_undoable()
+
+    def test_clr_is_redo_only(self):
+        clr = make_clr(1, 1, 5, 0, redo=b"comp", undo_next_lsn=44)
+        assert clr.undo == b""
+        assert clr.undo_next_lsn == 44
+
+    def test_format_record_carries_page_type(self):
+        fmt = make_format(1, 2, page_id=30, page_type=2)
+        op, data = decode_op(fmt.redo)
+        assert op == PageOp.FORMAT
+        assert data == bytes([2])
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        kind=st.sampled_from(list(RecordKind)),
+        txn_id=st.integers(0, 2**63),
+        system_id=st.integers(0, 2**16 - 1),
+        page_id=st.integers(0, 2**32 - 1),
+        slot=st.integers(0, 2**16 - 1),
+        lsn=st.integers(0, 2**63),
+        prev_lsn=st.integers(0, 2**63),
+        redo=st.binary(max_size=200),
+        undo=st.binary(max_size=200),
+        extra=st.binary(max_size=200),
+    )
+    def test_property_roundtrip(self, kind, txn_id, system_id, page_id,
+                                slot, lsn, prev_lsn, redo, undo, extra):
+        record = LogRecord(
+            kind=kind, txn_id=txn_id, system_id=system_id, page_id=page_id,
+            slot=slot, lsn=lsn, prev_lsn=prev_lsn,
+            redo=redo, undo=undo, extra=extra,
+        )
+        clone, _ = LogRecord.from_bytes(record.to_bytes())
+        assert clone == record
+
+
+class TestCheckpointData:
+    def test_roundtrip(self):
+        data = CheckpointData(
+            dirty_pages={10: (100, 2048), 20: (200, 4096)},
+            transactions={1_000_001: (150, 0), 2_000_001: (250, 1)},
+        )
+        clone = CheckpointData.from_bytes(data.to_bytes())
+        assert clone.dirty_pages == data.dirty_pages
+        assert clone.transactions == data.transactions
+
+    def test_empty(self):
+        clone = CheckpointData.from_bytes(CheckpointData().to_bytes())
+        assert clone.dirty_pages == {}
+        assert clone.transactions == {}
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        dpt=st.dictionaries(st.integers(0, 2**32 - 1),
+                            st.tuples(st.integers(0, 2**63),
+                                      st.integers(0, 2**63)),
+                            max_size=30),
+        tt=st.dictionaries(st.integers(0, 2**63),
+                           st.tuples(st.integers(0, 2**63),
+                                     st.integers(0, 1)),
+                           max_size=30),
+    )
+    def test_property_roundtrip(self, dpt, tt):
+        data = CheckpointData(dirty_pages=dpt, transactions=tt)
+        clone = CheckpointData.from_bytes(data.to_bytes())
+        assert clone.dirty_pages == dpt
+        assert clone.transactions == tt

@@ -1,0 +1,76 @@
+"""Tests for the typed row codec."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.access.rows import RowCodec
+
+
+CODEC = RowCodec([("id", "i"), ("name", "s"), ("price", "f"),
+                  ("blob", "b")])
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        row = CODEC.pack(42, "widget", 9.75, b"\x00\x01")
+        assert CODEC.unpack(row) == (42, "widget", 9.75, b"\x00\x01")
+
+    def test_as_dict(self):
+        row = CODEC.pack(1, "x", 0.5, b"")
+        assert CODEC.as_dict(row) == {
+            "id": 1, "name": "x", "price": 0.5, "blob": b"",
+        }
+
+    def test_negative_int_and_unicode(self):
+        codec = RowCodec([("n", "i"), ("s", "s")])
+        row = codec.pack(-2**40, "héllo ✓")
+        assert codec.unpack(row) == (-2**40, "héllo ✓")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            CODEC.pack(1, "x")
+
+    def test_trailing_bytes_rejected(self):
+        row = CODEC.pack(1, "x", 0.0, b"")
+        with pytest.raises(ValueError):
+            CODEC.unpack(row + b"junk")
+
+    def test_invalid_schema(self):
+        with pytest.raises(ValueError):
+            RowCodec([("x", "z")])
+        with pytest.raises(ValueError):
+            RowCodec([])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n=st.integers(-2**62, 2**62),
+        s=st.text(max_size=60),
+        f=st.floats(allow_nan=False, allow_infinity=False),
+        b=st.binary(max_size=60),
+    )
+    def test_property_roundtrip(self, n, s, f, b):
+        row = CODEC.pack(n, s, f, b)
+        assert CODEC.unpack(row) == (n, s, f, b)
+
+
+class TestWithEngine:
+    def test_rows_through_a_table(self):
+        from repro import SDComplex
+        from repro.access.table import SegmentedTable
+
+        sd = SDComplex(n_data_pages=128)
+        s1 = sd.add_instance(1)
+        codec = RowCodec([("account", "i"), ("balance", "i")])
+        table = SegmentedTable("accounts")
+        txn = s1.begin()
+        rid = table.insert_row(s1, txn, codec.pack(7, 1000))
+        s1.commit(txn)
+        txn = s1.begin()
+        account, balance = codec.unpack(table.read_row(s1, txn, rid))
+        table.update_row(s1, txn, rid, codec.pack(account, balance - 50))
+        s1.commit(txn)
+        sd.crash_instance(1)
+        sd.restart_instance(1)
+        txn = s1.begin()
+        assert codec.unpack(table.read_row(s1, txn, rid)) == (7, 950)
+        s1.commit(txn)

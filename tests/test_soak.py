@@ -1,0 +1,139 @@
+"""Deterministic soak test: everything at once, then verify.
+
+One long scenario over a 3-system complex combining the whole feature
+surface — interleaved workloads, B-tree churn, segmented tables and
+mass delete, checkpoints and log archiving, single-instance crashes,
+staged restart with traffic during the undo window, complex-wide
+failure, group commit, and media recovery — with the invariant verifier
+and an application-level oracle run at the end.
+"""
+
+import random
+
+from repro import BTree, SDComplex, SegmentedTable
+from repro.common.errors import (
+    DeadlockError,
+    LockWouldBlock,
+    ProtocolError,
+)
+from repro.harness import verify_sd_complex
+from repro.recovery.checkpoint import archive_log
+from repro.recovery.media import recover_page_from_media
+from repro.storage.image_copy import ImageCopy
+
+
+def test_soak_everything(  ):
+    rng = random.Random(20260704)
+    sd = SDComplex(n_data_pages=2048)
+    systems = [sd.add_instance(i, escalation_threshold=12) for i in (1, 2, 3)]
+    s1, s2, s3 = systems
+
+    # --- setup: a table, an index, and an oracle -----------------------
+    table = SegmentedTable("soak", segment_pages=4)
+    txn = s1.begin()
+    index = BTree.create(s1, txn, fanout=8)
+    oracle = {}
+    for i in range(40):
+        key = b"k%04d" % i
+        rid = table.insert_row(s1, txn, b"val-%04d" % i)
+        index.insert(s1, txn, key, b"%d:%d" % rid)
+        oracle[key] = b"val-%04d" % i
+    s1.commit(txn)
+
+    def rid_of(payload):
+        page, slot = payload.split(b":")
+        return int(page), int(slot)
+
+    def do_update(instance, i, value):
+        key = b"k%04d" % i
+        txn = instance.begin()
+        try:
+            rid = rid_of(index.search(instance, txn, key))
+            table.update_row(instance, txn, rid, value)
+            if rng.random() < 0.3:
+                instance.commit(txn, lazy=True)
+            else:
+                instance.commit(txn)
+            oracle[key] = value
+            return True
+        except (LockWouldBlock, DeadlockError, ProtocolError):
+            try:
+                instance.rollback(txn)
+            except Exception:
+                pass
+            return False
+
+    # --- phase 1: mixed traffic + checkpoints + archiving --------------
+    for step in range(120):
+        instance = systems[step % 3]
+        if instance.crashed:
+            continue
+        do_update(instance, rng.randrange(40), b"p1-%04d" % step)
+        if step % 25 == 24:
+            for inst in systems:
+                if not inst.crashed:
+                    inst.sync_commits()
+                    archive_log(inst)
+
+    # --- phase 2: single crash + staged restart with traffic -----------
+    for inst in systems:
+        inst.sync_commits()
+    sd.crash_instance(2)
+    staged = sd.begin_staged_restart(2)
+    staged.run_redo()
+    for step in range(10):   # business continues during the undo window
+        do_update(s1, rng.randrange(40), b"window-%02d" % step)
+    staged.run_undo()
+
+    # --- phase 3: B-tree churn exercising dealloc/realloc --------------
+    txn = s3.begin()
+    for i in range(10, 30):
+        index.delete(s3, txn, b"k%04d" % i)
+    s3.commit(txn)
+    txn = s2.begin()
+    for i in range(10, 30):
+        key = b"k%04d" % i
+        # Records still exist in the table; re-index them.
+        match = [rid for rid, payload in table.scan(s2, txn)
+                 if payload == oracle[key]]
+        index.insert(s2, txn, key, b"%d:%d" % match[0])
+    s2.commit(txn)
+
+    # --- phase 4: image copy, more traffic, media failure --------------
+    for inst in systems:
+        inst.sync_commits()
+        inst.pool.flush_all()
+    dump = ImageCopy.take(sd.disk, logs=sd.local_logs())
+    for step in range(30):
+        do_update(systems[step % 3], rng.randrange(40), b"p4-%04d" % step)
+    for inst in systems:
+        inst.sync_commits()
+        inst.pool.flush_all()
+    victim_page = table.pages[0]
+    sd.disk.lose_page(victim_page)
+    recover_page_from_media(victim_page, dump, sd.local_logs(),
+                            disk=sd.disk)
+
+    # --- phase 5: total failure + restart -------------------------------
+    # (an in-flight transaction rides into the crash)
+    loser = s1.begin()
+    key = b"k%04d" % 0
+    rid = rid_of(index.search(s1, loser, key))
+    table.update_row(s1, loser, rid, b"never-committed")
+    s1.log.force()
+    sd.crash_complex()
+    sd.restart_complex()
+
+    # --- verdict ---------------------------------------------------------
+    report = verify_sd_complex(sd, quiesced=True)
+    assert report.ok, [str(v) for v in report.violations]
+
+    txn = s2.begin()
+    for key, expected in oracle.items():
+        rid = rid_of(index.search(s2, txn, key))
+        assert table.read_row(s2, txn, rid) == expected, key
+    s2.commit(txn)
+
+    # Pages all structurally valid on disk.
+    for page_id in sd.disk.written_page_ids():
+        sd.disk.read_page(page_id).validate()

@@ -1,0 +1,110 @@
+"""Deterministic CS soak test: the client-server stack end to end.
+
+Mirrors tests/test_soak.py for the client-server architecture: bounded
+caches forcing eviction write-backs, group commits, client checkpoints,
+client crashes recovered by the server, a server crash, B-tree use from
+clients, and a final verifier + oracle pass.
+"""
+
+import random
+
+from repro import BTree, CsSystem
+from repro.common.errors import (
+    DeadlockError,
+    LockWouldBlock,
+    ProtocolError,
+)
+from repro.harness import verify_cs_system
+
+
+def test_soak_client_server():
+    rng = random.Random(19920600)   # ICDCS '92
+    cs = CsSystem(n_data_pages=1024)
+    clients = [
+        cs.add_client(1, cache_capacity=8),
+        cs.add_client(2, cache_capacity=8),
+        cs.add_client(3),           # one unbounded workstation
+    ]
+    c1, c2, c3 = clients
+
+    # Setup: an indexed key-value store owned by the complex.
+    txn = c1.begin()
+    index = BTree.create(c1, txn, fanout=8)
+    store_page = c1.allocate_page(txn)
+    oracle = {}
+    slots = {}
+    for i in range(24):
+        key = b"obj%03d" % i
+        value = b"v0-%03d" % i
+        if i and i % 8 == 0:
+            store_page = c1.allocate_page(txn)
+        slot = c1.insert(txn, store_page, value)
+        slots[key] = (store_page, slot)
+        index.insert(c1, txn, key, b"%d:%d" % (store_page, slot))
+        oracle[key] = value
+    c1.commit(txn)
+
+    def do_update(client, i, value, lazy):
+        """One update transaction.  Lazy commits may be applied to the
+        oracle immediately: record locks are held until the batch is
+        acknowledged, so issue order equals commit order, and this test
+        always syncs every batch before any crash."""
+        key = b"obj%03d" % i
+        txn = client.begin()
+        try:
+            page_id, slot = slots[key]
+            client.update(txn, page_id, slot, value)
+            client.commit(txn, lazy=lazy)
+            oracle[key] = value
+            return True
+        except (LockWouldBlock, DeadlockError, ProtocolError):
+            try:
+                client.rollback(txn)
+            except Exception:
+                pass
+            return False
+
+    # Phase 1: mixed traffic with group commits and checkpoints.
+    for step in range(90):
+        client = clients[step % 3]
+        if client.crashed:
+            continue
+        do_update(client, rng.randrange(24), b"p1-%04d" % step,
+                  lazy=rng.random() < 0.25)
+        if step % 20 == 19:
+            for cl in clients:
+                if not cl.crashed:
+                    cl.sync_commits()
+                    cl.checkpoint()
+
+    # Sync all remaining lazy commits before any failure.
+    for cl in clients:
+        cl.sync_commits()
+
+    # Phase 2: crash each bounded client in turn, server recovers it.
+    for victim in (1, 2):
+        txn = clients[victim - 1].begin()
+        page_id, slot = slots[b"obj%03d" % victim]
+        clients[victim - 1].update(txn, page_id, slot, b"in-flight")
+        clients[victim - 1].send_page_back(page_id)
+        cs.crash_client(victim)
+        cs.recover_client(victim)
+
+    # Phase 3: more traffic, then the server dies.
+    for step in range(30):
+        client = clients[step % 3]
+        do_update(client, rng.randrange(24), b"p3-%04d" % step, lazy=False)
+    cs.server.take_checkpoint()
+    cs.crash_server()
+    cs.restart_server()
+
+    # Verdict.
+    cs.quiesce()
+    report = verify_cs_system(cs, quiesced=True)
+    assert report.ok, [str(v) for v in report.violations]
+    txn = c3.begin()
+    for key, expected in oracle.items():
+        page_id, slot = slots[key]
+        assert c3.read(txn, page_id, slot) == expected, key
+        assert index.search(c3, txn, key) == b"%d:%d" % (page_id, slot)
+    c3.commit(txn)

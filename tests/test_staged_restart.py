@@ -1,0 +1,121 @@
+"""Tests for staged restart (early access during recovery, [Moha91])."""
+
+import pytest
+
+from repro import SDComplex
+from repro.common.errors import LockWouldBlock, ProtocolError, ReproError
+
+
+def fresh():
+    sd = SDComplex(n_data_pages=256)
+    return sd, sd.add_instance(1), sd.add_instance(2)
+
+
+def committed_row(instance, payload=b"v0"):
+    txn = instance.begin()
+    page_id = instance.allocate_page(txn)
+    slot = instance.insert(txn, page_id, payload)
+    instance.commit(txn)
+    return page_id, slot
+
+
+def crash_with_loser(sd, s1):
+    """Crash S1 with one committed row and one in-flight update on the
+    same page, both stolen to disk."""
+    page_id, slot = committed_row(s1, b"good")
+    txn = s1.begin()
+    loser_slot = s1.insert(txn, page_id, b"loser-row")
+    s1.pool.write_page(page_id)
+    s1.log.force()
+    sd.crash_instance(1)
+    return page_id, slot, loser_slot
+
+
+class TestStaging:
+    def test_open_after_redo_before_undo(self):
+        sd, s1, s2 = fresh()
+        page_id, slot, loser_slot = crash_with_loser(sd, s1)
+        staged = sd.begin_staged_restart(1)
+        # Before redo: the page is fenced.
+        txn = s2.begin()
+        with pytest.raises(ProtocolError):
+            s2.read(txn, page_id, slot)
+        staged.run_redo()
+        assert staged.open_for_access
+        # After redo: committed data readable while undo is pending.
+        assert s2.read(txn, page_id, slot) == b"good"
+        s2.commit(txn)
+        staged.run_undo()
+        assert not staged.open_for_access
+
+    def test_loser_records_stay_locked_until_undo(self):
+        sd, s1, s2 = fresh()
+        page_id, slot, loser_slot = crash_with_loser(sd, s1)
+        staged = sd.begin_staged_restart(1)
+        staged.run_redo()
+        txn = s2.begin()
+        with pytest.raises(LockWouldBlock):
+            s2.update(txn, page_id, loser_slot, b"steal-it")
+        staged.run_undo()
+        # The loser's insert is gone; its lock released.
+        reader = s2.begin()
+        assert s2.read(reader, page_id, slot) == b"good"
+        s2.commit(reader)
+        page = sd.disk.read_page(page_id)
+        assert page.read_record(loser_slot) is None
+
+    def test_new_updates_during_window_survive_undo(self):
+        """Another system updates a non-loser record during the window;
+        undo must not clobber it (it fetches current versions)."""
+        sd, s1, s2 = fresh()
+        page_id, slot, loser_slot = crash_with_loser(sd, s1)
+        staged = sd.begin_staged_restart(1)
+        staged.run_redo()
+        txn = s2.begin()
+        s2.update(txn, page_id, slot, b"window-update")
+        s2.commit(txn)
+        staged.run_undo()
+        s1.pool.flush_all()
+        page = sd.disk.read_page(page_id)
+        assert page.read_record(slot) == b"window-update"
+        assert page.read_record(loser_slot) is None
+
+    def test_summary_counts_match_one_shot(self):
+        sd, s1, s2 = fresh()
+        crash_with_loser(sd, s1)
+        staged = sd.begin_staged_restart(1)
+        staged.run_redo()
+        summary = staged.run_undo()
+        assert summary.loser_transactions == 1
+        assert summary.clrs_written >= 1
+
+
+class TestMisuse:
+    def test_undo_before_redo_rejected(self):
+        sd, s1, s2 = fresh()
+        crash_with_loser(sd, s1)
+        staged = sd.begin_staged_restart(1)
+        with pytest.raises(ReproError):
+            staged.run_undo()
+
+    def test_double_redo_rejected(self):
+        sd, s1, s2 = fresh()
+        crash_with_loser(sd, s1)
+        staged = sd.begin_staged_restart(1)
+        staged.run_redo()
+        with pytest.raises(ReproError):
+            staged.run_redo()
+
+    def test_requires_crashed_instance(self):
+        sd, s1, s2 = fresh()
+        with pytest.raises(ReproError):
+            sd.begin_staged_restart(1)
+
+    def test_fast_scheme_not_staged(self):
+        sd = SDComplex(n_data_pages=128, transfer_scheme="fast")
+        s1 = sd.add_instance(1)
+        committed_row(s1)
+        sd.crash_instance(1)
+        with pytest.raises(ReproError):
+            sd.begin_staged_restart(1)
+        sd.restart_instance(1)

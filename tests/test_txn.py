@@ -1,0 +1,112 @@
+"""Tests for transactions and the transaction manager."""
+
+import pytest
+
+from repro.common.config import NULL_LSN
+from repro.txn.manager import TransactionManager, _SYSTEM_STRIDE
+from repro.txn.transaction import Transaction, TxnState
+
+
+class TestTransaction:
+    def test_note_logged_sets_first_and_last(self):
+        txn = Transaction(txn_id=1, system_id=1)
+        txn.note_logged(10, 0, undoable=True)
+        txn.note_logged(15, 64, undoable=True)
+        assert txn.first_lsn == 10
+        assert txn.last_lsn == 15
+
+    def test_undo_entries_track_undoable_only(self):
+        txn = Transaction(txn_id=1, system_id=1)
+        txn.note_logged(10, 0, undoable=True)
+        txn.note_logged(11, 64, undoable=False)  # e.g. a CLR
+        assert [e.lsn for e in txn.undo_entries] == [10]
+
+    def test_is_update_transaction(self):
+        txn = Transaction(txn_id=1, system_id=1)
+        assert not txn.is_update_transaction()
+        txn.note_logged(5, 0, undoable=False)
+        assert txn.is_update_transaction()
+
+    def test_savepoint_slicing(self):
+        txn = Transaction(txn_id=1, system_id=1)
+        txn.note_logged(1, 0, undoable=True)
+        txn.set_savepoint("sp")
+        txn.note_logged(2, 64, undoable=True)
+        txn.note_logged(3, 128, undoable=True)
+        since = txn.entries_since_savepoint("sp")
+        assert [e.lsn for e in since] == [3, 2]  # newest first
+
+    def test_truncate_to_savepoint(self):
+        txn = Transaction(txn_id=1, system_id=1)
+        txn.note_logged(1, 0, undoable=True)
+        txn.set_savepoint("sp")
+        txn.note_logged(2, 64, undoable=True)
+        txn.truncate_to_savepoint("sp")
+        assert [e.lsn for e in txn.undo_entries] == [1]
+
+    def test_truncate_drops_later_savepoints(self):
+        txn = Transaction(txn_id=1, system_id=1)
+        txn.set_savepoint("a")
+        txn.note_logged(1, 0, undoable=True)
+        txn.set_savepoint("b")
+        txn.truncate_to_savepoint("a")
+        assert "b" not in txn.savepoints
+        assert "a" in txn.savepoints
+
+    def test_unknown_savepoint_raises(self):
+        txn = Transaction(txn_id=1, system_id=1)
+        with pytest.raises(KeyError):
+            txn.entries_since_savepoint("nope")
+
+
+class TestTransactionManager:
+    def test_ids_embed_system(self):
+        tm = TransactionManager(3)
+        txn = tm.begin()
+        assert txn.txn_id // _SYSTEM_STRIDE == 3
+
+    def test_ids_unique_and_increasing(self):
+        tm = TransactionManager(1)
+        ids = [tm.begin().txn_id for _ in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_active_iteration(self):
+        tm = TransactionManager(1)
+        a = tm.begin()
+        b = tm.begin()
+        tm.end(a)
+        assert [t.txn_id for t in tm.active()] == [b.txn_id]
+
+    def test_end_removes(self):
+        tm = TransactionManager(1)
+        txn = tm.begin()
+        tm.end(txn)
+        assert txn.state == TxnState.ENDED
+        with pytest.raises(KeyError):
+            tm.get(txn.txn_id)
+
+    def test_oldest_active_first_lsn(self):
+        tm = TransactionManager(1)
+        a = tm.begin()
+        b = tm.begin()
+        a.note_logged(50, 0, undoable=True)
+        b.note_logged(20, 0, undoable=True)
+        assert tm.oldest_active_first_lsn() == 20
+
+    def test_oldest_ignores_read_only(self):
+        tm = TransactionManager(1)
+        tm.begin()  # never logs
+        a = tm.begin()
+        a.note_logged(30, 0, undoable=True)
+        assert tm.oldest_active_first_lsn() == 30
+
+    def test_oldest_none_when_no_updates(self):
+        tm = TransactionManager(1)
+        tm.begin()
+        assert tm.oldest_active_first_lsn() is None
+
+    def test_crash_clears(self):
+        tm = TransactionManager(1)
+        tm.begin()
+        tm.crash()
+        assert tm.active_count() == 0
