@@ -116,7 +116,9 @@ class GlobalLogSystem:
                 raise ReproError(f"page {page_id} slot {slot} is empty")
             page.update_record(slot, payload)
             self._usn += 1
-            page.page_lsn = self._usn  # coherency only, never recovery
+            # reprolint: disable=R001 -- baseline abuses page_lsn as a
+            # coherency USN; its recovery never consults the field.
+            page.page_lsn = self._usn
             record = LogRecord(
                 kind=RecordKind.UPDATE, txn_id=txn_id,
                 page_id=page_id, slot=slot,
@@ -134,6 +136,7 @@ class GlobalLogSystem:
         try:
             slot = page.insert_record(payload)
             self._usn += 1
+            # reprolint: disable=R001 -- coherency USN, as in update().
             page.page_lsn = self._usn
             record = LogRecord(
                 kind=RecordKind.UPDATE, txn_id=txn_id,

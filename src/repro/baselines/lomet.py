@@ -40,10 +40,9 @@ from repro.wal.records import (
     LogRecord,
     PageOp,
     RecordKind,
-    decode_op,
     encode_op,
 )
-from repro.recovery.apply import apply_op
+from repro.recovery.apply import apply_redo, stamp_page_lsn
 
 _BSI_BYTES = 8
 
@@ -161,7 +160,7 @@ class LometSystem:
         record = LogRecord(kind=kind, page_id=page.page_id, slot=slot,
                            redo=redo, undo=undo)
         addr = self.log.append(record, page_lsn=page.page_lsn)
-        page.page_lsn = record.lsn
+        stamp_page_lsn(page, record.lsn)
         self.pool.note_update(page.page_id, record.lsn, addr.offset,
                               self.log.end_offset)
         return record
@@ -281,7 +280,5 @@ def lomet_recover_page(
         if record.page_id != page_id:
             continue
         if page.page_lsn == bsi_of(record):
-            op, data = decode_op(record.redo)
-            apply_op(page, record.slot, op, data)
-            page.page_lsn = record.lsn
+            apply_redo(page, record)
     return page

@@ -51,7 +51,7 @@ class LockWouldBlock(ReproError):
     it and reschedule the step (the request keeps its queue position).
     """
 
-    def __init__(self, owner, resource) -> None:
+    def __init__(self, owner: object, resource: object) -> None:
         super().__init__(f"{owner} must wait for {resource}")
         self.owner = owner
         self.resource = resource

@@ -18,7 +18,7 @@ class StatsRegistry:
     """A named bag of monotonically increasing counters."""
 
     def __init__(self) -> None:
-        self._counters: Counter = Counter()
+        self._counters: "Counter[str]" = Counter()
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Increase counter ``name`` by ``amount`` (must be >= 0)."""

@@ -22,7 +22,7 @@ from repro.common.config import NULL_LSN
 from repro.common.errors import LockWouldBlock, ReproError
 from repro.common.lsn import Lsn
 from repro.locking.lock_manager import LockMode, LockStatus, record_lock
-from repro.recovery.apply import apply_op
+from repro.recovery.apply import apply_payload, stamp_page_lsn
 from repro.storage.page import Page, PageType
 from repro.storage.space_map import SpaceMap
 from repro.txn.manager import TransactionManager
@@ -32,7 +32,6 @@ from repro.wal.records import (
     LogRecord,
     PageOp,
     RecordKind,
-    decode_op,
     encode_op,
     make_clr,
     make_format,
@@ -198,9 +197,7 @@ class CsClient:
             prev_lsn=txn.last_lsn,
         )
         self.log.append(clr, page_lsn=entry.page.page_lsn)
-        op, data = decode_op(record.undo)
-        apply_op(entry.page, record.slot, op, data)
-        entry.page.page_lsn = clr.lsn
+        apply_payload(entry.page, record.slot, record.undo, clr.lsn)
         self._note_dirty(entry, clr.lsn)
         txn.note_logged(clr.lsn, 0, undoable=False)
 
@@ -428,7 +425,7 @@ class CsClient:
                             lsn_hint: Optional[Lsn] = None) -> None:
         hint = entry.page.page_lsn if lsn_hint is None else lsn_hint
         self.log.append(record, page_lsn=hint)
-        entry.page.page_lsn = record.lsn
+        stamp_page_lsn(entry.page, record.lsn)
         self._note_dirty(entry, record.lsn)
         txn.note_logged(record.lsn, 0, undoable=record.is_undoable())
 

@@ -24,7 +24,7 @@ from repro.common.lsn import Lsn
 from repro.common.stats import StatsRegistry
 from repro.locking.lock_manager import LockManager, LockMode, LockStatus
 from repro.net.network import Network
-from repro.recovery.apply import apply_op, apply_redo
+from repro.recovery.apply import apply_payload, apply_redo
 from repro.storage.disk import SharedDisk
 from repro.storage.page import Page, PageType
 from repro.storage.space_map import SpaceMap
@@ -34,7 +34,6 @@ from repro.wal.records import (
     CheckpointData,
     LogRecord,
     RecordKind,
-    decode_op,
     make_clr,
 )
 
@@ -455,9 +454,7 @@ class CsServer:
                         prev_lsn=last_lsn[txn_id],
                     )
                     addr = self.log.append(clr, page_lsn=page.page_lsn)
-                    op, data = decode_op(record.undo)
-                    apply_op(page, record.slot, op, data)
-                    page.page_lsn = clr.lsn
+                    apply_payload(page, record.slot, record.undo, clr.lsn)
                     self.pool.note_update(record.page_id, clr.lsn,
                                           addr.offset, self.log.end_offset)
                     index[clr.lsn] = clr

@@ -17,7 +17,11 @@ Violations are returned, not raised, so callers can report all of them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness is
+    # imported by the architecture layers the signatures mention)
+    from repro.wal.log_manager import LogManager
 
 
 @dataclass
@@ -52,7 +56,7 @@ class VerificationReport:
         )
 
 
-def _per_page_lsns(logs) -> Dict[int, List[int]]:
+def _per_page_lsns(logs: "Iterable[LogManager]") -> Dict[int, List[int]]:
     per_page: Dict[int, List[int]] = {}
     for log in logs:
         for _, record in log.scan():
@@ -61,7 +65,7 @@ def _per_page_lsns(logs) -> Dict[int, List[int]]:
     return per_page
 
 
-def verify_logs(logs) -> VerificationReport:
+def verify_logs(logs: "Iterable[LogManager]") -> VerificationReport:
     """Check I1 (uniqueness) and I2 (per-log monotonicity) over logs."""
     report = VerificationReport()
     for log in logs:

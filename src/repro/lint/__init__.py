@@ -1,0 +1,32 @@
+"""reprolint — AST-based protocol linter for the recovery stack.
+
+The paper's correctness argument rests on conventions that Python
+cannot enforce on its own: page_LSN updates must flow through the WAL
+path, log addresses must never be confused with LSNs, and the whole
+simulation must stay deterministic.  ``repro.lint`` checks those
+conventions *statically*, before a violation can corrupt a run and
+before :mod:`repro.harness.verifier` would catch it dynamically.
+
+Usage::
+
+    python -m repro.lint src/ tests/
+    python -m repro.lint --list-rules
+
+Suppress a finding with a trailing or preceding comment::
+
+    page.page_lsn = usn  # reprolint: disable=R001 -- coherency only
+
+See ``docs/static_analysis.md`` for the full rule catalog.
+"""
+
+from repro.lint.engine import Finding, LintContext, Rule, lint_paths, lint_source
+from repro.lint.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,111 @@
+"""CLI: ``python -m repro.lint [paths...]``.
+
+Exit status: 0 clean, 1 findings, 2 usage error.  Output format is one
+finding per line, ``path:line:col: RULE message`` — the same shape as
+ruff/mypy so editors and CI annotate it for free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import Rule, lint_paths
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+
+
+def _select_rules(
+    select: Optional[str], disable: Optional[str]
+) -> List[Rule]:
+    rules = list(ALL_RULES)
+    if select:
+        wanted = {r.strip().upper() for r in select.split(",") if r.strip()}
+        unknown = wanted - set(RULES_BY_ID)
+        if unknown:
+            print(
+                f"reprolint: unknown rule(s) in --select: "
+                f"{', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        rules = [r for r in rules if r.id in wanted]
+    if disable:
+        dropped = {r.strip().upper() for r in disable.split(",") if r.strip()}
+        unknown = dropped - set(RULES_BY_ID)
+        if unknown:
+            print(
+                f"reprolint: unknown rule(s) in --disable: "
+                f"{', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        rules = [r for r in rules if r.id not in dropped]
+    return rules
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based protocol linter for the recovery stack",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="RULES",
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.name:<18} {rule.description}")
+        return 0
+
+    rules = _select_rules(args.select, args.disable)
+    if not rules:
+        print("reprolint: no rules selected", file=sys.stderr)
+        return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        for path in missing:
+            print(f"reprolint: no such file or directory: {path}",
+                  file=sys.stderr)
+        return 2
+    findings = lint_paths(args.paths, rules=rules)
+    for finding in findings:
+        print(finding.render())
+    if not args.quiet:
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(
+            f"reprolint: {len(findings)} {noun} "
+            f"({len(rules)} rules)",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,297 @@
+"""Rule engine: file discovery, suppression comments, finding model.
+
+The engine is deliberately small.  A rule is an object with an ``id``
+(``R001``...), a one-line ``description`` and a ``check`` method that
+walks a parsed module and yields :class:`Finding`\\ s.  The engine owns
+everything rules should not care about: collecting ``*.py`` files,
+parsing, mapping ``# reprolint: disable=...`` comments to lines, and
+filtering suppressed findings.
+
+Suppression syntax (checked by :func:`parse_suppressions`):
+
+* trailing, applies to its own line::
+
+      page.page_lsn = usn  # reprolint: disable=R001 -- justification
+
+* standalone, applies to the next statement line::
+
+      # reprolint: disable=R002,R005
+      t = wall_clock_hack()
+
+* file-wide, anywhere in the file::
+
+      # reprolint: disable-file=R003
+
+``disable=all`` suppresses every rule for the target line.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: Matches one suppression pragma inside a comment.
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)(?:\s*--.*)?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression state parsed from comments."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_wide or "all" in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return rule_id in rules or "all" in rules
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract ``# reprolint:`` pragmas from ``source``.
+
+    A pragma on a line holding code applies to that line; a pragma on a
+    standalone comment line applies to the next line that holds code
+    (chains of comment lines all roll forward onto that line).
+    """
+    supp = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return supp
+    # Lines that contain at least one non-comment, non-trivia token.
+    code_lines: Set[int] = set()
+    for tok in tokens:
+        if tok.type not in (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            code_lines.add(tok.start[0])
+    pending: Set[str] = set()
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            match = _PRAGMA.search(tok.string)
+            if match is None:
+                continue
+            rules = {
+                r.strip() for r in match.group("rules").split(",") if r.strip()
+            }
+            if match.group("kind") == "disable-file":
+                supp.file_wide |= rules
+            elif tok.start[0] in code_lines:  # trailing comment
+                supp.by_line.setdefault(tok.start[0], set()).update(rules)
+            else:  # standalone comment: applies to the next code line
+                pending |= rules
+        elif pending and tok.start[0] in code_lines:
+            supp.by_line.setdefault(tok.start[0], set()).update(pending)
+            pending = set()
+    return supp
+
+
+class LintContext:
+    """Everything a rule needs to know about one module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.module_path = _normalise(path)
+        self.is_test = self.module_path.startswith("tests/") or os.path.basename(
+            self.module_path
+        ).startswith(("test_", "conftest"))
+
+    def in_module(self, *suffixes: str) -> bool:
+        """Does this file match any of the given path suffixes?"""
+        return any(self.module_path.endswith(s) for s in suffixes)
+
+    def finding(
+        self, rule_id: str, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+def _normalise(path: str) -> str:
+    """Repo-relative posix path with any ``src/`` prefix stripped."""
+    norm = path.replace(os.sep, "/")
+    for marker in ("src/", "/src/"):
+        idx = norm.find(marker)
+        if idx != -1:
+            return norm[idx + len(marker):]
+    return norm.lstrip("./")
+
+
+class Rule:
+    """Base class for lint rules; subclasses set the class attributes."""
+
+    id: str = "R000"
+    name: str = "unnamed"
+    description: str = ""
+    #: Skip test modules entirely when False.
+    applies_to_tests: bool = True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def run(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_test and not self.applies_to_tests:
+            return
+        yield from self.check(ctx)
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers used by several rules
+# ----------------------------------------------------------------------
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a Name/Attribute/Call chain, if any.
+
+    ``addr`` -> ``addr``; ``self.glm.acquire`` -> ``acquire``;
+    ``LogAddress(1, 2)`` -> ``LogAddress``.
+    """
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def dotted(node: ast.AST) -> str:
+    """Best-effort dotted rendering of a Name/Attribute chain."""
+    if isinstance(node, ast.Attribute):
+        return f"{dotted(node.value)}.{node.attr}"
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return dotted(node.func)
+    return "<expr>"
+
+
+def walk_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Yield every function/method definition in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def function_calls(func: ast.AST) -> Iterator[ast.Call]:
+    """Calls lexically inside ``func`` but not inside nested defs."""
+    for node in _walk_same_scope(func):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _walk_same_scope(func: ast.AST) -> Iterator[ast.AST]:
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # nested scope: its calls belong to it, not us
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ----------------------------------------------------------------------
+# running
+# ----------------------------------------------------------------------
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one module given as a string (fixture/test entry point)."""
+    from repro.lint.rules import ALL_RULES
+
+    active = list(ALL_RULES if rules is None else rules)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id="E000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(path, source, tree)
+    supp = parse_suppressions(source)
+    findings: List[Finding] = []
+    for rule in active:
+        for finding in rule.run(ctx):
+            if not supp.is_suppressed(finding.rule_id, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``*.py`` paths."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs if not d.startswith(".") and d != "__pycache__"
+            )
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    out.append(os.path.join(root, name))
+    return iter(sorted(out))
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths``; returns sorted findings."""
+    findings: List[Finding] = []
+    for filename in iter_python_files(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            findings.append(
+                Finding(filename, 1, 1, "E001", f"cannot read file: {exc}")
+            )
+            continue
+        findings.extend(lint_source(source, path=filename, rules=rules))
+    return findings

@@ -1,0 +1,26 @@
+"""Rule registry: one module per protocol concern.
+
+Rule IDs are stable and documented in ``docs/static_analysis.md``;
+suppression comments reference them, so never renumber.
+"""
+
+from typing import Dict, List
+
+from repro.lint.engine import Rule
+from repro.lint.rules.clock import ClockDisciplineRule
+from repro.lint.rules.errors import ErrorDisciplineRule
+from repro.lint.rules.locks import LockPairingRule
+from repro.lint.rules.lsn import LsnHygieneRule
+from repro.lint.rules.wal import WalDisciplineRule
+
+ALL_RULES: List[Rule] = [
+    WalDisciplineRule(),
+    ClockDisciplineRule(),
+    LsnHygieneRule(),
+    LockPairingRule(),
+    ErrorDisciplineRule(),
+]
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+__all__ = ["ALL_RULES", "RULES_BY_ID"]

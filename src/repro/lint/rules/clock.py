@@ -1,0 +1,214 @@
+"""R002 — clock discipline: no wall-clock, no unseeded randomness.
+
+The paper's headline constraint is that recovery must work without
+synchronized clocks; our stronger, testable form is that the simulation
+is fully deterministic.  Wall-clock reads (``time.time``,
+``datetime.now``...), real sleeping, and process-global or unseeded
+RNGs all make two runs with the same seed diverge, which silently
+invalidates every benchmark in ``benchmarks/`` and every
+failure-injection test.
+
+Allowed: :mod:`repro.common.clock` (the simulated clocks live there)
+and explicitly seeded generators — ``random.Random(seed)`` — anywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.engine import Finding, LintContext, Rule
+
+_ALLOWED_MODULES = ("common/clock.py",)
+
+#: Banned attribute calls on the ``time`` module.
+_TIME_BANNED = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+        "localtime",
+        "gmtime",
+    }
+)
+
+#: Banned constructors/classmethods on datetime classes.
+_DATETIME_BANNED = frozenset({"now", "utcnow", "today"})
+
+#: Module-level ``random.*`` functions that use the process-global RNG.
+_RANDOM_BANNED = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "getrandbits",
+        "seed",
+    }
+)
+
+
+class _ImportMap:
+    """Which local names refer to the time/datetime/random modules."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.time_modules: Set[str] = set()
+        self.datetime_modules: Set[str] = set()
+        self.datetime_classes: Set[str] = set()
+        self.random_modules: Set[str] = set()
+        self.random_class: Set[str] = set()
+        self.system_random: Set[str] = set()
+        self.from_time: Set[str] = set()
+        self.from_random: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if alias.name == "time":
+                        self.time_modules.add(local)
+                    elif alias.name == "datetime":
+                        self.datetime_modules.add(local)
+                    elif alias.name == "random":
+                        self.random_modules.add(local)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_BANNED:
+                            self.from_time.add(alias.asname or alias.name)
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            self.datetime_classes.add(alias.asname or alias.name)
+                elif node.module == "random":
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        if alias.name in _RANDOM_BANNED:
+                            self.from_random.add(local)
+                        elif alias.name == "Random":
+                            self.random_class.add(local)
+                        elif alias.name == "SystemRandom":
+                            self.system_random.add(local)
+
+
+class ClockDisciplineRule(Rule):
+    id = "R002"
+    name = "clock-discipline"
+    description = (
+        "no wall-clock reads, real sleeps, or unseeded randomness "
+        "outside common/clock.py"
+    )
+    applies_to_tests = True  # determinism matters most in tests
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.in_module(*_ALLOWED_MODULES):
+            return
+        imports = _ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ):
+                receiver, attr = func.value.id, func.attr
+                if receiver in imports.time_modules and attr in _TIME_BANNED:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"wall-clock call time.{attr}(); use the simulated "
+                        "repro.common.clock.SkewedClock",
+                    )
+                elif (
+                    receiver in imports.datetime_classes
+                    or receiver in imports.datetime_modules
+                ) and attr in _DATETIME_BANNED:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"wall-clock call {receiver}.{attr}(); the simulation "
+                        "must not observe real time",
+                    )
+                elif receiver in imports.random_modules:
+                    if attr in _RANDOM_BANNED:
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            f"process-global RNG call random.{attr}(); use a "
+                            "seeded random.Random(seed) instance",
+                        )
+                    elif attr == "Random" and not node.args:
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            "random.Random() without a seed is "
+                            "nondeterministic; pass an explicit seed",
+                        )
+                    elif attr == "SystemRandom":
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            "random.SystemRandom draws OS entropy and can "
+                            "never be reproduced",
+                        )
+            elif isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Attribute
+            ):
+                # datetime.datetime.now(...) via the module.
+                inner = func.value
+                if (
+                    isinstance(inner.value, ast.Name)
+                    and inner.value.id in imports.datetime_modules
+                    and inner.attr in ("datetime", "date")
+                    and func.attr in _DATETIME_BANNED
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"wall-clock call {inner.value.id}.{inner.attr}."
+                        f"{func.attr}(); the simulation must not observe "
+                        "real time",
+                    )
+            elif isinstance(func, ast.Name):
+                if func.id in imports.from_time:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"wall-clock call {func.id}() (imported from time)",
+                    )
+                elif func.id in imports.from_random:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"process-global RNG call {func.id}() (imported from "
+                        "random); use a seeded random.Random(seed)",
+                    )
+                elif func.id in imports.random_class and not node.args:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"{func.id}() without a seed is nondeterministic; "
+                        "pass an explicit seed",
+                    )
+                elif func.id in imports.system_random:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"{func.id} draws OS entropy and can never be "
+                        "reproduced",
+                    )

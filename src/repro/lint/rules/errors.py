@@ -1,0 +1,71 @@
+"""R005 — error discipline: don't swallow recovery errors.
+
+Recovery code signals protocol violations with the typed hierarchy in
+:mod:`repro.common.errors`.  A bare ``except:`` or a silent
+``except Exception: pass`` converts an integrity violation (say, a
+:class:`~repro.common.errors.WALViolationError`) into nothing at all —
+the run continues with a corrupted complex, and the verifier reports a
+confusing downstream symptom instead of the cause.
+
+Flags:
+
+* bare ``except:`` — always;
+* ``except Exception:`` / ``except BaseException:`` (alone or in a
+  tuple) whose body contains no ``raise`` — catching the world is only
+  acceptable when the handler re-raises (e.g. after logging).
+
+Catching specific types (including :class:`ReproError` subclasses) and
+swallowing them is allowed: that is a deliberate, visible decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, LintContext, Rule, terminal_name
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _catches_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    return any(terminal_name(c) in _BROAD for c in candidates)
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+class ErrorDisciplineRule(Rule):
+    id = "R005"
+    name = "error-discipline"
+    description = (
+        "no bare except or silent 'except Exception'; catch the typed "
+        "errors from repro.common.errors instead"
+    )
+    applies_to_tests = True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "bare 'except:' swallows everything including "
+                    "KeyboardInterrupt; catch a type from "
+                    "repro.common.errors",
+                )
+            elif _catches_broad(node) and not _reraises(node):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "'except Exception' without re-raise hides recovery "
+                    "errors (WALViolationError, RecoveryError...); catch "
+                    "the specific ReproError subclass",
+                )

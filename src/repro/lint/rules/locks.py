@@ -1,0 +1,92 @@
+"""R004 — lock acquire/release pairing.
+
+The global lock manager's single-threaded protocol (DESIGN.md; paper
+Section 2) parks conflicting requests instead of blocking, so a lock
+that is acquired and never released does not deadlock the process — it
+silently serialises every later transaction that touches the resource.
+That failure mode never crashes a test; it just makes results wrong
+under concurrency.
+
+Scope-level heuristic: within one class (or the module's top-level
+functions taken together), any call to ``*.acquire``/``*.try_acquire``
+on a lock-ish receiver (terminal identifier containing ``lock`` or
+``lm``/``glm``) must be matched by at least one ``*.release`` /
+``*.release_all`` call, or a ``with`` statement over the same kind of
+receiver, somewhere in the same scope.  Per-path analysis is out of
+scope for an AST linter; the runtime verifier covers leaks the
+heuristic cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.engine import Finding, LintContext, Rule, terminal_name
+
+_ACQUIRES = frozenset({"acquire", "try_acquire"})
+_RELEASES = frozenset({"release", "release_all"})
+
+
+def _lockish(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    lowered = name.lower()
+    return "lock" in lowered or lowered in ("glm", "lm", "llm")
+
+
+def _receiver(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute):
+        return terminal_name(call.func.value)
+    return None
+
+
+class LockPairingRule(Rule):
+    id = "R004"
+    name = "lock-pairing"
+    description = (
+        "lock-manager acquire without any matching release/release_all "
+        "in the same class or module scope"
+    )
+    applies_to_tests = False  # tests exercise unpaired acquires on purpose
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        scopes: List[Tuple[str, List[ast.stmt]]] = []
+        module_level: List[ast.stmt] = []
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                scopes.append((node.name, node.body))
+            else:
+                module_level.append(node)
+        scopes.append(("<module>", module_level))
+        for scope_name, body in scopes:
+            acquires: List[ast.Call] = []
+            released = False
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Call):
+                        name = terminal_name(node.func)
+                        if (
+                            name in _ACQUIRES
+                            and isinstance(node.func, ast.Attribute)
+                            and _lockish(_receiver(node))
+                        ):
+                            acquires.append(node)
+                        elif name in _RELEASES and isinstance(
+                            node.func, ast.Attribute
+                        ):
+                            released = True
+                    elif isinstance(node, (ast.With, ast.AsyncWith)):
+                        for item in node.items:
+                            if _lockish(terminal_name(item.context_expr)):
+                                released = True  # context manager pairs itself
+            if acquires and not released:
+                for call in acquires:
+                    yield ctx.finding(
+                        self.id,
+                        call,
+                        f"'{_receiver(call)}.{terminal_name(call.func)}' in "
+                        f"scope '{scope_name}' has no matching release/"
+                        "release_all anywhere in the scope — leaked locks "
+                        "serialise all later transactions",
+                    )

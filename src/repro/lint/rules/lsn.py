@@ -1,0 +1,119 @@
+"""R003 — LSN/LogAddress hygiene.
+
+The paper's whole point (Section 3.2) is that a page's LSN and a log
+record's *address* live in different spaces: LSNs are comparable across
+the complex, log addresses only within one system's local log.  Python
+will happily order a :class:`~repro.common.lsn.LogAddress` against an
+``int`` (dataclass ordering vs. TypeError only at runtime, and only on
+some operand shapes), so the confusion tends to surface deep inside a
+recovery pass.
+
+Checks, all heuristic and name-based (this is a linter, not a type
+checker — ``mypy`` covers the nominal-typing half):
+
+* ordering comparisons where one operand is address-like (a
+  ``LogAddress(...)`` construction, or a name whose terminal identifier
+  contains ``addr``) and the other is LSN-like (an integer literal or a
+  name containing ``lsn``/``usn``);
+* any ordering comparison against ``NULL_LOG_ADDRESS`` — the sentinel
+  must be tested with :func:`repro.common.lsn.is_null_address`;
+* ordering two address-like operands outside the modules that own
+  address arithmetic (``common/lsn.py`` and ``wal/``) — cross-system
+  address order is meaningless; route through the log-manager helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import Finding, LintContext, Rule, terminal_name
+
+_ORDERING = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+#: Modules allowed to order two LogAddresses (same-log arithmetic).
+_ADDRESS_MATH_MODULES = ("common/lsn.py",)
+_ADDRESS_MATH_PREFIXES = ("repro/wal/",)
+
+
+def _terminal(node: ast.AST) -> Optional[str]:
+    name = terminal_name(node)
+    return name.lower() if name else None
+
+
+def _is_address_like(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call) and terminal_name(node.func) == "LogAddress":
+        return True
+    name = _terminal(node)
+    if name is None:
+        return False
+    if name == "null_log_address":
+        return True
+    return "addr" in name or name.endswith("address")
+
+
+def _is_null_address(node: ast.AST) -> bool:
+    return _terminal(node) == "null_log_address"
+
+
+def _is_lsn_like(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return not isinstance(node.value, bool)
+    name = _terminal(node)
+    if name is None:
+        return False
+    return "lsn" in name or "usn" in name
+
+
+class LsnHygieneRule(Rule):
+    id = "R003"
+    name = "lsn-hygiene"
+    description = (
+        "LogAddress values must not be ordered against LSNs/ints or "
+        "across systems; test the null sentinel with is_null_address"
+    )
+    applies_to_tests = True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        in_address_math = ctx.in_module(*_ADDRESS_MATH_MODULES) or any(
+            ctx.module_path.startswith(p) for p in _ADDRESS_MATH_PREFIXES
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for idx, op in enumerate(node.ops):
+                if not isinstance(op, _ORDERING):
+                    continue
+                left, right = operands[idx], operands[idx + 1]
+                if _is_null_address(left) or _is_null_address(right):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "ordering comparison against NULL_LOG_ADDRESS; use "
+                        "is_null_address() — the sentinel's order across "
+                        "systems is an accident",
+                    )
+                    continue
+                left_addr, right_addr = _is_address_like(left), _is_address_like(right)
+                if left_addr and right_addr:
+                    if not in_address_math:
+                        yield ctx.finding(
+                            self.id,
+                            node,
+                            "ordering two LogAddresses outside common/lsn.py "
+                            "and wal/ — cross-system log-address order is "
+                            "meaningless; compare LSNs or go through the "
+                            "log-manager helpers",
+                        )
+                elif (left_addr and _is_lsn_like(right)) or (
+                    right_addr and _is_lsn_like(left)
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "ordering a LogAddress against an LSN/int — these "
+                        "live in different address spaces (paper Section "
+                        "3.2); compare record.lsn, or addr.offset for "
+                        "same-log positions",
+                    )

@@ -8,9 +8,21 @@ module only knows *how*.
 
 from __future__ import annotations
 
+from repro.common.lsn import Lsn
 from repro.storage.page import Page, PageType
 from repro.storage.space_map import SpaceMap
 from repro.wal.records import LogRecord, PageOp, decode_op, encode_op
+
+
+def stamp_page_lsn(page: Page, lsn: Lsn) -> None:
+    """Advance ``page``'s page_LSN to ``lsn`` (WAL bookkeeping).
+
+    This is the *only* sanctioned way to move a page_LSN outside this
+    module and the page class itself (lint rule R001): callers must
+    have appended the covering log record first, passing the old
+    page_LSN to the log manager so the USN rule can observe it.
+    """
+    page.page_lsn = lsn
 
 
 def apply_op(page: Page, slot: int, op: PageOp, data: bytes) -> None:
@@ -43,6 +55,20 @@ def apply_redo(page: Page, record: LogRecord) -> None:
     op, data = decode_op(record.redo)
     apply_op(page, record.slot, op, data)
     page.page_lsn = record.lsn
+
+
+def apply_payload(page: Page, slot: int, payload: bytes, lsn: Lsn) -> None:
+    """Apply an encoded operation to ``page`` and stamp ``lsn``.
+
+    The shared tail of every logged-update path: normal-processing undo
+    (apply the record's undo op, stamp the CLR's LSN) and CS/SD replay
+    of already-encoded operations.  Using this helper instead of an
+    inline ``decode_op``/``apply_op``/``page_lsn=`` triple keeps every
+    page_LSN advance inside this module (lint rule R001).
+    """
+    op, data = decode_op(payload)
+    apply_op(page, slot, op, data)
+    page.page_lsn = lsn
 
 
 def apply_undo(page: Page, record: LogRecord, clr_lsn: int) -> bytes:

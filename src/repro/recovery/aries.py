@@ -19,13 +19,12 @@ from typing import Dict, Optional, Tuple
 
 from repro.common.config import NULL_LSN
 from repro.common.lsn import Lsn
-from repro.recovery.apply import apply_op, apply_redo
+from repro.recovery.apply import apply_payload, apply_redo
 from repro.txn.transaction import Transaction
 from repro.wal.records import (
     CheckpointData,
     LogRecord,
     RecordKind,
-    decode_op,
     make_clr,
 )
 
@@ -287,9 +286,7 @@ def _compensate(instance, txn_id: int, record: LogRecord,
             prev_lsn=prev_lsn,
         )
         addr = log.append(clr, page_lsn=page.page_lsn)
-        op, data = decode_op(record.undo)
-        apply_op(page, record.slot, op, data)
-        page.page_lsn = clr.lsn
+        apply_payload(page, record.slot, record.undo, clr.lsn)
         pool.note_update(record.page_id, clr.lsn, addr.offset,
                          log.end_offset)
         return clr.lsn

@@ -22,7 +22,7 @@ from repro.common.errors import LockWouldBlock, ReproError
 from repro.common.lsn import Lsn
 from repro.common.stats import PAGE_READS_AVOIDED
 from repro.locking.lock_manager import LockMode, LockStatus, page_lock, record_lock
-from repro.recovery.apply import apply_op
+from repro.recovery.apply import apply_op, apply_payload, stamp_page_lsn
 from repro.storage.page import Page, PageType
 from repro.storage.space_map import SpaceMap
 from repro.txn.manager import TransactionManager
@@ -186,9 +186,7 @@ class DbmsInstance:
                 prev_lsn=txn.last_lsn,
             )
             addr = self.log.append(clr, page_lsn=page.page_lsn)
-            op, data = decode_op(record.undo)
-            apply_op(page, record.slot, op, data)
-            page.page_lsn = clr.lsn
+            apply_payload(page, record.slot, record.undo, clr.lsn)
             self.pool.note_update(record.page_id, clr.lsn, addr.offset,
                                   self.log.end_offset)
             txn.note_logged(clr.lsn, addr.offset, undoable=False)
@@ -494,7 +492,7 @@ class DbmsInstance:
         if not already_applied:
             op, data = decode_op(record.redo)
             apply_op(page, record.slot, op, data)
-        page.page_lsn = record.lsn
+        stamp_page_lsn(page, record.lsn)
         self.pool.note_update(page.page_id, record.lsn, addr.offset,
                               self.log.end_offset)
         txn.note_logged(record.lsn, addr.offset,
@@ -518,6 +516,8 @@ class DbmsInstance:
                 # Roll back the uncommitted in-page insert so the retry
                 # starts clean (nothing was logged yet).
                 if unfix_first.read_record(slot) is not None:
+                    # reprolint: disable=R001 -- compensates an optimistic
+                    # in-page insert that was never logged (see caller).
                     unfix_first.delete_record(slot)
             raise
 

@@ -23,7 +23,7 @@ the cost difference.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.lsn import LogAddress
 from repro.common.stats import MERGE_COMPARISONS, StatsRegistry
@@ -72,9 +72,9 @@ MergedEntry = Tuple[LogAddress, LogRecord]
 
 def _log_streams(
     logs: Iterable[LogManager],
-    from_offsets: Optional[dict] = None,
+    from_offsets: Optional[Dict[int, int]] = None,
 ) -> List[Iterator[MergedEntry]]:
-    streams = []
+    streams: List[Iterator[MergedEntry]] = []
     for log in logs:
         start = 0
         if from_offsets is not None:
@@ -86,7 +86,7 @@ def _log_streams(
 def merge_local_logs(
     logs: Iterable[LogManager],
     stats: Optional[StatsRegistry] = None,
-    from_offsets: Optional[dict] = None,
+    from_offsets: Optional[Dict[int, int]] = None,
 ) -> Iterator[MergedEntry]:
     """k-way merge of USN local logs by LSN alone.
 
@@ -115,7 +115,7 @@ def merge_local_logs(
 def lomet_merge(
     logs: Iterable[LogManager],
     stats: Optional[StatsRegistry] = None,
-    from_offsets: Optional[dict] = None,
+    from_offsets: Optional[Dict[int, int]] = None,
 ) -> Iterator[MergedEntry]:
     """Merge for the Lomet baseline: keyed by ``(page_id, LSN)``.
 
@@ -127,7 +127,7 @@ def lomet_merge(
     the scheme costly; we charge one comparison per record routed.
     """
     stats = stats if stats is not None else StatsRegistry()
-    runs: dict = {}
+    runs: Dict[int, List[MergedEntry]] = {}
     for stream in _log_streams(logs, from_offsets):
         for entry in stream:
             page_id = entry[1].page_id
@@ -139,7 +139,7 @@ def lomet_merge(
     # per (page, source) so the heap only ever compares run heads.
     per_source_runs: List[List[MergedEntry]] = []
     for page_id in sorted(runs):
-        by_source: dict = {}
+        by_source: Dict[int, List[MergedEntry]] = {}
         for entry in runs[page_id]:
             by_source.setdefault(entry[0].system_id, []).append(entry)
         per_source_runs.extend(by_source.values())
@@ -162,7 +162,7 @@ def merged_records_for_page(
     logs: Iterable[LogManager],
     page_id: int,
     stats: Optional[StatsRegistry] = None,
-    from_offsets: Optional[dict] = None,
+    from_offsets: Optional[Dict[int, int]] = None,
 ) -> List[MergedEntry]:
     """All records describing ``page_id`` in complex-wide LSN order.
 

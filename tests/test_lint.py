@@ -1,0 +1,543 @@
+"""Tests for reprolint (repro.lint): rules, suppressions, CLI, and the
+tier-1 gate that keeps the real tree clean forever.
+
+Each rule is exercised in both directions — a fixture snippet seeded
+with a violation must produce a finding with the right rule ID and
+line, and the corresponding clean snippet must produce none.
+"""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, lint_paths, lint_source
+from repro.lint.engine import parse_suppressions
+from repro.lint.rules import RULES_BY_ID
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Synthetic path that makes fixtures look like library modules.
+SRC = "src/repro/fake/module.py"
+#: ... and like test modules.
+TST = "tests/test_fake.py"
+
+
+def findings_for(source, path=SRC, rule=None):
+    rules = None if rule is None else [RULES_BY_ID[rule]]
+    return lint_source(textwrap.dedent(source), path=path, rules=rules)
+
+
+def ids_of(findings):
+    return [f.rule_id for f in findings]
+
+
+# ----------------------------------------------------------------------
+# R001 — wal-discipline
+# ----------------------------------------------------------------------
+class TestR001:
+    def test_direct_page_lsn_write_flagged(self):
+        found = findings_for(
+            """
+            def redo(page, record):
+                page.page_lsn = record.lsn
+            """
+        )
+        assert ids_of(found) == ["R001"]
+        assert found[0].line == 3
+
+    def test_augmented_write_flagged(self):
+        found = findings_for("page.page_lsn += 1\n")
+        assert ids_of(found) == ["R001"]
+
+    def test_allowed_in_apply_module(self):
+        source = "def stamp(page, lsn):\n    page.page_lsn = lsn\n"
+        assert findings_for(source, path="src/repro/recovery/apply.py") == []
+        assert findings_for(source, path="src/repro/storage/page.py") == []
+
+    def test_unlogged_mutation_flagged(self):
+        found = findings_for(
+            """
+            def mutate(page, payload):
+                return page.insert_record(payload)
+            """
+        )
+        assert ids_of(found) == ["R001"]
+        assert "no log append" in found[0].message
+
+    def test_logged_mutation_clean(self):
+        assert (
+            findings_for(
+                """
+                def mutate(self, page, payload):
+                    slot = page.insert_record(payload)
+                    self.log.append(make_record(payload), page_lsn=page.page_lsn)
+                    return slot
+                """
+            )
+            == []
+        )
+
+    def test_mutation_via_log_wrapper_clean(self):
+        assert (
+            findings_for(
+                """
+                def mutate(self, page, payload):
+                    page.update_record(0, payload)
+                    self._log_applied_update(page, payload)
+                """
+            )
+            == []
+        )
+
+    def test_tests_exempt(self):
+        source = "def test_x(page):\n    page.page_lsn = 5\n"
+        assert findings_for(source, path=TST) == []
+
+
+# ----------------------------------------------------------------------
+# R002 — clock-discipline
+# ----------------------------------------------------------------------
+class TestR002:
+    def test_wall_clock_flagged(self):
+        found = findings_for(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert ids_of(found) == ["R002"]
+
+    def test_sleep_flagged(self):
+        found = findings_for("import time\ntime.sleep(1)\n")
+        assert ids_of(found) == ["R002"]
+
+    def test_from_import_flagged(self):
+        found = findings_for(
+            "from time import perf_counter\nelapsed = perf_counter()\n"
+        )
+        assert ids_of(found) == ["R002"]
+
+    def test_datetime_now_flagged(self):
+        found = findings_for(
+            "import datetime\nts = datetime.datetime.now()\n"
+        )
+        assert ids_of(found) == ["R002"]
+        found = findings_for(
+            "from datetime import datetime\nts = datetime.now()\n"
+        )
+        assert ids_of(found) == ["R002"]
+
+    def test_global_rng_flagged(self):
+        found = findings_for("import random\nx = random.randint(1, 6)\n")
+        assert ids_of(found) == ["R002"]
+
+    def test_unseeded_random_flagged(self):
+        found = findings_for("import random\nrng = random.Random()\n")
+        assert ids_of(found) == ["R002"]
+
+    def test_seeded_random_clean(self):
+        assert findings_for("import random\nrng = random.Random(42)\n") == []
+        assert (
+            findings_for(
+                "import random as _random\nrng = _random.Random(11)\n"
+            )
+            == []
+        )
+
+    def test_clock_module_exempt(self):
+        source = "import time\nnow = time.time()\n"
+        assert findings_for(source, path="src/repro/common/clock.py") == []
+
+    def test_applies_to_tests(self):
+        found = findings_for("import time\nt = time.time()\n", path=TST)
+        assert ids_of(found) == ["R002"]
+
+
+# ----------------------------------------------------------------------
+# R003 — lsn-hygiene
+# ----------------------------------------------------------------------
+class TestR003:
+    def test_address_vs_int_flagged(self):
+        found = findings_for(
+            """
+            def check(addr, lsn):
+                return addr < lsn
+            """
+        )
+        assert ids_of(found) == ["R003"]
+
+    def test_constructed_address_vs_literal_flagged(self):
+        found = findings_for(
+            "from repro.common.lsn import LogAddress\n"
+            "ok = LogAddress(1, 2) > 10\n"
+        )
+        assert ids_of(found) == ["R003"]
+
+    def test_null_sentinel_ordering_flagged(self):
+        found = findings_for(
+            "from repro.common.lsn import NULL_LOG_ADDRESS\n"
+            "def f(addr):\n"
+            "    return NULL_LOG_ADDRESS < addr\n"
+        )
+        assert ids_of(found) == ["R003"]
+        assert "is_null_address" in found[0].message
+
+    def test_cross_address_ordering_flagged_outside_wal(self):
+        found = findings_for(
+            "def f(addr_a, addr_b):\n    return addr_a < addr_b\n"
+        )
+        assert ids_of(found) == ["R003"]
+
+    def test_address_ordering_allowed_in_wal(self):
+        source = "def f(addr_a, addr_b):\n    return addr_a < addr_b\n"
+        assert findings_for(source, path="src/repro/wal/merge.py") == []
+        assert findings_for(source, path="src/repro/common/lsn.py") == []
+
+    def test_lsn_vs_lsn_clean(self):
+        assert (
+            findings_for(
+                "def f(record, page):\n"
+                "    return record.lsn > page.page_lsn\n"
+            )
+            == []
+        )
+
+    def test_offset_vs_int_clean(self):
+        # addr.offset is a same-log byte position, not an address value.
+        assert (
+            findings_for("def f(addr, end):\n    return addr.offset < end\n")
+            == []
+        )
+
+
+# ----------------------------------------------------------------------
+# R004 — lock-pairing
+# ----------------------------------------------------------------------
+class TestR004:
+    def test_acquire_without_release_flagged(self):
+        found = findings_for(
+            """
+            class Broken:
+                def grab(self, txn, resource, mode):
+                    return self.lock_manager.acquire(txn, resource, mode)
+            """
+        )
+        assert ids_of(found) == ["R004"]
+
+    def test_acquire_with_release_in_scope_clean(self):
+        assert (
+            findings_for(
+                """
+                class Fine:
+                    def grab(self, txn, resource, mode):
+                        return self.glm.acquire(txn, resource, mode)
+
+                    def drop(self, txn):
+                        self.glm.release_all(txn)
+                """
+            )
+            == []
+        )
+
+    def test_module_level_pairing(self):
+        found = findings_for(
+            "def grab(glm, txn, r, m):\n    glm.acquire(txn, r, m)\n"
+        )
+        assert ids_of(found) == ["R004"]
+        assert (
+            findings_for(
+                "def grab(glm, txn, r, m):\n    glm.acquire(txn, r, m)\n"
+                "def drop(glm, txn, r):\n    glm.release(txn, r)\n"
+            )
+            == []
+        )
+
+    def test_non_lock_receiver_ignored(self):
+        # Not lock-ish: e.g. a semaphore-free queue with an acquire name.
+        assert (
+            findings_for("def f(conn):\n    conn.acquire(1)\n") == []
+        )
+
+    def test_tests_exempt(self):
+        source = "def test_grab(glm):\n    glm.acquire(1, 2, 3)\n"
+        assert findings_for(source, path=TST) == []
+
+
+# ----------------------------------------------------------------------
+# R005 — error-discipline
+# ----------------------------------------------------------------------
+class TestR005:
+    def test_bare_except_flagged(self):
+        found = findings_for(
+            """
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+            """
+        )
+        assert ids_of(found) == ["R005"]
+
+    def test_swallowed_exception_flagged(self):
+        found = findings_for(
+            """
+            def f():
+                try:
+                    g()
+                except Exception:
+                    pass
+            """
+        )
+        assert ids_of(found) == ["R005"]
+
+    def test_broad_in_tuple_flagged(self):
+        found = findings_for(
+            """
+            def f():
+                try:
+                    g()
+                except (ValueError, Exception):
+                    pass
+            """
+        )
+        assert ids_of(found) == ["R005"]
+
+    def test_reraise_clean(self):
+        assert (
+            findings_for(
+                """
+                def f(log):
+                    try:
+                        g()
+                    except Exception:
+                        log.note("boom")
+                        raise
+                """
+            )
+            == []
+        )
+
+    def test_specific_type_clean(self):
+        assert (
+            findings_for(
+                """
+                from repro.common.errors import ReproError
+
+                def f():
+                    try:
+                        g()
+                    except ReproError:
+                        pass
+                """
+            )
+            == []
+        )
+
+
+# ----------------------------------------------------------------------
+# suppression comments
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_trailing_disable(self):
+        assert (
+            findings_for(
+                "def f(page, lsn):\n"
+                "    page.page_lsn = lsn  # reprolint: disable=R001 -- why\n"
+            )
+            == []
+        )
+
+    def test_standalone_disable_applies_to_next_line(self):
+        assert (
+            findings_for(
+                "def f(page, lsn):\n"
+                "    # reprolint: disable=R001 -- justified\n"
+                "    page.page_lsn = lsn\n"
+            )
+            == []
+        )
+
+    def test_disable_wrong_rule_keeps_finding(self):
+        found = findings_for(
+            "def f(page, lsn):\n"
+            "    page.page_lsn = lsn  # reprolint: disable=R005\n"
+        )
+        assert ids_of(found) == ["R001"]
+
+    def test_disable_all(self):
+        assert (
+            findings_for(
+                "def f(page, lsn):\n"
+                "    page.page_lsn = lsn  # reprolint: disable=all\n"
+            )
+            == []
+        )
+
+    def test_file_wide_disable(self):
+        assert (
+            findings_for(
+                "# reprolint: disable-file=R001\n"
+                "def f(page, lsn):\n"
+                "    page.page_lsn = lsn\n"
+                "def g(page, lsn):\n"
+                "    page.page_lsn = lsn\n"
+            )
+            == []
+        )
+
+    def test_multi_rule_pragma(self):
+        supp = parse_suppressions("x = 1  # reprolint: disable=R001,R002\n")
+        assert supp.is_suppressed("R001", 1)
+        assert supp.is_suppressed("R002", 1)
+        assert not supp.is_suppressed("R003", 1)
+
+
+# ----------------------------------------------------------------------
+# engine / CLI
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_syntax_error_reported_not_raised(self):
+        found = lint_source("def broken(:\n", path=SRC)
+        assert ids_of(found) == ["E000"]
+
+    def test_finding_render_format(self):
+        found = findings_for("page.page_lsn = 1\n")
+        rendered = found[0].render()
+        assert rendered.startswith(f"{SRC}:1:")
+        assert "R001" in rendered
+
+    def test_rule_catalog_complete(self):
+        assert [r.id for r in ALL_RULES] == [
+            "R001",
+            "R002",
+            "R003",
+            "R004",
+            "R005",
+        ]
+        for rule in ALL_RULES:
+            assert rule.description
+
+    def test_cli_clean_file_exits_zero(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        from repro.lint.__main__ import main
+
+        assert main([str(target)]) == 0
+
+    def test_cli_violation_exits_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "module.py"
+        target.write_text("def f(page):\n    page.page_lsn = 1\n")
+        from repro.lint.__main__ import main
+
+        assert main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out
+        assert "module.py:2:" in out
+
+    def test_cli_select(self, tmp_path):
+        target = tmp_path / "module.py"
+        target.write_text("def f(page):\n    page.page_lsn = 1\n")
+        from repro.lint.__main__ import main
+
+        assert main(["--select", "R002", str(target)]) == 0
+        assert main(["--select", "R001", str(target)]) == 1
+
+    def test_cli_list_rules(self, capsys):
+        from repro.lint.__main__ import main
+
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+            assert rule_id in out
+
+    def test_cli_unknown_rule_is_usage_error(self, capsys):
+        import pytest
+
+        from repro.lint.__main__ import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--select", "R999", "src"])
+        assert exc.value.code == 2
+        assert "R999" in capsys.readouterr().err
+
+    def test_cli_missing_path_is_usage_error(self, capsys):
+        from repro.lint.__main__ import main
+
+        assert main(["path/does/not/exist"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# the tier-1 gate: the real tree stays clean, and stays *checkable*
+# ----------------------------------------------------------------------
+class TestRealTree:
+    def test_src_and_tests_are_clean(self):
+        findings = lint_paths([str(REPO / "src"), str(REPO / "tests")])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_each_rule_still_fires_on_seeded_violation(self):
+        """Guard against rules rotting into no-ops: every rule must
+        still produce a finding on its canonical violation."""
+        seeded = {
+            "R001": "def f(page, lsn):\n    page.page_lsn = lsn\n",
+            "R002": "import time\nt = time.time()\n",
+            "R003": "def f(addr, lsn):\n    return addr < lsn\n",
+            "R004": (
+                "class C:\n"
+                "    def f(self):\n"
+                "        self.glm.acquire(1, 2, 3)\n"
+            ),
+            "R005": "try:\n    pass\nexcept Exception:\n    pass\n",
+        }
+        for rule_id, source in seeded.items():
+            found = findings_for(source, rule=rule_id)
+            assert ids_of(found) == [rule_id], (rule_id, found)
+
+    def test_cli_end_to_end_on_repo(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src", "tests"],
+            cwd=str(REPO),
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+
+# ----------------------------------------------------------------------
+# optional externals: mypy strict core and ruff, when installed
+# ----------------------------------------------------------------------
+def _have(module):
+    try:
+        __import__(module)
+        return True
+    except ImportError:
+        return False
+
+
+@pytest.mark.skipif(not _have("mypy"), reason="mypy not installed")
+def test_mypy_strict_core_passes():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        cwd=str(REPO),
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout
+
+
+@pytest.mark.skipif(not _have("ruff"), reason="ruff not installed")
+def test_ruff_passes():
+    result = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src", "tests"],
+        cwd=str(REPO),
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout

@@ -15,6 +15,7 @@ from repro.common.errors import (
     DeadlockError,
     LockWouldBlock,
     ProtocolError,
+    ReproError,
 )
 from repro.harness import verify_sd_complex
 from repro.recovery.checkpoint import archive_log
@@ -59,8 +60,8 @@ def test_soak_everything(  ):
         except (LockWouldBlock, DeadlockError, ProtocolError):
             try:
                 instance.rollback(txn)
-            except Exception:
-                pass
+            except ReproError:
+                pass  # best-effort rollback of a doomed txn
             return False
 
     # --- phase 1: mixed traffic + checkpoints + archiving --------------

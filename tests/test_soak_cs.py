@@ -13,6 +13,7 @@ from repro.common.errors import (
     DeadlockError,
     LockWouldBlock,
     ProtocolError,
+    ReproError,
 )
 from repro.harness import verify_cs_system
 
@@ -60,8 +61,8 @@ def test_soak_client_server():
         except (LockWouldBlock, DeadlockError, ProtocolError):
             try:
                 client.rollback(txn)
-            except Exception:
-                pass
+            except ReproError:
+                pass  # best-effort rollback of a doomed txn
             return False
 
     # Phase 1: mixed traffic with group commits and checkpoints.

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Pre-PR gate: every static check, then the tier-1 test suite.
+#
+#   tools/check.sh            # run everything
+#   tools/check.sh --fast     # static checks only, skip pytest
+#
+# mypy and ruff are optional (pip install -e .[lint]); when absent they
+# are reported as SKIPPED and do not fail the gate — reprolint and
+# pytest are always required.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+failures=0
+
+step() {
+    local name="$1"; shift
+    echo "==> ${name}"
+    if "$@"; then
+        echo "    ${name}: OK"
+    else
+        echo "    ${name}: FAILED"
+        failures=$((failures + 1))
+    fi
+}
+
+skip() {
+    echo "==> $1"
+    echo "    $1: SKIPPED ($2)"
+}
+
+if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then
+    step "ruff" python -m ruff check src tests
+else
+    skip "ruff" "not installed; pip install -e .[lint]"
+fi
+
+if python -c "import mypy" >/dev/null 2>&1; then
+    step "mypy" python -m mypy
+else
+    skip "mypy" "not installed; pip install -e .[lint]"
+fi
+
+step "reprolint" env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python -m repro.lint src/ tests/
+
+if [ "$fast" -eq 0 ]; then
+    step "pytest" env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m pytest -x -q
+fi
+
+echo
+if [ "$failures" -gt 0 ]; then
+    echo "check.sh: ${failures} gate(s) failed"
+    exit 1
+fi
+echo "check.sh: all gates passed"
