@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+import argparse
+import json
+from typing import Callable, List, Optional
+
 from repro import SDComplex
+from repro.harness.experiment import ExperimentResult
 from repro.sd.instance import DbmsInstance
 
 
@@ -22,6 +27,46 @@ def build_sd(n_instances=2, instance_cls=DbmsInstance, **kwargs):
         for i in range(n_instances)
     ]
     return complex_, instances
+
+
+def write_bench_json(result: ExperimentResult,
+                     path: Optional[str] = None) -> str:
+    """Serialize an :class:`ExperimentResult` to ``BENCH_<id>.json``.
+
+    The file round-trips through ``ExperimentResult.from_dict`` —
+    ``python -m repro.trace --bench BENCH_E1.json`` regenerates the
+    tables the run printed, without re-running it.
+    """
+    out = path if path is not None else f"BENCH_{result.experiment_id}.json"
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return out
+
+
+def bench_main(build_result: Callable[[], ExperimentResult],
+               argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point for a bench module.
+
+    Runs the experiment (``build_result`` returns an
+    :class:`ExperimentResult`), prints its rendering, and with
+    ``--json [PATH]`` also writes ``BENCH_<id>.json``.  Returns a
+    process exit status (1 when the claim does not hold).
+    """
+    parser = argparse.ArgumentParser(
+        description="Run this experiment outside pytest-benchmark."
+    )
+    parser.add_argument(
+        "--json", nargs="?", const="", default=None, metavar="PATH",
+        help="also write the result as JSON (default: BENCH_<id>.json)",
+    )
+    args = parser.parse_args(argv)
+    result = build_result()
+    print(result.render())
+    if args.json is not None:
+        out = write_bench_json(result, args.json or None)
+        print(f"wrote {out}")
+    return 0 if result.holds in (True, None) else 1
 
 
 def section_1_5_scenario(instance_cls, filler_records=50):

@@ -13,9 +13,10 @@ import random
 
 from repro.baselines.naive import NaiveDbmsInstance
 from repro.harness import Table, print_banner
+from repro.harness.experiment import ExperimentResult
 from repro.sd.instance import DbmsInstance
 
-from _common import build_sd, committed_row, section_1_5_scenario
+from _common import bench_main, build_sd, committed_row, section_1_5_scenario
 
 
 def randomized_variant(instance_cls, seed):
@@ -53,6 +54,36 @@ def run_experiment():
                      "survives" if exact_ok else "LOST",
                      f"{random_ok}/20"))
     return rows
+
+
+def build_result():
+    """Run E1 and package it as a serializable ExperimentResult."""
+    rows = run_experiment()
+    result = ExperimentResult(
+        "E1",
+        "USN LSN assignment eliminates the Section 1.5 "
+        "lost-update anomaly; LSN = log address does not",
+    )
+    table = Table(["scheme", "T2 LSN", "T1 LSN (later!)",
+                   "exact scenario", "random variants OK"])
+    for row in rows:
+        table.add_row(*row)
+    result.add_table("naive vs USN on the Section 1.5 scenario", table)
+    naive, usn = rows
+    result.record("naive_exact", naive[3])
+    result.record("usn_exact", usn[3])
+    result.record("usn_random_ok", usn[4])
+    return result.conclude(
+        naive[3] == "LOST" and usn[3] == "survives" and usn[4] == "20/20"
+    )
+
+
+def main(argv=None):
+    return bench_main(build_result, argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
 
 
 def test_e1_anomaly(benchmark):

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 from repro.buffer.buffer_pool import BufferPool
 from repro.common.errors import ReproError
 from repro.common.stats import (
+    GLOBAL_LOG_LOCK_MESSAGES,
     GLOBAL_LOG_LOCKS,
     MESSAGES_SENT,
     StatsRegistry,
@@ -52,7 +53,7 @@ class _GlobalLog:
         """
         self.stats.incr(GLOBAL_LOG_LOCKS)
         self.stats.incr(MESSAGES_SENT, 2)
-        self.stats.incr("net.messages.global_log_lock", 2)
+        self.stats.incr(GLOBAL_LOG_LOCK_MESSAGES, 2)
         for record in records:
             self.log.append(record)
         self.log.force()

@@ -17,6 +17,7 @@ experiment E1 isolates the LSN-assignment rule as the only variable.
 from __future__ import annotations
 
 from repro.common.lsn import LogAddress, Lsn
+from repro.obs import events as ev
 from repro.sd.instance import DbmsInstance
 from repro.wal.log_manager import LogManager
 from repro.wal.records import LogRecord
@@ -34,7 +35,14 @@ class NaiveLogManager(LogManager):
         record.lsn = self.end_offset + 1
         record.system_id = self.system_id
         self.local_max_lsn = record.lsn
-        return self._append_bytes(record.to_bytes())
+        addr = self._append_bytes(record.to_bytes())
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.LOG_APPEND, system=self.system_id, lsn=int(record.lsn),
+                kind=record.kind.name, txn=record.txn_id,
+                page=record.page_id, offset=addr.offset,
+            )
+        return addr
 
     def observe_remote_max(self, remote_max_lsn: Lsn) -> None:
         """Naive systems do not exchange LSN maxima."""
@@ -51,6 +59,7 @@ class NaiveDbmsInstance(DbmsInstance):
 
     def __init__(self, system_id, sd_complex, **kwargs) -> None:
         super().__init__(system_id, sd_complex, **kwargs)
-        naive = NaiveLogManager(system_id, stats=self.stats)
+        naive = NaiveLogManager(system_id, stats=self.stats,
+                                tracer=self.tracer)
         self.log = naive
         self.pool.log = naive

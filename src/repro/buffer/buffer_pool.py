@@ -20,6 +20,8 @@ from repro.common.config import DEFAULT_BUFFER_POOL_PAGES
 from repro.common.errors import BufferPoolFullError, WALViolationError
 from repro.common.lsn import Lsn
 from repro.buffer.bcb import BufferControlBlock
+from repro.obs import events as ev
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.storage.disk import SharedDisk
 from repro.storage.page import Page
 from repro.wal.log_manager import LogManager
@@ -40,6 +42,7 @@ class BufferPool:
         capacity: int = DEFAULT_BUFFER_POOL_PAGES,
         enforce_wal: bool = True,
         on_before_write: Optional[Callable[[BufferControlBlock], None]] = None,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("buffer pool needs at least one frame")
@@ -48,6 +51,7 @@ class BufferPool:
         self.capacity = capacity
         self.enforce_wal = enforce_wal
         self.on_before_write = on_before_write
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._frames: "OrderedDict[int, BufferControlBlock]" = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -61,6 +65,10 @@ class BufferPool:
             page = self.disk.read_page(page_id)
             bcb = BufferControlBlock(page=page)
             self._frames[page_id] = bcb
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.PAGE_READ, system=self.log.system_id, page=page_id
+                )
         self._frames.move_to_end(page_id)
         bcb.fix_count += 1
         return bcb.page
@@ -155,6 +163,13 @@ class BufferPool:
             self.on_before_write(bcb)
         self.disk.write_page(bcb.page)
         bcb.mark_clean()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.PAGE_WRITE,
+                system=self.log.system_id,
+                page=page_id,
+                page_lsn=int(bcb.page.page_lsn),
+            )
 
     def flush_all(self) -> None:
         """Write every dirty page (quiesce / clean shutdown)."""
@@ -186,9 +201,17 @@ class BufferPool:
             return
         for page_id, bcb in self._frames.items():  # LRU order
             if bcb.fix_count == 0:
-                if bcb.dirty:
+                was_dirty = bcb.dirty
+                if was_dirty:
                     self.write_page(page_id)
                 del self._frames[page_id]
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        ev.PAGE_EVICT,
+                        system=self.log.system_id,
+                        page=page_id,
+                        dirty=was_dirty,
+                    )
                 return
         raise BufferPoolFullError(
             f"all {self.capacity} frames fixed; cannot evict"

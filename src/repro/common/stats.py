@@ -71,3 +71,13 @@ COMMIT_LSN_HITS = "commit_lsn.hits"
 COMMIT_LSN_MISSES = "commit_lsn.misses"
 PAGE_READS_AVOIDED = "storage.page_reads_avoided"
 GLOBAL_LOG_LOCKS = "global_log.lock_acquisitions"
+GLOBAL_LOG_LOCK_MESSAGES = "net.messages.global_log_lock"
+NET_MAX_LSN_BROADCAST = "net.messages.max_lsn_broadcast"
+LOG_BYTES_ARCHIVED = "log.bytes_archived"
+LOG_ARCHIVE_SCANS = "log.archive_scans"
+LOCK_ESCALATIONS = "lock.escalations"
+
+
+def message_kind_counter(kind: str) -> str:
+    """The per-kind message counter name (``net.messages.<kind>``)."""
+    return f"net.messages.{kind}"

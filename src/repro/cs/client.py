@@ -21,7 +21,9 @@ from repro.common.clock import SkewedClock
 from repro.common.config import NULL_LSN
 from repro.common.errors import LockWouldBlock, ReproError
 from repro.common.lsn import Lsn
+from repro.common.stats import PAGE_READS_AVOIDED
 from repro.locking.lock_manager import LockMode, LockStatus, record_lock
+from repro.obs import events as ev
 from repro.recovery.apply import apply_payload, stamp_page_lsn
 from repro.storage.page import Page, PageType
 from repro.storage.space_map import SpaceMap
@@ -81,12 +83,15 @@ class CsClient:
         self.cache_capacity = cache_capacity
         self.isolation = isolation
         self.stats = server.stats
-        self.log = ClientLogManager(client_id, stats=self.stats)
+        self.tracer = server.tracer
+        self.log = ClientLogManager(client_id, stats=self.stats,
+                                    tracer=self.tracer)
         self.txns = TransactionManager(client_id)
         self.cache: Dict[int, _CachedPage] = {}
         self.clock = clock if clock is not None else SkewedClock(
             offset=101.0 * client_id, rate=1.0 + 0.07 * client_id
         )
+        self.tracer.register_clock(client_id, self.clock)
         self.crashed = False
         # Lazy (group) commits awaiting their covering ship + force.
         self._pending_commits: list = []
@@ -102,7 +107,11 @@ class CsClient:
     # ------------------------------------------------------------------
     def begin(self) -> Transaction:
         self._check_up()
-        return self.txns.begin()
+        txn = self.txns.begin()
+        if self.tracer.enabled:
+            self.tracer.emit(ev.TXN_BEGIN, system=self.client_id,
+                             txn=txn.txn_id)
+        return txn
 
     def commit(self, txn: Transaction, lazy: bool = False) -> None:
         """Commit: buffer the commit record, ship everything, server
@@ -125,6 +134,9 @@ class CsClient:
         end = LogRecord(kind=RecordKind.END, txn_id=txn.txn_id,
                         prev_lsn=txn.last_lsn)
         self.log.append(end)
+        if self.tracer.enabled:
+            self.tracer.emit(ev.TXN_COMMIT, system=self.client_id,
+                             txn=txn.txn_id, lazy=lazy)
         if lazy:
             self._pending_commits.append(txn)
             return
@@ -164,6 +176,9 @@ class CsClient:
         if txn.state not in (TxnState.ACTIVE, TxnState.ABORTING):
             raise ReproError(f"cannot roll back txn in state {txn.state}")
         txn.state = TxnState.ABORTING
+        if self.tracer.enabled:
+            self.tracer.emit(ev.TXN_ROLLBACK, system=self.client_id,
+                             txn=txn.txn_id, savepoint=to_savepoint)
         records = self.log.records_of_txn(txn.txn_id)
         by_lsn = {record.lsn: record for record in records}
         stop_at = 0
@@ -196,10 +211,18 @@ class CsClient:
             redo=record.undo, undo_next_lsn=record.prev_lsn,
             prev_lsn=txn.last_lsn,
         )
-        self.log.append(clr, page_lsn=entry.page.page_lsn)
+        page_lsn_prev = entry.page.page_lsn
+        self.log.append(clr, page_lsn=page_lsn_prev)
         apply_payload(entry.page, record.slot, record.undo, clr.lsn)
         self._note_dirty(entry, clr.lsn)
         txn.note_logged(clr.lsn, 0, undoable=False)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.PAGE_UPDATE, system=self.client_id,
+                page=record.page_id, slot=record.slot, txn=txn.txn_id,
+                lsn=int(clr.lsn), page_lsn_prev=int(page_lsn_prev),
+                kind=RecordKind.CLR.name,
+            )
 
     def set_savepoint(self, txn: Transaction, name: str) -> None:
         self._check_active(txn)
@@ -322,7 +345,7 @@ class CsClient:
         self.cache[chosen] = _CachedPage(page=fresh, dirty=True,
                                          rec_lsn=fmt.lsn)
         self.server.note_new_page(self, chosen)
-        self.stats.incr("storage.page_reads_avoided")
+        self.stats.incr(PAGE_READS_AVOIDED)
         return chosen
 
     def deallocate_page(self, txn: Transaction, page_id: int) -> None:
@@ -423,11 +446,19 @@ class CsClient:
     def _log_applied_update(self, txn: Transaction, entry: _CachedPage,
                             record: LogRecord,
                             lsn_hint: Optional[Lsn] = None) -> None:
-        hint = entry.page.page_lsn if lsn_hint is None else lsn_hint
+        page_lsn_prev = entry.page.page_lsn
+        hint = page_lsn_prev if lsn_hint is None else lsn_hint
         self.log.append(record, page_lsn=hint)
         stamp_page_lsn(entry.page, record.lsn)
         self._note_dirty(entry, record.lsn)
         txn.note_logged(record.lsn, 0, undoable=record.is_undoable())
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.PAGE_UPDATE, system=self.client_id,
+                page=record.page_id, slot=record.slot, txn=txn.txn_id,
+                lsn=int(record.lsn), page_lsn_prev=int(page_lsn_prev),
+                kind=record.kind.name,
+            )
 
     def send_page_back(self, page_id: int) -> None:
         """Ship a dirty page (and all buffered log records) to the

@@ -24,6 +24,8 @@ from repro.common.lsn import Lsn
 from repro.common.stats import StatsRegistry
 from repro.locking.lock_manager import LockManager, LockMode, LockStatus
 from repro.net.network import Network
+from repro.obs import events as ev
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.recovery.apply import apply_payload, apply_redo
 from repro.storage.disk import SharedDisk
 from repro.storage.page import Page, PageType
@@ -79,14 +81,20 @@ class CsServer:
         stats: Optional[StatsRegistry] = None,
         network: Optional[Network] = None,
         buffer_capacity: int = 256,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
-        self.network = network if network is not None else Network(stats=self.stats)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.network = network if network is not None else Network(
+            stats=self.stats, tracer=self.tracer
+        )
         self.disk = SharedDisk(capacity=data_start + n_data_pages + 64,
                                stats=self.stats)
-        self.log = LogManager(SERVER_ID, stats=self.stats)
-        self.pool = BufferPool(self.disk, self.log, capacity=buffer_capacity)
-        self.glm = LockManager(stats=self.stats)
+        self.log = LogManager(SERVER_ID, stats=self.stats,
+                              tracer=self.tracer)
+        self.pool = BufferPool(self.disk, self.log, capacity=buffer_capacity,
+                               tracer=self.tracer)
+        self.glm = LockManager(stats=self.stats, tracer=self.tracer)
         self.space_map = SpaceMap(smp_start=smp_start, data_start=data_start,
                                   n_data_pages=n_data_pages)
         self.network.register(SERVER_ID, self.log)
@@ -223,6 +231,12 @@ class CsServer:
         )
         for record in records:
             self._track_txn(record)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.CS_SHIP, system=SERVER_ID,
+                client=client.client_id, nbytes=len(data),
+                offset=addr.offset,
+            )
         return addr.offset
 
     def _track_txn(self, record: LogRecord) -> None:
@@ -262,6 +276,12 @@ class CsServer:
         rec_addr = self.map_rec_lsn(client.client_id, rec_lsn)
         self.pool.receive_dirty(page, rec_lsn, rec_addr,
                                 last_update_end=self.log.end_offset)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.CS_PAGE_BACK, system=SERVER_ID,
+                client=client.client_id, page=page.page_id,
+                rec_lsn=int(rec_lsn),
+            )
 
     def commit_point(self, client: "CsClient", txn_id: int) -> None:
         """Client commit: ship records, force the single log, ack."""
@@ -270,6 +290,11 @@ class CsServer:
         self.log.force()
         self.release_txn_locks(txn_id)
         self.network.message(SERVER_ID, client.client_id, "commit_ack")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.CS_COMMIT_POINT, system=SERVER_ID,
+                client=client.client_id, txn=txn_id,
+            )
 
     def client_checkpoint(self, client: "CsClient",
                           dirty_pages: Dict[int, Lsn],
@@ -315,11 +340,22 @@ class CsServer:
         if not client.crashed:
             raise ReproError(f"client {client_id} is not down")
         summary = ClientRecoverySummary()
+        if self.tracer.enabled:
+            self.tracer.emit(ev.RECOVERY_BEGIN, system=SERVER_ID,
+                             mode="cs-client", client=client_id)
         dpt, losers, index = self._client_analysis(client_id, summary)
         summary.loser_transactions = len(losers)
         self._client_redo(dpt, summary)
         self._client_undo(losers, index, summary)
         self.log.force()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.RECOVERY_END, system=SERVER_ID,
+                redone=summary.records_redone,
+                skipped=summary.redo_skipped_by_lsn,
+                losers=summary.loser_transactions,
+                clrs=summary.clrs_written,
+            )
         # Retained resources are released only now.
         for txn_id in list(self._owned_txns(client_id)):
             self.glm.release_all(txn_id)
@@ -403,14 +439,27 @@ class CsServer:
             page = self.pool.fix(record.page_id)
             try:
                 if record.lsn > page.page_lsn:
+                    page_lsn_prev = page.page_lsn
                     apply_redo(page, record)
                     self.pool.note_update(record.page_id, record.lsn,
                                           addr.offset, self.log.end_offset)
                     summary.records_redone += 1
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            ev.RECOVERY_REDO, system=SERVER_ID,
+                            page=record.page_id, lsn=int(record.lsn),
+                            page_lsn_prev=int(page_lsn_prev),
+                        )
                 elif buffered:
                     summary.redo_skipped_buffer_hit += 1
                 else:
                     summary.redo_skipped_by_lsn += 1
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            ev.RECOVERY_SKIP, system=SERVER_ID,
+                            page=record.page_id, lsn=int(record.lsn),
+                            page_lsn=int(page.page_lsn),
+                        )
             finally:
                 self.pool.unfix(record.page_id)
 
@@ -453,13 +502,21 @@ class CsServer:
                         redo=record.undo, undo_next_lsn=record.prev_lsn,
                         prev_lsn=last_lsn[txn_id],
                     )
-                    addr = self.log.append(clr, page_lsn=page.page_lsn)
+                    page_lsn_prev = page.page_lsn
+                    addr = self.log.append(clr, page_lsn=page_lsn_prev)
                     apply_payload(page, record.slot, record.undo, clr.lsn)
                     self.pool.note_update(record.page_id, clr.lsn,
                                           addr.offset, self.log.end_offset)
                     index[clr.lsn] = clr
                     last_lsn[txn_id] = clr.lsn
                     summary.clrs_written += 1
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            ev.RECOVERY_CLR, system=SERVER_ID,
+                            page=record.page_id, txn=txn_id,
+                            lsn=int(clr.lsn),
+                            page_lsn_prev=int(page_lsn_prev),
+                        )
                 finally:
                     self.pool.unfix(record.page_id)
                 follow = record.prev_lsn
@@ -529,7 +586,7 @@ class CsServer:
         self.system_id = SERVER_ID
         summary = restart_recovery(self)
         self.pool.flush_all()
-        self.glm = LockManager(stats=self.stats)
+        self.glm = LockManager(stats=self.stats, tracer=self.tracer)
         return summary
 
     # ------------------------------------------------------------------

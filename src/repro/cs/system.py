@@ -8,6 +8,7 @@ from repro.common.stats import StatsRegistry
 from repro.cs.client import CsClient
 from repro.cs.server import ClientRecoverySummary, CsServer
 from repro.net.network import Network
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.recovery.commit_lsn import CommitLsnService
 
 
@@ -20,14 +21,18 @@ class CsSystem:
         n_data_pages: int = 2048,
         piggyback_enabled: bool = True,
         stats: Optional[StatsRegistry] = None,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.network = Network(stats=self.stats,
-                               piggyback_enabled=piggyback_enabled)
+                               piggyback_enabled=piggyback_enabled,
+                               tracer=self.tracer)
         self.server = CsServer(n_data_pages=n_data_pages, stats=self.stats,
-                               network=self.network)
+                               network=self.network, tracer=self.tracer)
         self.clients: Dict[int, CsClient] = {}
-        self.commit_lsn = CommitLsnService(stats=self.stats)
+        self.commit_lsn = CommitLsnService(stats=self.stats,
+                                           tracer=self.tracer)
 
     def add_client(self, client_id: int, **kwargs) -> CsClient:
         client = CsClient(client_id, self.server, **kwargs)

@@ -40,6 +40,21 @@ class Table:
             )
         self.rows.append([self._fmt(cell) for cell in cells])
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (cells are already formatted strings)."""
+        return {"columns": list(self.columns), "rows": [list(r) for r in self.rows]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Table":
+        table = cls(data["columns"])
+        for row in data.get("rows", []):
+            if len(row) != len(table.columns):
+                raise ValueError(
+                    f"row has {len(row)} cells, expected {len(table.columns)}"
+                )
+            table.rows.append([str(cell) for cell in row])
+        return table
+
     @staticmethod
     def _fmt(cell: Any) -> str:
         if isinstance(cell, float):
@@ -65,12 +80,22 @@ class Table:
 @dataclass
 class ExperimentResult:
     """Captured outcome of one experiment run (for tests to assert on
-    and for EXPERIMENTS.md bookkeeping)."""
+    and for EXPERIMENTS.md bookkeeping).
+
+    Beyond the scalar measurements, a result can carry the run's
+    counter snapshot (from a :class:`~repro.common.stats.StatsRegistry`
+    or metrics registry) and its rendered tables, and round-trips
+    through :meth:`to_dict`/:meth:`from_dict` — so a saved
+    ``BENCH_*.json`` regenerates the exact tables the run printed.
+    """
 
     experiment_id: str
     claim: str
     measurements: Dict[str, Any] = field(default_factory=dict)
     holds: Optional[bool] = None
+    counters: Dict[str, int] = field(default_factory=dict)
+    histograms: Dict[str, Any] = field(default_factory=dict)
+    tables: List[Dict[str, Any]] = field(default_factory=list)
 
     def record(self, name: str, value: Any) -> None:
         self.measurements[name] = value
@@ -79,6 +104,62 @@ class ExperimentResult:
         self.holds = holds
         return self
 
+    def attach_stats(self, stats: Any) -> None:
+        """Snapshot a stats/metrics registry into the result.
+
+        Accepts any :class:`~repro.common.stats.StatsRegistry`; a
+        :class:`~repro.obs.metrics.MetricsRegistry` additionally
+        contributes its histogram snapshots.
+        """
+        self.counters = dict(stats.snapshot())
+        snapshot_all = getattr(stats, "snapshot_all", None)
+        if callable(snapshot_all):
+            self.histograms = dict(snapshot_all().get("histograms", {}))
+
+    def add_table(self, title: str, table: Table) -> None:
+        self.tables.append({"title": title, **table.to_dict()})
+
+    def iter_tables(self):
+        """Yield ``(title, Table)`` pairs rebuilt from the stored dicts."""
+        for entry in self.tables:
+            yield entry.get("title", ""), Table.from_dict(entry)
+
     def summary_line(self) -> str:
         verdict = {True: "HOLDS", False: "FAILS", None: "N/A"}[self.holds]
         return f"[{self.experiment_id}] {verdict}: {self.claim}"
+
+    def render(self) -> str:
+        """Summary line, measurements, and every attached table."""
+        out = [self.summary_line()]
+        for name in sorted(self.measurements):
+            out.append(f"  {name} = {self.measurements[name]}")
+        for title, table in self.iter_tables():
+            out.append("")
+            if title:
+                out.append(f"-- {title} --")
+            out.append(table.render())
+        return "\n".join(out)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment_id": self.experiment_id,
+            "claim": self.claim,
+            "measurements": dict(self.measurements),
+            "holds": self.holds,
+            "counters": dict(self.counters),
+            "histograms": dict(self.histograms),
+            "tables": [dict(t) for t in self.tables],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentResult":
+        return cls(
+            experiment_id=data["experiment_id"],
+            claim=data["claim"],
+            measurements=dict(data.get("measurements", {})),
+            holds=data.get("holds"),
+            counters=dict(data.get("counters", {})),
+            histograms=dict(data.get("histograms", {})),
+            tables=[dict(t) for t in data.get("tables", [])],
+        )

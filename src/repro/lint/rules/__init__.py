@@ -11,6 +11,7 @@ from repro.lint.rules.clock import ClockDisciplineRule
 from repro.lint.rules.errors import ErrorDisciplineRule
 from repro.lint.rules.locks import LockPairingRule
 from repro.lint.rules.lsn import LsnHygieneRule
+from repro.lint.rules.stats import StatsDisciplineRule
 from repro.lint.rules.wal import WalDisciplineRule
 
 ALL_RULES: List[Rule] = [
@@ -19,6 +20,7 @@ ALL_RULES: List[Rule] = [
     LsnHygieneRule(),
     LockPairingRule(),
     ErrorDisciplineRule(),
+    StatsDisciplineRule(),
 ]
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -1,0 +1,93 @@
+"""R006 — stats discipline: counter names are constants, not literals.
+
+Every benchmark claim in EXPERIMENTS.md is a sentence about a counter.
+When a counter name is an inline string literal at the increment site,
+a typo mints a *new* counter silently — the old one reads zero, the
+benchmark "improves", and nothing fails.  Keeping every counter name in
+a module-level constant (``repro/common/stats.py`` for shared counters)
+means a typo is a ``NameError``, the full counter vocabulary is
+greppable in one file, and renames touch one line.
+
+The rule flags string-literal (or f-string) *name* arguments to the
+counter/histogram entry points — ``stats.incr("...")``,
+``metrics.observe("...", v)``, ``metrics.incr_labeled("...", k=v)`` —
+on receivers whose terminal name suggests a stats registry.  Computed
+names built from constants (``message_kind_counter(kind)``,
+``labeled_name(...)``) are fine: the flagged pattern is specifically a
+bare literal at the call site.
+
+``repro/common/stats.py`` and ``repro/obs/metrics.py`` are exempt:
+they *define* the naming scheme.  Test modules are exempt too —
+throwaway counter names in a registry unit test are the point of the
+test, not a protocol hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, LintContext, Rule
+
+_EXEMPT_MODULES = ("common/stats.py", "obs/metrics.py")
+
+#: Methods whose first positional argument is a counter/histogram name.
+_NAME_TAKING_METHODS = frozenset({"incr", "observe", "incr_labeled",
+                                  "get", "get_labeled", "histogram"})
+
+#: Receiver terminal names that look like a stats/metrics registry.
+_REGISTRY_RECEIVERS = frozenset({"stats", "metrics", "registry"})
+
+
+def _receiver_terminal(node: ast.AST) -> str:
+    """``self.stats`` -> ``stats``; ``metrics`` -> ``metrics``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+class StatsDisciplineRule(Rule):
+    id = "R006"
+    name = "stats-discipline"
+    description = (
+        "counter and histogram names must come from named constants, "
+        "not inline string literals"
+    )
+    applies_to_tests = False  # unit tests may mint throwaway counters
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.in_module(*_EXEMPT_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _NAME_TAKING_METHODS:
+                continue
+            if _receiver_terminal(func.value) not in _REGISTRY_RECEIVERS:
+                continue
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                yield ctx.finding(
+                    self.id,
+                    name_arg,
+                    f"inline counter name {name_arg.value!r} passed to "
+                    f".{func.attr}(); use a named constant (see "
+                    "repro/common/stats.py) so typos fail loudly",
+                )
+            elif isinstance(name_arg, ast.JoinedStr):
+                yield ctx.finding(
+                    self.id,
+                    name_arg,
+                    f"f-string counter name passed to .{func.attr}(); "
+                    "derive the name through a helper built on constants "
+                    "(e.g. message_kind_counter)",
+                )

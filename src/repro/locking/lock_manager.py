@@ -20,6 +20,8 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.common.errors import DeadlockError
 from repro.common.stats import LOCK_REQUESTS, LOCK_WAITS, StatsRegistry
+from repro.obs import events as ev
+from repro.obs.tracer import NULL_TRACER, NullTracer
 
 
 class LockMode(enum.IntEnum):
@@ -120,11 +122,22 @@ class _LockHead:
 class LockManager:
     """Global lock table shared by all systems/clients."""
 
-    def __init__(self, stats: Optional[StatsRegistry] = None) -> None:
+    def __init__(
+        self,
+        stats: Optional[StatsRegistry] = None,
+        tracer: Optional[NullTracer] = None,
+    ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._table: Dict[Hashable, _LockHead] = {}
         # owner -> resource currently waited for (for the WFG)
         self._waiting_on: Dict[Hashable, Hashable] = {}
+
+    def _trace(self, kind: str, **fields: Hashable) -> None:
+        # The lock table is global, so its events carry system 0 (the
+        # GLM in SD, the server in CS).
+        if self.tracer.enabled:
+            self.tracer.emit(kind, system=0, **fields)
 
     # ------------------------------------------------------------------
     def acquire(
@@ -152,23 +165,36 @@ class LockManager:
                 return LockStatus.GRANTED
             if self._conversion_compatible(head, owner, target):
                 head.granted[owner] = target
+                self._trace(
+                    ev.LOCK_GRANT, owner=owner, resource=resource,
+                    mode=target.name,
+                )
                 return LockStatus.GRANTED
             request = _Request(owner=owner, mode=target, convert_from=held)
             head.queue.insert(0, request)  # conversions go first
         else:
             if not head.queue and self._grant_compatible(head, mode):
                 head.granted[owner] = mode
+                self._trace(
+                    ev.LOCK_GRANT, owner=owner, resource=resource,
+                    mode=mode.name,
+                )
                 return LockStatus.GRANTED
             request = _Request(owner=owner, mode=mode)
             head.queue.append(request)
         self.stats.incr(LOCK_WAITS)
         self._waiting_on[owner] = resource
+        self._trace(
+            ev.LOCK_WAIT, owner=owner, resource=resource,
+            mode=request.mode.name,
+        )
         if self._find_cycle(owner):
             # The requester whose wait closes the cycle is the victim:
             # every other participant is already parked and will never
             # re-enter acquire(), so it is the only one positioned to
             # break the deadlock.
             self._remove_request(resource, owner)
+            self._trace(ev.LOCK_DEADLOCK, owner=owner, resource=resource)
             raise DeadlockError(f"{owner} chosen as deadlock victim on {resource}")
         return LockStatus.WAITING
 
@@ -192,9 +218,17 @@ class LockManager:
                 return LockStatus.GRANTED
             if self._conversion_compatible(head, owner, target):
                 head.granted[owner] = target
+                self._trace(
+                    ev.LOCK_GRANT, owner=owner, resource=resource,
+                    mode=target.name,
+                )
                 return LockStatus.GRANTED
         elif not head.queue and self._grant_compatible(head, mode):
             head.granted[owner] = mode
+            self._trace(
+                ev.LOCK_GRANT, owner=owner, resource=resource,
+                mode=mode.name,
+            )
             return LockStatus.GRANTED
         if not head.granted and not head.queue:
             del self._table[resource]
@@ -209,6 +243,7 @@ class LockManager:
         if head is None or owner not in head.granted:
             raise KeyError(f"{owner} holds no lock on {resource}")
         del head.granted[owner]
+        self._trace(ev.LOCK_RELEASE, owner=owner, resource=resource)
         return self._promote(resource, head)
 
     def release_all(self, owner: Hashable) -> List[Tuple[Hashable, Hashable]]:
@@ -218,6 +253,7 @@ class LockManager:
         """
         promoted: List[Tuple[Hashable, Hashable]] = []
         self._remove_waits(owner)
+        self._trace(ev.LOCK_RELEASE_ALL, owner=owner)
         for resource in list(self._table):
             head = self._table[resource]
             if owner in head.granted:
@@ -294,6 +330,10 @@ class LockManager:
             head.queue.pop(0)
             head.granted[request.owner] = request.mode
             self._waiting_on.pop(request.owner, None)
+            self._trace(
+                ev.LOCK_GRANT, owner=request.owner, resource=resource,
+                mode=request.mode.name,
+            )
             granted.append(request.owner)
         if not head.granted and not head.queue:
             del self._table[resource]

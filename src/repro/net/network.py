@@ -23,7 +23,15 @@ from __future__ import annotations
 from typing import Dict, Optional, Protocol
 
 from repro.common.lsn import Lsn
-from repro.common.stats import MESSAGES_SENT, MESSAGE_BYTES, StatsRegistry
+from repro.common.stats import (
+    MESSAGES_SENT,
+    MESSAGE_BYTES,
+    NET_MAX_LSN_BROADCAST,
+    StatsRegistry,
+    message_kind_counter,
+)
+from repro.obs import events as ev
+from repro.obs.tracer import NULL_TRACER, NullTracer
 
 
 class LamportParticipant(Protocol):
@@ -41,9 +49,11 @@ class Network:
         self,
         stats: Optional[StatsRegistry] = None,
         piggyback_enabled: bool = True,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.piggyback_enabled = piggyback_enabled
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._participants: Dict[int, LamportParticipant] = {}
 
     def register(self, system_id: int, participant: LamportParticipant) -> None:
@@ -70,9 +80,24 @@ class Network:
             return  # local calls are not messages
         self.stats.incr(MESSAGES_SENT)
         self.stats.incr(MESSAGE_BYTES, nbytes)
-        self.stats.incr(f"net.messages.{kind}")
+        self.stats.incr(message_kind_counter(kind))
+        src = self._participants.get(src_id)
+        if self.tracer.enabled:
+            piggyback = (
+                int(src.local_max_lsn)
+                if self.piggyback_enabled and src is not None
+                else None
+            )
+            self.tracer.emit(
+                ev.NET_MSG,
+                system=src_id,
+                src=src_id,
+                dst=dst_id,
+                kind=kind,
+                nbytes=nbytes,
+                piggyback=piggyback,
+            )
         if self.piggyback_enabled:
-            src = self._participants.get(src_id)
             dst = self._participants.get(dst_id)
             if src is not None and dst is not None:
                 dst.observe_remote_max(src.local_max_lsn)
@@ -86,12 +111,17 @@ class Network:
         """
         participants = list(self._participants.items())
         maxima = {sid: p.local_max_lsn for sid, p in participants}
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.NET_BROADCAST,
+                maxima={str(sid): int(m) for sid, m in maxima.items()},
+            )
         for src_id, _ in participants:
             for dst_id, dst in participants:
                 if src_id == dst_id:
                     continue
                 self.stats.incr(MESSAGES_SENT)
-                self.stats.incr("net.messages.max_lsn_broadcast")
+                self.stats.incr(NET_MAX_LSN_BROADCAST)
                 dst.observe_remote_max(maxima[src_id])
 
     def participants(self) -> Dict[int, LamportParticipant]:

@@ -1,0 +1,52 @@
+"""Deterministic observability for the recovery stack.
+
+The paper's arguments are all about *event order across unsynchronized
+systems* — USN assignment, Commit_LSN checks, lock value blocks, page
+transfers between instances.  ``repro.obs`` makes that order visible:
+
+* :mod:`repro.obs.tracer` — a structured event bus stamped with
+  deterministic logical time (a global sequence number plus each
+  system's :class:`~repro.common.clock.SkewedClock` reading — never
+  wall clock, rule R002).  The default :class:`NullTracer` is a no-op
+  so tracing is zero-cost when off.
+* :mod:`repro.obs.events` — the typed event-name catalog (R006 keeps
+  call sites honest about it).
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, a
+  :class:`~repro.common.stats.StatsRegistry` extended with labeled
+  counters and fixed-bucket histograms.
+* :mod:`repro.obs.timeline` — ASCII per-system timelines (an
+  executable, inspectable Figure 1) and summary tables.
+* :mod:`repro.obs.invariants` — a trace-driven protocol checker that
+  replays a trace and asserts the paper's invariants.
+* :mod:`repro.obs.capture` — canned traced scenarios (the Section 1.5
+  anomaly among them) for the CLI, docs and regression tests.
+
+Inspect a trace with ``python -m repro.trace`` (see
+``docs/observability.md``).
+"""
+
+from repro.obs.invariants import Violation, check_trace
+from repro.obs.metrics import DEFAULT_EDGES, Histogram, MetricsRegistry
+from repro.obs.timeline import render_timeline, summarize_trace
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    load_trace,
+)
+
+__all__ = [
+    "DEFAULT_EDGES",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "Violation",
+    "check_trace",
+    "load_trace",
+    "render_timeline",
+    "summarize_trace",
+]

@@ -1,0 +1,118 @@
+"""``python -m repro.trace`` — render, check, and capture traces.
+
+Usage:
+
+* ``python -m repro.trace trace.jsonl`` — ASCII per-system timeline
+  plus summary tables;
+* ``python -m repro.trace trace.jsonl --check`` — additionally run the
+  invariant checker; exit status 1 if any invariant is violated;
+* ``python -m repro.trace --capture e1-usn -o trace.jsonl`` — run a
+  canned scenario (the Section 1.5 anomaly under USN or naive LSNs)
+  under a recording tracer and save the JSONL;
+* ``python -m repro.trace --bench BENCH_E1.json`` — re-render the
+  tables of a saved benchmark result without re-running it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.harness.experiment import ExperimentResult
+from repro.obs.capture import SCENARIOS, capture
+from repro.obs.invariants import check_trace, render_violations
+from repro.obs.timeline import render_timeline, summarize_trace
+from repro.obs.tracer import load_trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Inspect repro trace files (JSONL) and bench results.",
+    )
+    parser.add_argument("trace", nargs="?", default=None,
+                        help="trace file (JSONL) to render")
+    parser.add_argument("--check", action="store_true",
+                        help="run the invariant checker; exit 1 on violations")
+    parser.add_argument("--capture", choices=SCENARIOS, default=None,
+                        help="run a canned scenario under a recording tracer")
+    parser.add_argument("-o", "--output", default=None,
+                        help="where --capture writes its JSONL trace")
+    parser.add_argument("--bench", default=None, metavar="BENCH_JSON",
+                        help="re-render tables from a saved BENCH_*.json")
+    parser.add_argument("--max-rows", type=int, default=0,
+                        help="cap timeline rows (0 = unlimited)")
+    parser.add_argument("--width", type=int, default=30,
+                        help="timeline column width")
+    return parser
+
+
+def _render_bench(path: str) -> int:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    result = ExperimentResult.from_dict(data)
+    print(result.render())
+    if result.counters:
+        print()
+        print("-- counters --")
+        for name in sorted(result.counters):
+            print(f"  {name} = {result.counters[name]}")
+    return 0
+
+
+def _render_trace(path: str, check: bool, max_rows: int, width: int) -> int:
+    events = load_trace(path)
+    print(render_timeline(events, column_width=width, max_rows=max_rows))
+    tables, _ = summarize_trace(events)
+    for title, table in tables:
+        print()
+        print(f"-- {title} --")
+        print(table.render())
+    if check:
+        violations = check_trace(events)
+        print()
+        print(render_violations(violations))
+        return 1 if violations else 0
+    return 0
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    """``main`` plus CLI plumbing: tolerate the reader going away.
+
+    ``python -m repro.trace trace.jsonl | head`` closes our stdout
+    mid-render; that is a normal way to use the tool, not an error.
+    """
+    try:
+        return main(argv)
+    except BrokenPipeError:
+        # Re-point stdout at devnull so the interpreter's shutdown
+        # flush does not raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.bench is not None:
+        return _render_bench(args.bench)
+    if args.capture is not None:
+        tracer, summary = capture(args.capture)
+        if args.output is not None:
+            count = tracer.write(args.output)
+            print(f"wrote {count} events to {args.output}")
+        else:
+            sys.stdout.write(tracer.dump_jsonl())
+        print(json.dumps(summary, sort_keys=True), file=sys.stderr)
+        return 0
+    if args.trace is None:
+        _build_parser().print_usage()
+        return 2
+    return _render_trace(args.trace, args.check, args.max_rows, args.width)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro.trace
+    raise SystemExit(run())

@@ -1,0 +1,110 @@
+"""The typed trace-event catalog.
+
+Event kinds are constants so call sites, the timeline renderer and the
+invariant checker agree on spelling (rule R006 enforces the same
+discipline for counter names).  The field schema of each kind is
+documented here and in ``docs/observability.md``; the invariant checker
+relies on the starred fields.
+
+Transaction lifecycle (system = the instance/client running the txn):
+
+* ``TXN_BEGIN``     — ``txn``
+* ``TXN_COMMIT``    — ``txn``, ``lazy``
+* ``TXN_ROLLBACK``  — ``txn``, ``savepoint``
+
+Logging (system = the log's owner):
+
+* ``LOG_APPEND``    — ``lsn``*, ``kind``, ``txn``, ``page``, ``offset``
+* ``LOG_APPEND_RAW``— ``nbytes``, ``local_max`` (CS server ship append)
+* ``LOG_FORCE``     — ``up_to``
+* ``LSN_OBSERVE``   — ``remote``*, ``before``*, ``after``* (Lamport
+  merge of another system's Local_Max_LSN)
+
+Page state (the invariant checker treats these three as page_LSN stamp
+points; all carry ``page``*, ``lsn``*, ``page_lsn_prev``*):
+
+* ``PAGE_UPDATE``   — + ``txn``*, ``slot``, ``kind``* (log record kind)
+* ``RECOVERY_REDO`` — + (restart redo reapplied the record)
+* ``RECOVERY_CLR``  — + ``txn``* (restart undo compensated the record)
+
+Buffer/disk traffic (system = the pool's owner):
+
+* ``PAGE_READ``     — ``page`` (disk read on a pool miss)
+* ``PAGE_WRITE``    — ``page``, ``page_lsn`` (disk write, WAL honoured)
+* ``PAGE_EVICT``    — ``page``, ``dirty``
+
+Coherency (system = the sender):
+
+* ``PAGE_TRANSFER`` — ``page``, ``src``, ``dst``, ``dirty``, ``scheme``
+* ``PAGE_COPY``     — ``page``, ``src``, ``dst`` (fast-scheme read)
+
+Locking (system 0, the global lock manager):
+
+* ``LOCK_GRANT``    — ``owner``*, ``resource``*, ``mode``
+* ``LOCK_WAIT``     — ``owner``, ``resource``, ``mode``
+* ``LOCK_RELEASE``  — ``owner``*, ``resource``*
+* ``LOCK_RELEASE_ALL`` — ``owner``* (commit/abort/crash-recovery)
+* ``LOCK_DEADLOCK`` — ``owner``, ``resource``
+
+Messages and the Commit_LSN service:
+
+* ``NET_MSG``       — ``src``, ``dst``, ``kind``, ``nbytes``,
+  ``piggyback``* (sender's Local_Max_LSN when piggybacking is on)
+* ``NET_BROADCAST`` — ``maxima`` (the Section 3.5 explicit exchange)
+* ``COMMIT_LSN_CHECK`` — ``page_lsn``, ``commit_lsn``, ``hit``
+
+Recovery pass brackets:
+
+* ``RECOVERY_BEGIN``— ``mode`` ("restart" | "fast" | "cs-client")
+* ``RECOVERY_SKIP`` — ``page``*, ``lsn``*, ``page_lsn``* (redo screened
+  out by the page_LSN test)
+* ``RECOVERY_END``  — ``redone``, ``skipped``, ``losers``, ``clrs``
+
+Client-server shipping (system = the server):
+
+* ``CS_SHIP``       — ``client``, ``nbytes``, ``offset``
+* ``CS_PAGE_BACK``  — ``client``, ``page``, ``rec_lsn``
+* ``CS_COMMIT_POINT`` — ``client``, ``txn``
+"""
+
+from __future__ import annotations
+
+TXN_BEGIN = "txn.begin"
+TXN_COMMIT = "txn.commit"
+TXN_ROLLBACK = "txn.rollback"
+
+LOG_APPEND = "log.append"
+LOG_APPEND_RAW = "log.append_raw"
+LOG_FORCE = "log.force"
+LSN_OBSERVE = "lsn.observe"
+
+PAGE_UPDATE = "page.update"
+PAGE_READ = "page.read"
+PAGE_WRITE = "page.write"
+PAGE_EVICT = "page.evict"
+PAGE_TRANSFER = "page.transfer"
+PAGE_COPY = "page.copy"
+
+LOCK_GRANT = "lock.grant"
+LOCK_WAIT = "lock.wait"
+LOCK_RELEASE = "lock.release"
+LOCK_RELEASE_ALL = "lock.release_all"
+LOCK_DEADLOCK = "lock.deadlock"
+
+NET_MSG = "net.msg"
+NET_BROADCAST = "net.broadcast"
+COMMIT_LSN_CHECK = "commit_lsn.check"
+
+RECOVERY_BEGIN = "recovery.begin"
+RECOVERY_REDO = "recovery.redo"
+RECOVERY_SKIP = "recovery.skip"
+RECOVERY_CLR = "recovery.clr"
+RECOVERY_END = "recovery.end"
+
+CS_SHIP = "cs.ship"
+CS_PAGE_BACK = "cs.page_back"
+CS_COMMIT_POINT = "cs.commit_point"
+
+#: Event kinds that stamp a new page_LSN onto a page image; each must
+#: carry ``page``, ``lsn`` and ``page_lsn_prev``.
+PAGE_STAMP_KINDS = frozenset({PAGE_UPDATE, RECOVERY_REDO, RECOVERY_CLR})

@@ -1,0 +1,165 @@
+"""Labeled counters and fixed-bucket histograms on top of StatsRegistry.
+
+The plain :class:`~repro.common.stats.StatsRegistry` reports end-of-run
+totals; that is enough for the paper's avoided-cost arguments but not
+for distribution-shaped questions ("how long do lock waits get?", "how
+many hops does a page make?").  :class:`MetricsRegistry` is a drop-in
+``StatsRegistry`` — every subsystem accepts it through the existing
+``stats=`` parameter — that adds:
+
+* **labeled counters**: ``incr_labeled("net.messages", kind="page")``
+  materializes the canonical counter ``net.messages{kind=page}`` so
+  label sets diff/snapshot like any other counter;
+* **histograms**: fixed, explicit bucket edges with Prometheus-style
+  *less-than-or-equal* semantics — a value equal to an edge lands in
+  exactly that edge's bucket, values above the last edge land in the
+  overflow bucket, and negative values are rejected (counters and
+  distributions here only ever measure non-negative quantities).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.stats import StatsRegistry
+
+#: Default bucket upper edges: roughly logarithmic, good for counts of
+#: ticks, hops, comparisons, or bytes-per-message at simulation scale.
+DEFAULT_EDGES: Tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 250, 1000)
+
+# Canonical metric names used by the trace summarizer (rule R006:
+# counter names live in constants, never inline literals).
+TRACE_EVENTS = "trace.events"
+TRACE_MESSAGE_BYTES = "trace.message_bytes"
+
+
+class Histogram:
+    """A fixed-bucket histogram with ``le`` (inclusive) upper edges.
+
+    Bucket ``i`` counts values ``v`` with ``edges[i-1] < v <= edges[i]``;
+    one extra overflow bucket counts ``v > edges[-1]``.
+    """
+
+    def __init__(self, name: str, edges: Sequence[float] = DEFAULT_EDGES) -> None:
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        ordered = tuple(float(e) for e in edges)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError("bucket edges must be strictly increasing")
+        if ordered[0] < 0:
+            raise ValueError("bucket edges must be non-negative")
+        self.name = name
+        self.edges: Tuple[float, ...] = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (must be >= 0)."""
+        if value < 0:
+            raise ValueError(
+                f"histogram {self.name!r} rejects negative value {value!r}"
+            )
+        # bisect_left finds the first edge >= value, i.e. the unique
+        # bucket whose ``le`` edge covers it (boundary values included).
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def bucket_label(self, index: int) -> str:
+        """Human-readable label for bucket ``index``."""
+        if index >= len(self.edges):
+            return f">{self.edges[-1]:g}"
+        return f"<={self.edges[index]:g}"
+
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly dump (edges, per-bucket counts, total, sum)."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name!r}, total={self.total})"
+
+
+def labeled_name(name: str, labels: Dict[str, Any]) -> str:
+    """Canonical ``name{k=v,...}`` counter name (labels sorted by key)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry(StatsRegistry):
+    """A StatsRegistry with labeled counters and histograms."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # labeled counters
+    # ------------------------------------------------------------------
+    def incr_labeled(self, name: str, amount: int = 1, **labels: Any) -> None:
+        """Increment the counter ``name{labels}`` by ``amount``."""
+        self.incr(labeled_name(name, labels), amount)
+
+    def get_labeled(self, name: str, **labels: Any) -> int:
+        return self.get(labeled_name(name, labels))
+
+    # ------------------------------------------------------------------
+    # histograms
+    # ------------------------------------------------------------------
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """Get or create the histogram ``name``.
+
+        The bucket layout is fixed at creation; passing different
+        ``edges`` for an existing histogram is an error (silent layout
+        drift would corrupt every later observation).
+        """
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = Histogram(name, DEFAULT_EDGES if edges is None else edges)
+            self._histograms[name] = hist
+        elif edges is not None and tuple(float(e) for e in edges) != hist.edges:
+            raise ValueError(
+                f"histogram {name!r} already exists with different edges"
+            )
+        return hist
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        edges: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Observe ``value`` into histogram ``name`` (created on first use)."""
+        self.histogram(name, edges).observe(value)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero counters *and* drop histograms (between phases)."""
+        super().reset()
+        self._histograms.clear()
+
+    def snapshot_all(self) -> Dict[str, Any]:
+        """Counters plus histogram snapshots, for JSON reports."""
+        return {
+            "counters": self.snapshot(),
+            "histograms": {
+                name: hist.snapshot()
+                for name, hist in sorted(self._histograms.items())
+            },
+        }

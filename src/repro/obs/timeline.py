@@ -1,0 +1,180 @@
+"""ASCII per-system timelines and summary tables for traces.
+
+:func:`render_timeline` is an executable Figure 1: one column per
+system, one row per event in logical-time (``seq``) order, so the
+interleaving of log appends, lock traffic and page transfers across
+unsynchronized systems can be read top to bottom.  :func:`summarize_trace`
+condenses the same trace into tables (event counts by kind and system,
+per-page stamp history, message-size histogram) suitable for quoting in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.harness.experiment import Table
+from repro.obs.events import PAGE_STAMP_KINDS
+from repro.obs.metrics import (
+    TRACE_EVENTS,
+    TRACE_MESSAGE_BYTES,
+    MetricsRegistry,
+)
+from repro.obs.tracer import TraceEvent
+
+#: Field rendering order for event labels; everything else follows
+#: alphabetically so labels are deterministic.
+_FIELD_ORDER = (
+    "txn",
+    "page",
+    "slot",
+    "lsn",
+    "page_lsn_prev",
+    "page_lsn",
+    "owner",
+    "resource",
+    "mode",
+    "src",
+    "dst",
+    "kind",
+)
+
+_COLUMN_WIDTH = 30
+
+
+def event_label(event: TraceEvent, width: int = 0) -> str:
+    """A compact one-line label: ``kind key=value ...``."""
+    parts = [event.kind]
+    seen = set()
+    for key in _FIELD_ORDER:
+        if key in event.fields:
+            parts.append(f"{key}={_compact(event.fields[key])}")
+            seen.add(key)
+    for key in sorted(event.fields):
+        if key not in seen:
+            parts.append(f"{key}={_compact(event.fields[key])}")
+    label = " ".join(parts)
+    if width and len(label) > width:
+        label = label[: width - 1] + "…"
+    return label
+
+
+def _compact(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, list):
+        return "[" + ",".join(_compact(v) for v in value) + "]"
+    if isinstance(value, dict):
+        inner = ",".join(f"{k}:{_compact(v)}" for k, v in sorted(value.items()))
+        return "{" + inner + "}"
+    return str(value)
+
+
+def _systems_of(events: Sequence[TraceEvent]) -> List[int]:
+    return sorted({e.system for e in events})
+
+
+def render_timeline(
+    events: Iterable[TraceEvent],
+    column_width: int = _COLUMN_WIDTH,
+    max_rows: int = 0,
+) -> str:
+    """Render the trace as an ASCII per-system timeline.
+
+    Each row is one event; the label appears in the emitting system's
+    column, prefixed by the global ``seq`` and (when the system has a
+    registered clock) its skewed-clock reading — the visible disagreement
+    between columns *is* the paper's Section 2 clock-skew assumption.
+    """
+    ordered = sorted(events, key=lambda e: e.seq)
+    if not ordered:
+        return "(empty trace)"
+    systems = _systems_of(ordered)
+    truncated = 0
+    if max_rows and len(ordered) > max_rows:
+        truncated = len(ordered) - max_rows
+        ordered = ordered[:max_rows]
+
+    seq_w = max(len("seq"), len(str(ordered[-1].seq)))
+    clk_w = max(len("clock"), *(len(_clock_cell(e)) for e in ordered))
+    headers = ["seq".rjust(seq_w), "clock".rjust(clk_w)] + [
+        f"sys{s}".ljust(column_width) for s in systems
+    ]
+    rule = ["-" * seq_w, "-" * clk_w] + ["-" * column_width] * len(systems)
+    lines = ["  ".join(headers).rstrip(), "  ".join(rule)]
+    col_of = {s: i for i, s in enumerate(systems)}
+    for event in ordered:
+        cells = [""] * len(systems)
+        cells[col_of[event.system]] = event_label(event, column_width)
+        row = [str(event.seq).rjust(seq_w), _clock_cell(event).rjust(clk_w)] + [
+            c.ljust(column_width) for c in cells
+        ]
+        lines.append("  ".join(row).rstrip())
+    if truncated:
+        lines.append(f"... ({truncated} more events)")
+    return "\n".join(lines)
+
+
+def _clock_cell(event: TraceEvent) -> str:
+    if event.clock is None:
+        return "-"
+    return f"{event.clock:.2f}"
+
+
+def summarize_trace(
+    events: Iterable[TraceEvent],
+) -> Tuple[List[Tuple[str, Table]], MetricsRegistry]:
+    """Build summary tables and a metrics snapshot from a trace.
+
+    Returns ``(tables, metrics)`` where ``tables`` is a list of
+    ``(title, Table)`` pairs and ``metrics`` is a
+    :class:`MetricsRegistry` holding labeled per-kind counters plus a
+    message-size histogram.
+    """
+    ordered = sorted(events, key=lambda e: e.seq)
+    systems = _systems_of(ordered)
+    metrics = MetricsRegistry()
+
+    counts: Dict[str, Dict[int, int]] = {}
+    stamps: Dict[Any, List[TraceEvent]] = {}
+    for event in ordered:
+        counts.setdefault(event.kind, {}).setdefault(event.system, 0)
+        counts[event.kind][event.system] += 1
+        metrics.incr_labeled(TRACE_EVENTS, kind=event.kind)
+        nbytes = event.fields.get("nbytes")
+        if isinstance(nbytes, (int, float)):
+            metrics.observe(TRACE_MESSAGE_BYTES, nbytes)
+        if event.kind in PAGE_STAMP_KINDS and "page" in event.fields:
+            stamps.setdefault(event.fields["page"], []).append(event)
+
+    by_kind = Table(["kind"] + [f"sys{s}" for s in systems] + ["total"])
+    for kind in sorted(counts):
+        row = [counts[kind].get(s, 0) for s in systems]
+        by_kind.add_row(kind, *row, sum(row))
+    tables: List[Tuple[str, Table]] = [("events by kind / system", by_kind)]
+
+    if stamps:
+        stamp_table = Table(
+            ["page", "stamps", "first_lsn", "last_lsn", "systems"]
+        )
+        for page in sorted(stamps, key=_compact):
+            page_events = stamps[page]
+            lsns = [e.fields.get("lsn") for e in page_events]
+            stamp_table.add_row(
+                page,
+                len(page_events),
+                lsns[0],
+                lsns[-1],
+                ",".join(str(s) for s in sorted({e.system for e in page_events})),
+            )
+        tables.append(("page_LSN stamp history", stamp_table))
+
+    hist = metrics.histograms().get(TRACE_MESSAGE_BYTES)
+    if hist is not None and hist.total:
+        hist_table = Table(["message bytes", "count"])
+        for i, count in enumerate(hist.counts):
+            if count:
+                hist_table.add_row(hist.bucket_label(i), count)
+        tables.append(("message size distribution", hist_table))
+
+    return tables, metrics

@@ -1,0 +1,195 @@
+"""The trace event bus: deterministic logical-time spans and events.
+
+Every instrumented subsystem emits :class:`TraceEvent`\\ s through a
+tracer.  Logical time is a single global sequence number (``seq``)
+assigned in emission order — emission order *is* the simulation's
+happened-before order because the simulation is single-threaded — plus,
+for systems that registered their :class:`~repro.common.clock.
+SkewedClock`, that clock's (deliberately skewed) reading.  Wall clocks
+are banned here as everywhere else (rule R002): two runs with the same
+seed must produce byte-identical traces, which is what lets a trace
+double as a golden regression artifact.
+
+The default tracer is :data:`NULL_TRACER`, whose :meth:`NullTracer.emit`
+does nothing; hot paths additionally guard event construction behind
+``tracer.enabled`` so tracing-off costs one attribute read.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from repro.common.clock import SkewedClock
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce a field value into a canonical JSON-serializable form."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return "0x" + value.hex()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event at a point in logical time.
+
+    ``clock``/``ticks`` are the emitting system's skewed clock reading
+    and raw tick count at emission (``None`` when the system never
+    registered a clock — e.g. the global lock manager, system 0).
+    """
+
+    seq: int
+    system: int
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+    clock: Optional[float] = None
+    ticks: Optional[int] = None
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON (sorted keys, no whitespace)."""
+        payload: Dict[str, Any] = {
+            "seq": self.seq,
+            "sys": self.system,
+            "kind": self.kind,
+            "f": self.fields,
+        }
+        if self.clock is not None:
+            payload["clock"] = self.clock
+            payload["ticks"] = self.ticks
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        data = json.loads(line)
+        return cls(
+            seq=data["seq"],
+            system=data["sys"],
+            kind=data["kind"],
+            fields=dict(data.get("f", {})),
+            clock=data.get("clock"),
+            ticks=data.get("ticks"),
+        )
+
+
+class NullTracer:
+    """The zero-cost default: swallows everything.
+
+    Subsystems hold a tracer unconditionally; with the null tracer the
+    per-event cost is one ``enabled`` check (call sites guard on it) or
+    one no-op method call.
+    """
+
+    enabled: bool = False
+
+    def register_clock(self, system_id: int, clock: SkewedClock) -> None:
+        """Associate a system's skewed clock with its events (no-op)."""
+
+    def emit(self, kind: str, /, system: int = 0, **fields: Any) -> None:
+        """Record one event (no-op).
+
+        ``kind`` is positional-only so payload fields may themselves be
+        named ``kind`` (e.g. a log record's kind on a page update).
+        """
+
+    def events(self) -> List[TraceEvent]:
+        return []
+
+
+#: Shared process-wide null tracer; safe because it holds no state.
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """A recording tracer: collects events and serializes them to JSONL.
+
+    Registering a system's :class:`SkewedClock` makes that system's
+    events carry clock readings; each emission also advances the clock
+    one tick, so traces show per-system logical clocks drifting apart
+    exactly as the paper assumes.  (No recovery-relevant code reads
+    these clocks, so ticking them is observably free.)
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+        self._clocks: Dict[int, SkewedClock] = {}
+        self._seq = 0
+
+    def register_clock(self, system_id: int, clock: SkewedClock) -> None:
+        self._clocks[system_id] = clock
+
+    def emit(self, kind: str, /, system: int = 0, **fields: Any) -> None:
+        self._seq += 1
+        clock = self._clocks.get(system)
+        reading: Optional[float] = None
+        ticks: Optional[int] = None
+        if clock is not None:
+            clock.tick()
+            reading = clock.now()
+            ticks = clock.ticks
+        self._events.append(
+            TraceEvent(
+                seq=self._seq,
+                system=system,
+                kind=kind,
+                fields={k: _jsonable(v) for k, v in fields.items()},
+                clock=reading,
+                ticks=ticks,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[TraceEvent]:
+        """The recorded events, in logical-time order."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Drop recorded events (the sequence counter keeps running)."""
+        self._events.clear()
+
+    def dump_jsonl(self) -> str:
+        """The whole trace as canonical JSONL (one event per line)."""
+        return "".join(e.to_json() + "\n" for e in self._events)
+
+    def write(self, path: str) -> int:
+        """Write the trace to ``path``; returns the event count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dump_jsonl())
+        return len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tracer(events={len(self._events)}, seq={self._seq})"
+
+
+def load_trace(source: Union[str, Iterable[str]]) -> List[TraceEvent]:
+    """Load a JSONL trace from a file path or an iterable of lines."""
+    lines: Sequence[str]
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    return [TraceEvent.from_json(line) for line in lines if line.strip()]

@@ -19,6 +19,8 @@ from typing import Dict, Optional, Tuple
 
 from repro.common.config import NULL_LSN
 from repro.common.lsn import Lsn
+from repro.obs import events as ev
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.recovery.apply import apply_payload, apply_redo
 from repro.txn.transaction import Transaction
 from repro.wal.records import (
@@ -45,6 +47,11 @@ class RestartSummary:
     redo_scan_start: int = 0
 
 
+def _tracer_of(instance) -> NullTracer:
+    """The instance's tracer (instances are duck-typed here)."""
+    return getattr(instance, "tracer", NULL_TRACER)
+
+
 def restart_recovery(instance, fix_page=None, unfix_page=None) -> RestartSummary:
     """Recover one failed system from its own local log.
 
@@ -65,7 +72,11 @@ def restart_recovery(instance, fix_page=None, unfix_page=None) -> RestartSummary
     version lacks only this system's own tail of updates.
     """
     log = instance.log
+    tracer = _tracer_of(instance)
     summary = RestartSummary()
+    if tracer.enabled:
+        tracer.emit(ev.RECOVERY_BEGIN, system=instance.system_id,
+                    mode="restart")
     # The Lamport clock must be re-seeded before any CLR is appended.
     log.recover_local_max()
 
@@ -76,6 +87,14 @@ def restart_recovery(instance, fix_page=None, unfix_page=None) -> RestartSummary
     _undo_pass(instance, losers, summary,
                fix_page=fix_page, unfix_page=unfix_page)
     log.force()
+    if tracer.enabled:
+        tracer.emit(
+            ev.RECOVERY_END, system=instance.system_id,
+            redone=summary.records_redone,
+            skipped=summary.redo_skipped_by_lsn,
+            losers=summary.loser_transactions,
+            clrs=summary.clrs_written,
+        )
     return summary
 
 
@@ -138,15 +157,29 @@ def _redo_pass(instance, dpt: Dict[int, Tuple[Lsn, int]],
         if entry is None or addr.offset < entry[1]:
             continue  # page written to disk after this update
         page = pool.fix(record.page_id)
+        tracer = _tracer_of(instance)
         try:
             if record.lsn > page.page_lsn:
+                page_lsn_prev = page.page_lsn
                 apply_redo(page, record)
                 record_end = addr.offset + record.serialized_size()
                 pool.note_update(record.page_id, record.lsn,
                                  addr.offset, record_end)
                 summary.records_redone += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        ev.RECOVERY_REDO, system=instance.system_id,
+                        page=record.page_id, lsn=int(record.lsn),
+                        page_lsn_prev=int(page_lsn_prev),
+                    )
             else:
                 summary.redo_skipped_by_lsn += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        ev.RECOVERY_SKIP, system=instance.system_id,
+                        page=record.page_id, lsn=int(record.lsn),
+                        page_lsn=int(page.page_lsn),
+                    )
         finally:
             pool.unfix(record.page_id)
 
@@ -182,7 +215,11 @@ def fast_restart_recovery(
 
     log = instance.log
     pool = instance.pool
+    tracer = _tracer_of(instance)
     summary = RestartSummary()
+    if tracer.enabled:
+        tracer.emit(ev.RECOVERY_BEGIN, system=instance.system_id,
+                    mode="fast")
     log.recover_local_max()
     dpt, losers = _analysis_pass(log, summary)
     summary.dirty_pages_at_crash = len(dpt)
@@ -196,6 +233,7 @@ def fast_restart_recovery(
             page = pool.fix(record.page_id)
             try:
                 if record.lsn > page.page_lsn:
+                    page_lsn_prev = page.page_lsn
                     apply_redo(page, record)
                     # The covering records are in their writers' stable
                     # logs; nothing to force locally before page writes.
@@ -205,13 +243,33 @@ def fast_restart_recovery(
                         bcb.rec_lsn = record.lsn
                         bcb.rec_addr = log.end_offset
                     summary.records_redone += 1
+                    if tracer.enabled:
+                        tracer.emit(
+                            ev.RECOVERY_REDO, system=instance.system_id,
+                            page=record.page_id, lsn=int(record.lsn),
+                            page_lsn_prev=int(page_lsn_prev),
+                        )
                 else:
                     summary.redo_skipped_by_lsn += 1
+                    if tracer.enabled:
+                        tracer.emit(
+                            ev.RECOVERY_SKIP, system=instance.system_id,
+                            page=record.page_id, lsn=int(record.lsn),
+                            page_lsn=int(page.page_lsn),
+                        )
             finally:
                 pool.unfix(record.page_id)
     _undo_pass(instance, losers, summary,
                fix_page=fix_page, unfix_page=unfix_page)
     log.force()
+    if tracer.enabled:
+        tracer.emit(
+            ev.RECOVERY_END, system=instance.system_id,
+            redone=summary.records_redone,
+            skipped=summary.redo_skipped_by_lsn,
+            losers=summary.loser_transactions,
+            clrs=summary.clrs_written,
+        )
     return summary
 
 
@@ -285,10 +343,18 @@ def _compensate(instance, txn_id: int, record: LogRecord,
             redo=record.undo, undo_next_lsn=record.prev_lsn,
             prev_lsn=prev_lsn,
         )
-        addr = log.append(clr, page_lsn=page.page_lsn)
+        page_lsn_prev = page.page_lsn
+        addr = log.append(clr, page_lsn=page_lsn_prev)
         apply_payload(page, record.slot, record.undo, clr.lsn)
         pool.note_update(record.page_id, clr.lsn, addr.offset,
                          log.end_offset)
+        tracer = _tracer_of(instance)
+        if tracer.enabled:
+            tracer.emit(
+                ev.RECOVERY_CLR, system=instance.system_id,
+                page=record.page_id, txn=txn_id, lsn=int(clr.lsn),
+                page_lsn_prev=int(page_lsn_prev),
+            )
         return clr.lsn
     finally:
         unfix_page(record.page_id)

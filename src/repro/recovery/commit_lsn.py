@@ -30,6 +30,8 @@ from repro.common.stats import (
     COMMIT_LSN_MISSES,
     StatsRegistry,
 )
+from repro.obs import events as ev
+from repro.obs.tracer import NULL_TRACER, NullTracer
 
 
 class CommitLsnMember(Protocol):
@@ -48,8 +50,13 @@ class CommitLsnMember(Protocol):
 class CommitLsnService:
     """Computes and checks the complex-wide Commit_LSN."""
 
-    def __init__(self, stats: Optional[StatsRegistry] = None) -> None:
+    def __init__(
+        self,
+        stats: Optional[StatsRegistry] = None,
+        tracer: Optional[NullTracer] = None,
+    ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._members: Dict[int, CommitLsnMember] = {}
         self._frozen: Dict[int, Lsn] = {}
 
@@ -89,11 +96,17 @@ class CommitLsnService:
 
         Counts hits and misses so experiments can report the rate.
         """
-        if page_lsn < self.global_commit_lsn():
-            self.stats.incr(COMMIT_LSN_HITS)
-            return True
-        self.stats.incr(COMMIT_LSN_MISSES)
-        return False
+        commit_lsn = self.global_commit_lsn()
+        hit = page_lsn < commit_lsn
+        self.stats.incr(COMMIT_LSN_HITS if hit else COMMIT_LSN_MISSES)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.COMMIT_LSN_CHECK,
+                page_lsn=int(page_lsn),
+                commit_lsn=int(commit_lsn),
+                hit=hit,
+            )
+        return hit
 
     def hit_rate(self) -> float:
         """Fraction of checks that avoided locking (0.0 if no checks)."""

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set
 from repro.common.config import NULL_LSN, PAGE_SIZE
 from repro.common.errors import ProtocolError
 from repro.common.lsn import Lsn
+from repro.obs import events as ev
 from repro.storage.page import Page
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -175,6 +176,13 @@ class CoherencyController:
         self._complex.network.message(
             owner_id, requester_id, "page_transfer", nbytes=PAGE_SIZE
         )
+        tracer = self._complex.tracer
+        if tracer.enabled:
+            tracer.emit(
+                ev.PAGE_TRANSFER, system=owner_id, page=page_id,
+                src=owner_id, dst=requester_id, dirty=transfer.dirty,
+                scheme=self.scheme,
+            )
         return transfer
 
     def _share_copy(
@@ -192,6 +200,12 @@ class CoherencyController:
         self._complex.network.message(
             owner_id, requester_id, "page_copy", nbytes=PAGE_SIZE
         )
+        tracer = self._complex.tracer
+        if tracer.enabled:
+            tracer.emit(
+                ev.PAGE_COPY, system=owner_id, page=page_id,
+                src=owner_id, dst=requester_id,
+            )
         return _Transfer(page=bcb.page.copy(), dirty=False)
 
     def _invalidate_other_readers(self, page_id: int, keep: int) -> None:

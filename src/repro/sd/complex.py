@@ -27,6 +27,7 @@ from repro.common.lsn import Lsn
 from repro.common.stats import StatsRegistry
 from repro.locking.lock_manager import LockManager, LockMode, LockStatus
 from repro.net.network import Network
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.recovery.commit_lsn import CommitLsnService
 from repro.sd.coherency import CoherencyController
 from repro.sd.instance import DbmsInstance
@@ -54,16 +55,20 @@ class SDComplex:
         lock_value_blocks: bool = True,
         transfer_scheme: str = "medium",
         stats: Optional[StatsRegistry] = None,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         capacity = disk_capacity or (data_start + n_data_pages + 64)
         self.disk = SharedDisk(capacity=capacity, stats=self.stats)
         self.network = Network(stats=self.stats,
-                               piggyback_enabled=piggyback_enabled)
-        self.glm = LockManager(stats=self.stats)
+                               piggyback_enabled=piggyback_enabled,
+                               tracer=self.tracer)
+        self.glm = LockManager(stats=self.stats, tracer=self.tracer)
         self.transfer_scheme = transfer_scheme
         self.coherency = CoherencyController(self, scheme=transfer_scheme)
-        self.commit_lsn = CommitLsnService(stats=self.stats)
+        self.commit_lsn = CommitLsnService(stats=self.stats,
+                                           tracer=self.tracer)
         self.space_map = SpaceMap(smp_start=smp_start, data_start=data_start,
                                   n_data_pages=n_data_pages)
         self.instances: Dict[int, DbmsInstance] = {}

@@ -20,8 +20,9 @@ from repro.buffer.buffer_pool import BufferPool
 from repro.common.clock import SkewedClock
 from repro.common.errors import LockWouldBlock, ReproError
 from repro.common.lsn import Lsn
-from repro.common.stats import PAGE_READS_AVOIDED
+from repro.common.stats import LOCK_ESCALATIONS, PAGE_READS_AVOIDED
 from repro.locking.lock_manager import LockMode, LockStatus, page_lock, record_lock
+from repro.obs import events as ev
 from repro.recovery.apply import apply_op, apply_payload, stamp_page_lsn
 from repro.storage.page import Page, PageType
 from repro.storage.space_map import SpaceMap
@@ -73,9 +74,12 @@ class DbmsInstance:
         self.system_id = system_id
         self.complex = sd_complex
         self.stats = sd_complex.stats
-        self.log = LogManager(system_id, stats=self.stats)
+        self.tracer = sd_complex.tracer
+        self.log = LogManager(system_id, stats=self.stats,
+                              tracer=self.tracer)
         self.pool = BufferPool(
-            sd_complex.disk, self.log, capacity=buffer_capacity
+            sd_complex.disk, self.log, capacity=buffer_capacity,
+            tracer=self.tracer,
         )
         self.txns = TransactionManager(system_id)
         self.lock_granularity = lock_granularity
@@ -85,6 +89,7 @@ class DbmsInstance:
         self.clock = clock if clock is not None else SkewedClock(
             offset=37.0 * system_id, rate=1.0 + 0.13 * system_id
         )
+        self.tracer.register_clock(system_id, self.clock)
         self.crashed = False
         # Lazy (group) commits awaiting their covering log force.
         self._pending_commits: List[Transaction] = []
@@ -94,7 +99,11 @@ class DbmsInstance:
     # ------------------------------------------------------------------
     def begin(self) -> Transaction:
         self._check_up()
-        return self.txns.begin()
+        txn = self.txns.begin()
+        if self.tracer.enabled:
+            self.tracer.emit(ev.TXN_BEGIN, system=self.system_id,
+                             txn=txn.txn_id)
+        return txn
 
     def commit(self, txn: Transaction, lazy: bool = False) -> None:
         """Commit: force the log through the commit record (WAL commit
@@ -113,6 +122,9 @@ class DbmsInstance:
                            prev_lsn=txn.last_lsn)
         addr = self.log.append(commit)
         txn.note_logged(commit.lsn, addr.offset, undoable=False)
+        if self.tracer.enabled:
+            self.tracer.emit(ev.TXN_COMMIT, system=self.system_id,
+                             txn=txn.txn_id, lazy=lazy)
         if lazy:
             self._pending_commits.append(txn)
             return
@@ -157,6 +169,9 @@ class DbmsInstance:
         if txn.state not in (TxnState.ACTIVE, TxnState.ABORTING):
             raise ReproError(f"cannot roll back txn in state {txn.state}")
         txn.state = TxnState.ABORTING
+        if self.tracer.enabled:
+            self.tracer.emit(ev.TXN_ROLLBACK, system=self.system_id,
+                             txn=txn.txn_id, savepoint=to_savepoint)
         stop_at = 0
         if to_savepoint is not None:
             stop_at = txn.savepoints[to_savepoint]
@@ -185,11 +200,19 @@ class DbmsInstance:
                 redo=record.undo, undo_next_lsn=record.prev_lsn,
                 prev_lsn=txn.last_lsn,
             )
-            addr = self.log.append(clr, page_lsn=page.page_lsn)
+            page_lsn_prev = page.page_lsn
+            addr = self.log.append(clr, page_lsn=page_lsn_prev)
             apply_payload(page, record.slot, record.undo, clr.lsn)
             self.pool.note_update(record.page_id, clr.lsn, addr.offset,
                                   self.log.end_offset)
             txn.note_logged(clr.lsn, addr.offset, undoable=False)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.PAGE_UPDATE, system=self.system_id,
+                    page=record.page_id, slot=record.slot, txn=txn.txn_id,
+                    lsn=int(clr.lsn), page_lsn_prev=int(page_lsn_prev),
+                    kind=RecordKind.CLR.name,
+                )
         finally:
             self.pool.unfix(record.page_id)
 
@@ -487,7 +510,8 @@ class DbmsInstance:
         the current page_LSN to the log manager, then place the returned
         LSN into the page header and the BCB.
         """
-        hint = page.page_lsn if lsn_hint is None else lsn_hint
+        page_lsn_prev = page.page_lsn
+        hint = page_lsn_prev if lsn_hint is None else lsn_hint
         addr = self.log.append(record, page_lsn=hint)
         if not already_applied:
             op, data = decode_op(record.redo)
@@ -497,6 +521,13 @@ class DbmsInstance:
                               self.log.end_offset)
         txn.note_logged(record.lsn, addr.offset,
                         undoable=record.is_undoable())
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.PAGE_UPDATE, system=self.system_id,
+                page=page.page_id, slot=record.slot, txn=txn.txn_id,
+                lsn=int(record.lsn), page_lsn_prev=int(page_lsn_prev),
+                kind=record.kind.name,
+            )
 
     def _lock_for_write(self, txn: Transaction, page_id: int, slot: int,
                         unfix_first: Optional[Page] = None) -> None:
@@ -562,7 +593,7 @@ class DbmsInstance:
                                        page_lock(page_id), LockMode.X)
         if status is LockStatus.GRANTED:
             txn.escalated_pages.add(page_id)
-            self.stats.incr("lock.escalations")
+            self.stats.incr(LOCK_ESCALATIONS)
 
     def _lock(self, txn: Transaction, resource, mode: LockMode) -> None:
         status = self.complex.lock(self, txn.txn_id, resource, mode)

@@ -1,0 +1,8 @@
+"""``python -m repro.trace`` entry point (see :mod:`repro.obs.cli`)."""
+
+from repro.obs.cli import main, run
+
+__all__ = ["main", "run"]
+
+if __name__ == "__main__":
+    raise SystemExit(run())

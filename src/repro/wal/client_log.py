@@ -18,6 +18,8 @@ from typing import Dict, List, Optional
 from repro.common.config import NULL_LSN
 from repro.common.lsn import Lsn
 from repro.common.stats import LOG_RECORDS_WRITTEN, StatsRegistry
+from repro.obs import events as ev
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.wal.records import LogRecord, RecordKind
 
 
@@ -34,9 +36,11 @@ class ClientLogManager:
         self,
         client_id: int,
         stats: Optional[StatsRegistry] = None,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         self.client_id = client_id
         self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.local_max_lsn: Lsn = NULL_LSN
         # Records appended since the last ship, in order.
         self._pending: List[LogRecord] = []
@@ -58,12 +62,31 @@ class ClientLogManager:
             else:
                 self._txn_records.setdefault(record.txn_id, []).append(record)
         self.stats.incr(LOG_RECORDS_WRITTEN)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.LOG_APPEND,
+                system=self.client_id,
+                lsn=int(lsn),
+                kind=record.kind.name,
+                txn=record.txn_id,
+                page=record.page_id,
+                offset=None,
+            )
         return lsn
 
     def observe_remote_max(self, remote_max_lsn: Lsn) -> None:
         """Lamport merge, typically from server-piggybacked maxima."""
+        before = self.local_max_lsn
         if remote_max_lsn > self.local_max_lsn:
             self.local_max_lsn = remote_max_lsn
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.LSN_OBSERVE,
+                system=self.client_id,
+                remote=int(remote_max_lsn),
+                before=int(before),
+                after=int(self.local_max_lsn),
+            )
 
     # ------------------------------------------------------------------
     # shipping

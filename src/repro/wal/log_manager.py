@@ -28,11 +28,15 @@ from typing import Iterator, Optional, Tuple
 from repro.common.config import NULL_LSN
 from repro.common.lsn import LogAddress, Lsn
 from repro.common.stats import (
+    LOG_ARCHIVE_SCANS,
+    LOG_BYTES_ARCHIVED,
     LOG_BYTES_WRITTEN,
     LOG_FORCES,
     LOG_RECORDS_WRITTEN,
     StatsRegistry,
 )
+from repro.obs import events as ev
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.wal.records import LogRecord
 
 
@@ -43,9 +47,11 @@ class LogManager:
         self,
         system_id: int,
         stats: Optional[StatsRegistry] = None,
+        tracer: Optional[NullTracer] = None,
     ) -> None:
         self.system_id = system_id
         self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._buffer = bytearray()
         self._flushed_len = 0
         self.local_max_lsn: Lsn = NULL_LSN
@@ -82,7 +88,18 @@ class LogManager:
         record.lsn = lsn
         record.system_id = self.system_id
         self.local_max_lsn = lsn
-        return self._append_bytes(record.to_bytes())
+        addr = self._append_bytes(record.to_bytes())
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.LOG_APPEND,
+                system=self.system_id,
+                lsn=int(lsn),
+                kind=record.kind.name,
+                txn=record.txn_id,
+                page=record.page_id,
+                offset=addr.offset,
+            )
+        return addr
 
     def append_raw(self, data: bytes) -> LogAddress:
         """Append pre-serialized records verbatim (CS server path).
@@ -97,6 +114,13 @@ class LogManager:
             if record.lsn > self.local_max_lsn:
                 self.local_max_lsn = record.lsn
         self._append_bytes(data, count_records=False)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.LOG_APPEND_RAW,
+                system=self.system_id,
+                nbytes=len(data),
+                local_max=int(self.local_max_lsn),
+            )
         return addr
 
     def _append_bytes(self, data: bytes, count_records: bool = True) -> LogAddress:
@@ -109,8 +133,17 @@ class LogManager:
 
     def observe_remote_max(self, remote_max_lsn: Lsn) -> None:
         """Lamport merge of another system's Local_Max_LSN (Section 3.5)."""
+        before = self.local_max_lsn
         if remote_max_lsn > self.local_max_lsn:
             self.local_max_lsn = remote_max_lsn
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.LSN_OBSERVE,
+                system=self.system_id,
+                remote=int(remote_max_lsn),
+                before=int(before),
+                after=int(self.local_max_lsn),
+            )
 
     # ------------------------------------------------------------------
     # stable storage boundary
@@ -140,6 +173,10 @@ class LogManager:
         if target > self._flushed_len:
             self._flushed_len = target
             self.stats.incr(LOG_FORCES)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.LOG_FORCE, system=self.system_id, up_to=target
+                )
 
     def is_stable(self, offset_end: int) -> bool:
         """Is every byte before ``offset_end`` on stable storage?"""
@@ -167,7 +204,7 @@ class LogManager:
         moved = max(0, offset - self.archived_offset)
         if moved:
             self.archived_offset = offset
-            self.stats.incr("log.bytes_archived", moved)
+            self.stats.incr(LOG_BYTES_ARCHIVED, moved)
         return moved
 
     # ------------------------------------------------------------------
@@ -212,7 +249,7 @@ class LogManager:
         if from_offset < self.archived_offset:
             # The scan reaches into archived territory (media recovery
             # fetching the tapes); account for it.
-            self.stats.incr("log.archive_scans")
+            self.stats.incr(LOG_ARCHIVE_SCANS)
         data = bytes(self._buffer[:end])
         offset = from_offset
         while offset < end:

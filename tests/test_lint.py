@@ -341,6 +341,81 @@ class TestR005:
 
 
 # ----------------------------------------------------------------------
+# R006 — stats-discipline
+# ----------------------------------------------------------------------
+class TestR006:
+    def test_inline_literal_flagged(self):
+        found = findings_for(
+            """
+            def f(self):
+                self.stats.incr("net.messages.sent")
+            """
+        )
+        assert ids_of(found) == ["R006"]
+        assert "net.messages.sent" in found[0].message
+
+    def test_inline_observe_flagged(self):
+        found = findings_for(
+            "def f(metrics, v):\n    metrics.observe('lock.waits', v)\n"
+        )
+        assert ids_of(found) == ["R006"]
+
+    def test_inline_incr_labeled_flagged(self):
+        found = findings_for(
+            "def f(metrics):\n"
+            "    metrics.incr_labeled('trace.events', kind='x')\n"
+        )
+        assert ids_of(found) == ["R006"]
+
+    def test_fstring_name_flagged(self):
+        found = findings_for(
+            "def f(self, kind):\n"
+            "    self.stats.incr(f'net.messages.{kind}')\n"
+        )
+        assert ids_of(found) == ["R006"]
+        assert "f-string" in found[0].message
+
+    def test_constant_name_clean(self):
+        assert (
+            findings_for(
+                """
+                from repro.common.stats import MESSAGES_SENT
+
+                def f(self):
+                    self.stats.incr(MESSAGES_SENT)
+                """
+            )
+            == []
+        )
+
+    def test_helper_built_name_clean(self):
+        assert (
+            findings_for(
+                """
+                from repro.common.stats import message_kind_counter
+
+                def f(self, kind):
+                    self.stats.incr(message_kind_counter(kind))
+                """
+            )
+            == []
+        )
+
+    def test_non_registry_receiver_ignored(self):
+        assert (
+            findings_for("def f(q):\n    q.incr('depth')\n") == []
+        )
+
+    def test_stats_module_exempt(self):
+        source = "def f(self):\n    self.stats.incr('x')\n"
+        assert findings_for(source, path="src/repro/common/stats.py") == []
+
+    def test_tests_exempt(self):
+        source = "def test_f(stats):\n    stats.incr('x')\n"
+        assert findings_for(source, path=TST) == []
+
+
+# ----------------------------------------------------------------------
 # suppression comments
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -419,6 +494,7 @@ class TestEngine:
             "R003",
             "R004",
             "R005",
+            "R006",
         ]
         for rule in ALL_RULES:
             assert rule.description
@@ -453,7 +529,7 @@ class TestEngine:
 
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
             assert rule_id in out
 
     def test_cli_unknown_rule_is_usage_error(self, capsys):
@@ -494,6 +570,11 @@ class TestRealTree:
                 "        self.glm.acquire(1, 2, 3)\n"
             ),
             "R005": "try:\n    pass\nexcept Exception:\n    pass\n",
+            "R006": (
+                "class C:\n"
+                "    def f(self):\n"
+                "        self.stats.incr('made.up.counter')\n"
+            ),
         }
         for rule_id, source in seeded.items():
             found = findings_for(source, rule=rule_id)

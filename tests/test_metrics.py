@@ -1,0 +1,182 @@
+"""Tests for repro.obs.metrics and its StatsRegistry interplay.
+
+The histogram edge-semantics tests pin down the contract the docstring
+promises: ``le`` (inclusive) upper edges, a value equal to an edge
+lands in exactly one bucket, negatives are rejected.  The diff/reset
+tests pin the interaction with the StatsRegistry base the experiments
+already rely on.
+"""
+
+import pytest
+
+from repro.common.stats import StatsRegistry
+from repro.obs.metrics import (
+    DEFAULT_EDGES,
+    Histogram,
+    MetricsRegistry,
+    labeled_name,
+)
+
+
+# ----------------------------------------------------------------------
+# histogram bucket semantics
+# ----------------------------------------------------------------------
+class TestHistogramEdges:
+    def test_boundary_value_lands_in_exactly_one_bucket(self):
+        hist = Histogram("h", edges=(1, 5, 10))
+        hist.observe(5)  # exactly on an edge
+        assert sum(hist.counts) == 1
+        assert hist.counts[1] == 1  # the <=5 bucket, not the <=10 one
+
+    def test_every_edge_value_is_inclusive(self):
+        hist = Histogram("h", edges=(1, 5, 10))
+        for edge in (1, 5, 10):
+            hist.observe(edge)
+        assert hist.counts == [1, 1, 1, 0]
+
+    def test_between_edges_goes_up(self):
+        hist = Histogram("h", edges=(1, 5, 10))
+        hist.observe(2)
+        assert hist.counts == [0, 1, 0, 0]
+
+    def test_overflow_bucket(self):
+        hist = Histogram("h", edges=(1, 5, 10))
+        hist.observe(11)
+        assert hist.counts == [0, 0, 0, 1]
+        assert hist.bucket_label(3) == ">10"
+
+    def test_zero_goes_in_first_bucket(self):
+        hist = Histogram("h", edges=(1, 5))
+        hist.observe(0)
+        assert hist.counts[0] == 1
+
+    def test_negative_rejected(self):
+        hist = Histogram("h")
+        with pytest.raises(ValueError):
+            hist.observe(-1)
+        assert hist.total == 0
+
+    def test_edges_must_be_increasing(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(5, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(1, 1))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=())
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(-1, 5))
+
+    def test_mean_and_snapshot(self):
+        hist = Histogram("h", edges=(10,))
+        hist.observe(4)
+        hist.observe(6)
+        assert hist.mean() == 5.0
+        snap = hist.snapshot()
+        assert snap["total"] == 2
+        assert snap["sum"] == 10.0
+        assert snap["edges"] == [10.0]
+
+    def test_default_edges_are_increasing(self):
+        assert list(DEFAULT_EDGES) == sorted(set(DEFAULT_EDGES))
+
+
+# ----------------------------------------------------------------------
+# labeled counters
+# ----------------------------------------------------------------------
+class TestLabeledCounters:
+    def test_labels_sorted_into_canonical_name(self):
+        assert labeled_name("m", {"b": 1, "a": "x"}) == "m{a=x,b=1}"
+        assert labeled_name("m", {}) == "m"
+
+    def test_incr_and_get_labeled(self):
+        metrics = MetricsRegistry()
+        metrics.incr_labeled("trace.events", kind="log.append")
+        metrics.incr_labeled("trace.events", kind="log.append")
+        metrics.incr_labeled("trace.events", kind="net.msg")
+        assert metrics.get_labeled("trace.events", kind="log.append") == 2
+        assert metrics.get_labeled("trace.events", kind="net.msg") == 1
+        assert metrics.get("trace.events{kind=log.append}") == 2
+
+    def test_labeled_counters_appear_in_snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.incr_labeled("m", kind="a")
+        assert "m{kind=a}" in metrics.snapshot()
+
+
+# ----------------------------------------------------------------------
+# registry-level behaviour: diff, reset, drop-in compatibility
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_is_a_stats_registry(self):
+        assert isinstance(MetricsRegistry(), StatsRegistry)
+
+    def test_diff_sees_labeled_counters(self):
+        metrics = MetricsRegistry()
+        metrics.incr_labeled("m", kind="a")
+        before = metrics.snapshot()
+        metrics.incr_labeled("m", 4, kind="a")
+        metrics.incr("plain")
+        delta = metrics.diff(before)
+        assert delta == {"m{kind=a}": 4, "plain": 1}
+
+    def test_diff_after_reset_reports_fresh_counts(self):
+        metrics = MetricsRegistry()
+        metrics.incr("x", 7)
+        before = metrics.snapshot()
+        metrics.reset()
+        metrics.incr("x", 2)
+        # After a reset the old snapshot must not poison the diff:
+        # diff against a *new* snapshot is the supported pattern.
+        assert metrics.get("x") == 2
+        assert metrics.diff(metrics.snapshot()) == {}
+        assert before["x"] == 7  # the old snapshot is untouched
+
+    def test_reset_zeroes_counters_and_drops_histograms(self):
+        metrics = MetricsRegistry()
+        metrics.incr("c")
+        metrics.observe("h", 3)
+        metrics.reset()
+        assert metrics.get("c") == 0
+        assert metrics.histograms() == {}
+
+    def test_histogram_created_once_and_shared(self):
+        metrics = MetricsRegistry()
+        metrics.observe("h", 1)
+        metrics.observe("h", 2)
+        assert metrics.histograms()["h"].total == 2
+
+    def test_histogram_edge_mismatch_rejected(self):
+        metrics = MetricsRegistry()
+        metrics.histogram("h", edges=(1, 2))
+        with pytest.raises(ValueError):
+            metrics.histogram("h", edges=(1, 3))
+        # Same edges are fine (idempotent).
+        metrics.histogram("h", edges=(1, 2))
+
+    def test_observe_negative_propagates(self):
+        metrics = MetricsRegistry()
+        with pytest.raises(ValueError):
+            metrics.observe("h", -5)
+
+    def test_snapshot_all_round_trips_to_json(self):
+        import json
+
+        metrics = MetricsRegistry()
+        metrics.incr("c", 2)
+        metrics.observe("h", 7)
+        snap = json.loads(json.dumps(metrics.snapshot_all()))
+        assert snap["counters"]["c"] == 2
+        assert snap["histograms"]["h"]["total"] == 1
+
+    def test_subsystem_accepts_metrics_registry(self):
+        """Drop-in through the existing ``stats=`` seam."""
+        from repro.sd.complex import SDComplex
+
+        metrics = MetricsRegistry()
+        complex_ = SDComplex(n_data_pages=64, stats=metrics)
+        instance = complex_.add_instance(1)
+        txn = instance.begin()
+        page = instance.allocate_page(txn)
+        instance.insert(txn, page, b"v")
+        instance.commit(txn)
+        assert metrics.get("log.records_written") > 0

@@ -1,0 +1,69 @@
+"""Determinism regression tests for tracing (the R002 promise, proven).
+
+Two runs of the same scenario must produce byte-identical JSONL — that
+is what lets a saved trace serve as a golden regression artifact.
+Changing only the per-system clock skews must leave the *event order*
+(seq, system, kind, fields) untouched and change only the clock
+readings: the clocks are observers, never inputs.
+"""
+
+from repro.obs.capture import capture_e1
+from repro.obs.tracer import load_trace
+
+
+def _strip_clock(event):
+    return (event.seq, event.system, event.kind,
+            tuple(sorted(event.fields.items(), key=lambda kv: kv[0])))
+
+
+class TestByteDeterminism:
+    def test_same_scenario_twice_is_byte_identical(self):
+        first, _ = capture_e1("usn")
+        second, _ = capture_e1("usn")
+        assert first.dump_jsonl() == second.dump_jsonl()
+
+    def test_naive_scenario_is_deterministic_too(self):
+        first, _ = capture_e1("naive")
+        second, _ = capture_e1("naive")
+        assert first.dump_jsonl() == second.dump_jsonl()
+
+    def test_round_trip_through_jsonl_is_lossless(self, tmp_path):
+        tracer, _ = capture_e1("usn")
+        path = tmp_path / "golden.jsonl"
+        tracer.write(str(path))
+        reloaded = load_trace(str(path))
+        assert [e.to_json() for e in reloaded] == [
+            e.to_json() for e in tracer.events()
+        ]
+
+
+class TestClockIndependence:
+    def test_skew_changes_readings_not_order(self):
+        base, _ = capture_e1("usn")
+        skewed, _ = capture_e1(
+            "usn", skews={1: (1000.0, 3.0), 2: (5.0, 0.5)}
+        )
+        base_events = base.events()
+        skewed_events = skewed.events()
+        assert len(base_events) == len(skewed_events)
+        # Event order and payloads are identical...
+        assert [_strip_clock(e) for e in base_events] == [
+            _strip_clock(e) for e in skewed_events
+        ]
+        # ... but the clock readings differ wherever a clock is attached.
+        clocked = [
+            (a.clock, b.clock)
+            for a, b in zip(base_events, skewed_events)
+            if a.clock is not None
+        ]
+        assert clocked, "expected clocked events in the trace"
+        assert any(a != b for a, b in clocked)
+
+    def test_tick_counts_are_skew_independent(self):
+        base, _ = capture_e1("usn")
+        skewed, _ = capture_e1(
+            "usn", skews={1: (1000.0, 3.0), 2: (5.0, 0.5)}
+        )
+        assert [e.ticks for e in base.events()] == [
+            e.ticks for e in skewed.events()
+        ]

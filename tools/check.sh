@@ -50,6 +50,17 @@ step "reprolint" env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
 if [ "$fast" -eq 0 ]; then
     step "pytest" env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
         python -m pytest -x -q
+
+    # Bench smoke: run E1 standalone, write BENCH_E1.json, and make
+    # sure the trace CLI can re-render it.
+    bench_smoke() {
+        env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+            python benchmarks/bench_e1_anomaly.py --json >/dev/null \
+        && [ -f BENCH_E1.json ] \
+        && env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+            python -m repro.trace --bench BENCH_E1.json >/dev/null
+    }
+    step "bench-e1 smoke (BENCH_E1.json)" bench_smoke
 fi
 
 echo
