@@ -7,11 +7,26 @@ serialization, and a full engine update round trip.
 
 import pytest
 
+from repro.common.clock import wall_seconds
+from repro.common.stats import (
+    BUFFER_BATCH_FLUSHES,
+    LOG_FORCES,
+    LOG_FORCES_COALESCED,
+)
 from repro.storage.page import Page, PageType
 from repro.wal.log_manager import LogManager
 from repro.wal.records import LogRecord, make_update
 
 from _common import build_sd, committed_row
+
+BATCH = 64
+
+
+def _fresh_records(n):
+    return [
+        make_update(1, i + 1, 100 + i, 0, redo=b"x" * 32, undo=b"y" * 32)
+        for i in range(n)
+    ]
 
 
 def test_micro_log_append(benchmark):
@@ -22,6 +37,92 @@ def test_micro_log_append(benchmark):
         log.append(record, page_lsn=0)
 
     benchmark(append)
+
+
+def test_micro_log_append_many(benchmark):
+    log = LogManager(1)
+    records = _fresh_records(BATCH)
+
+    def append_batch():
+        log.append_many(records)
+
+    benchmark(append_batch)
+
+
+def _best_of(fn, repeats=5, inner=40):
+    """Minimum wall-clock over ``repeats`` runs of ``inner`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = wall_seconds()
+        for _ in range(inner):
+            fn()
+        best = min(best, wall_seconds() - start)
+    return best
+
+
+def test_append_many_speedup_over_single_appends():
+    """Acceptance gate: ``append_many`` beats N single ``append`` calls
+    by >= 2x at batch size 64 (programmatic — no timing fixture)."""
+    slow_log = LogManager(1)
+    fast_log = LogManager(2)
+    records = _fresh_records(BATCH)
+
+    def slow():
+        append = slow_log.append
+        for record in records:
+            append(record, page_lsn=0)
+
+    def fast():
+        fast_log.append_many(records)
+
+    slow()  # warm both paths before timing
+    fast()
+    slow_s = _best_of(slow)
+    fast_s = _best_of(fast)
+    speedup = slow_s / fast_s
+    print(f"append_many speedup at batch {BATCH}: {speedup:.2f}x "
+          f"({slow_s * 1e3:.2f}ms vs {fast_s * 1e3:.2f}ms)")
+    assert speedup >= 2.0, (
+        f"append_many only {speedup:.2f}x faster than single appends "
+        f"(need >= 2x at batch {BATCH})"
+    )
+
+
+def _engine_with_dirty_pages(n):
+    """One instance holding ``n`` dirty pages whose latest updates are
+    not yet on stable log (uncommitted txn => WAL force needed)."""
+    sd, (s1,) = build_sd(1, n_data_pages=256)
+    rows = [committed_row(s1) for _ in range(n)]
+    txn = s1.begin()
+    for page_id, slot in rows:
+        s1.update(txn, page_id, slot, b"dirty")
+    return s1, [page_id for page_id, _ in rows]
+
+
+def test_batch_flush_coalesces_forces():
+    """Acceptance gate: the old per-page path issues N log forces where
+    ``flush_pages`` issues exactly 1 (asserted via counters)."""
+    n = 8
+
+    old, old_pages = _engine_with_dirty_pages(n)
+    before = old.log.stats.get(LOG_FORCES)
+    for page_id in old_pages:  # ascending update order: worst case
+        old.pool.write_page(page_id)
+    old_forces = old.log.stats.get(LOG_FORCES) - before
+    assert old_forces == n, f"per-page path forced {old_forces}x, not {n}x"
+
+    new, new_pages = _engine_with_dirty_pages(n)
+    forces0 = new.log.stats.get(LOG_FORCES)
+    coalesced0 = new.log.stats.get(LOG_FORCES_COALESCED)
+    flushes0 = new.log.stats.get(BUFFER_BATCH_FLUSHES)
+    written = new.pool.flush_pages(new_pages)
+    assert written == n
+    assert new.log.stats.get(LOG_FORCES) - forces0 == 1
+    assert new.log.stats.get(LOG_FORCES_COALESCED) - coalesced0 == n - 1
+    assert new.log.stats.get(BUFFER_BATCH_FLUSHES) - flushes0 == 1
+    for page_id in new_pages:
+        assert new.log.is_stable(new.pool.bcb(page_id).last_update_end) \
+            or not new.pool.is_dirty(page_id)
 
 
 def test_micro_record_roundtrip(benchmark):

@@ -1,0 +1,10 @@
+"""Entry point for ``python -m repro.bench``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,11 +14,12 @@ Policy corners (Section 1.4 of the paper):
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.config import DEFAULT_BUFFER_POOL_PAGES
 from repro.common.errors import BufferPoolFullError, WALViolationError
 from repro.common.lsn import Lsn
+from repro.common.stats import BUFFER_BATCH_FLUSHES
 from repro.buffer.bcb import BufferControlBlock
 from repro.obs import events as ev
 from repro.obs.tracer import NULL_TRACER, NullTracer
@@ -159,6 +160,15 @@ class BufferPool:
                         f"offset {bcb.last_update_end} and WAL forcing disabled"
                     )
                 self.log.force(up_to=bcb.last_update_end)
+        self._write_stable(page_id, bcb)
+
+    def _write_stable(self, page_id: int, bcb: BufferControlBlock) -> None:
+        """Write a page whose WAL obligation is already satisfied.
+
+        The per-page half of :meth:`write_page`: before-write hook,
+        disk write, clean marking, trace — everything except the log
+        force, which the batch lane pays once for a whole flush set.
+        """
         if self.on_before_write is not None:
             self.on_before_write(bcb)
         self.disk.write_page(bcb.page)
@@ -171,11 +181,49 @@ class BufferPool:
                 page_lsn=int(bcb.page.page_lsn),
             )
 
-    def flush_all(self) -> None:
-        """Write every dirty page (quiesce / clean shutdown)."""
-        for page_id in list(self._frames):
-            if self._frames[page_id].dirty:
-                self.write_page(page_id)
+    def flush_pages(self, page_ids: Iterable[int]) -> int:
+        """Write a set of pages with one coalesced WAL force.
+
+        The batch fast lane: where N ``write_page`` calls force the log
+        N times (each through its own page's last-update boundary), a
+        batch computes the set's maximum boundary and forces once —
+        the deferred-force shape of every group-commit design.  Page
+        writes themselves (``on_before_write`` hook included) still
+        happen per page, in the order given.
+
+        With ``enforce_wal`` disabled the whole batch is validated
+        before any page touches disk, so a WAL violation surfaces with
+        every page image intact.  Returns the number of pages written.
+        """
+        ids = list(page_ids)
+        boundaries: List[int] = []
+        for page_id in ids:
+            bcb = self._require(page_id)
+            if bcb.dirty and bcb.last_update_end:
+                if not self.log.is_stable(bcb.last_update_end):
+                    if not self.enforce_wal:
+                        raise WALViolationError(
+                            f"page {page_id}: log not stable through "
+                            f"offset {bcb.last_update_end} and WAL "
+                            "forcing disabled"
+                        )
+                    boundaries.append(bcb.last_update_end)
+        if boundaries:
+            self.log.force_through(boundaries)
+        for page_id in ids:
+            self._write_stable(page_id, self._frames[page_id])
+        if ids:
+            self.log.stats.incr(BUFFER_BATCH_FLUSHES)
+        return len(ids)
+
+    def flush_all(self) -> int:
+        """Write every dirty page (quiesce / clean shutdown).
+
+        Rides the batch lane: one log force covers the whole set.
+        """
+        return self.flush_pages(
+            page_id for page_id, bcb in self._frames.items() if bcb.dirty
+        )
 
     def drop_page(self, page_id: int, allow_dirty: bool = False) -> None:
         """Remove a page from the pool without writing it.
@@ -216,6 +264,40 @@ class BufferPool:
         raise BufferPoolFullError(
             f"all {self.capacity} frames fixed; cannot evict"
         )
+
+    def shrink_to(self, target_frames: int) -> int:
+        """Batch-evict LRU unfixed pages down to ``target_frames``.
+
+        The eviction fast lane for quiesce/checkpoint pressure: all
+        dirty victims are flushed through :meth:`flush_pages` (one
+        coalesced log force), then every victim is dropped.  Pinned
+        pages are skipped, so the pool may stay above the target when
+        too many frames are fixed.  Returns the number of evictions.
+        """
+        if target_frames < 0:
+            raise ValueError("target_frames must be >= 0")
+        victims: List[int] = []
+        excess = len(self._frames) - target_frames
+        for page_id, bcb in self._frames.items():  # LRU order
+            if len(victims) >= excess:
+                break
+            if bcb.fix_count == 0:
+                victims.append(page_id)
+        dirty = [
+            page_id for page_id in victims if self._frames[page_id].dirty
+        ]
+        if dirty:
+            self.flush_pages(dirty)
+        for page_id in victims:
+            del self._frames[page_id]
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.PAGE_EVICT,
+                    system=self.log.system_id,
+                    page=page_id,
+                    dirty=page_id in dirty,
+                )
+        return len(victims)
 
     # ------------------------------------------------------------------
     # checkpoint & crash support

@@ -12,6 +12,20 @@ arbitrary skew.
 
 from __future__ import annotations
 
+import time as _time
+
+
+def wall_seconds() -> float:
+    """Monotonic wall-clock reading — **bench harness only**.
+
+    The simulation itself must never observe real time (rule R002);
+    this module is R002's single allowed home for clock access, and
+    this helper exists so the out-of-simulation tooling (the
+    ``repro.bench`` suite runner, micro-benchmark timing loops) can
+    measure elapsed wall time without re-importing ``time`` elsewhere.
+    """
+    return _time.perf_counter()
+
 
 class SkewedClock:
     """A logical clock with constant offset and rate drift.

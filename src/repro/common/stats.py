@@ -14,11 +14,38 @@ from collections import Counter
 from typing import Dict, Iterator, Mapping, Tuple
 
 
+class CounterHandle:
+    """A pre-resolved counter: bumping it skips the registry's per-call
+    string hashing (the fast lane for hot loops).
+
+    A handle owns its running value; the registry merges handle values
+    back into every read (:meth:`StatsRegistry.get`, ``snapshot`` ...),
+    so mixing ``registry.incr(NAME)`` and ``handle.bump()`` on the same
+    name stays coherent.  ``bump`` deliberately skips the negative-
+    amount guard of :meth:`StatsRegistry.incr` — handles live on
+    audited hot paths that only ever move counters forward.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def bump(self, amount: int = 1) -> None:
+        """Increase the counter by ``amount`` (hot path, unchecked)."""
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CounterHandle({self.name!r}, value={self.value})"
+
+
 class StatsRegistry:
     """A named bag of monotonically increasing counters."""
 
     def __init__(self) -> None:
         self._counters: "Counter[str]" = Counter()
+        self._handles: Dict[str, CounterHandle] = {}
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Increase counter ``name`` by ``amount`` (must be >= 0)."""
@@ -26,32 +53,53 @@ class StatsRegistry:
             raise ValueError("counters only move forward")
         self._counters[name] += amount
 
+    def handle(self, name: str) -> CounterHandle:
+        """The interned :class:`CounterHandle` for ``name``.
+
+        Repeated calls return the same handle, so every holder bumps
+        the same underlying value.  Handles survive :meth:`reset`
+        (their value is zeroed, the object stays valid).
+        """
+        found = self._handles.get(name)
+        if found is None:
+            found = CounterHandle(name)
+            self._handles[name] = found
+        return found
+
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
-        return self._counters[name]
+        found = self._handles.get(name)
+        base = self._counters[name]
+        return base + found.value if found is not None else base
 
     def snapshot(self) -> Dict[str, int]:
-        """A copy of all counters, for reporting."""
-        return dict(self._counters)
+        """A copy of all counters (handle values merged), for reporting."""
+        out = dict(self._counters)
+        for name, handle in self._handles.items():
+            if handle.value:
+                out[name] = out.get(name, 0) + handle.value
+        return out
 
     def reset(self) -> None:
         """Zero every counter (used between experiment phases)."""
         self._counters.clear()
+        for handle in self._handles.values():
+            handle.value = 0
 
     def diff(self, before: Mapping[str, int]) -> Dict[str, int]:
         """Counters minus a prior :meth:`snapshot`, dropping zeros."""
         out: Dict[str, int] = {}
-        for name, value in self._counters.items():
+        for name, value in self.snapshot().items():
             delta = value - before.get(name, 0)
             if delta:
                 out[name] = delta
         return out
 
     def __iter__(self) -> Iterator[Tuple[str, int]]:
-        return iter(sorted(self._counters.items()))
+        return iter(sorted(self.snapshot().items()))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"StatsRegistry({dict(self._counters)!r})"
+        return f"StatsRegistry({self.snapshot()!r})"
 
 
 # Well-known counter names, centralised so experiments and subsystems
@@ -62,6 +110,7 @@ DISK_PAGE_WRITES = "disk.page_writes"
 LOG_RECORDS_WRITTEN = "log.records_written"
 LOG_BYTES_WRITTEN = "log.bytes_written"
 LOG_FORCES = "log.forces"
+LOG_FORCES_COALESCED = "log.forces_coalesced"
 LOCK_REQUESTS = "lock.requests"
 LOCK_WAITS = "lock.waits"
 MESSAGES_SENT = "net.messages_sent"
@@ -76,6 +125,7 @@ NET_MAX_LSN_BROADCAST = "net.messages.max_lsn_broadcast"
 LOG_BYTES_ARCHIVED = "log.bytes_archived"
 LOG_ARCHIVE_SCANS = "log.archive_scans"
 LOCK_ESCALATIONS = "lock.escalations"
+BUFFER_BATCH_FLUSHES = "buffer.batch_flushes"
 
 
 def message_kind_counter(kind: str) -> str:

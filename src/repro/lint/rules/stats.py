@@ -32,8 +32,12 @@ from repro.lint.engine import Finding, LintContext, Rule
 _EXEMPT_MODULES = ("common/stats.py", "obs/metrics.py")
 
 #: Methods whose first positional argument is a counter/histogram name.
+#: ``handle`` mints the pre-resolved fast-lane counters (PR 3) — the
+#: name is interned once, but a typo there silently forks a counter for
+#: the whole lifetime of the handle, so the discipline applies doubly.
 _NAME_TAKING_METHODS = frozenset({"incr", "observe", "incr_labeled",
-                                  "get", "get_labeled", "histogram"})
+                                  "get", "get_labeled", "histogram",
+                                  "handle"})
 
 #: Receiver terminal names that look like a stats/metrics registry.
 _REGISTRY_RECEIVERS = frozenset({"stats", "metrics", "registry"})

@@ -34,10 +34,12 @@ class LockMode(enum.IntEnum):
     X = 5
 
 
-_COMPAT: Dict[Tuple[LockMode, LockMode], bool] = {}
-
-
-def _fill_compat() -> None:
+# Compatibility as a precomputed bitmask table: ``_COMPAT_MASK[a]`` has
+# bit ``b`` set iff modes ``a`` and ``b`` can be held simultaneously.
+# ``are_compatible`` is the single hottest predicate in the lock
+# manager (every grant/conversion/promotion consults it), and a list
+# index plus a shift beats hashing a tuple of two enum members.
+def _build_compat_mask() -> List[int]:
     yes = {
         (LockMode.IS, LockMode.IS), (LockMode.IS, LockMode.IX),
         (LockMode.IS, LockMode.S), (LockMode.IS, LockMode.SIX),
@@ -45,12 +47,15 @@ def _fill_compat() -> None:
         (LockMode.S, LockMode.IS), (LockMode.S, LockMode.S),
         (LockMode.SIX, LockMode.IS),
     }
+    masks = [0] * (max(LockMode) + 1)
     for a in LockMode:
         for b in LockMode:
-            _COMPAT[(a, b)] = (a, b) in yes
+            if (a, b) in yes or (b, a) in yes:
+                masks[a] |= 1 << b
+    return masks
 
 
-_fill_compat()
+_COMPAT_MASK: List[int] = _build_compat_mask()
 
 # Least upper bound of two modes (for conversions).
 _SUPREMUM: Dict[Tuple[LockMode, LockMode], LockMode] = {}
@@ -82,7 +87,7 @@ _fill_supremum()
 
 def are_compatible(a: LockMode, b: LockMode) -> bool:
     """Can modes ``a`` and ``b`` be held simultaneously?"""
-    return _COMPAT[(a, b)]
+    return bool(_COMPAT_MASK[a] & (1 << b))
 
 
 def supremum(a: LockMode, b: LockMode) -> LockMode:
@@ -129,6 +134,9 @@ class LockManager:
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Pre-resolved handle: LOCK_REQUESTS is bumped on every single
+        # acquire, so it skips the registry's per-call string hashing.
+        self._requests = self.stats.handle(LOCK_REQUESTS)
         self._table: Dict[Hashable, _LockHead] = {}
         # owner -> resource currently waited for (for the WFG)
         self._waiting_on: Dict[Hashable, Hashable] = {}
@@ -153,8 +161,21 @@ class LockManager:
         ``owner`` is chosen as the victim (the youngest, i.e. the one
         with the greatest owner key).
         """
-        self.stats.incr(LOCK_REQUESTS)
-        head = self._table.setdefault(resource, _LockHead())
+        self._requests.bump()
+        head = self._table.get(resource)
+        if head is None:
+            # Uncontended fast lane: the first request on a free
+            # resource always grants — no queue to scan, no
+            # compatibility to check.  Same result, stats and trace as
+            # the general path below.
+            head = _LockHead()
+            head.granted[owner] = mode
+            self._table[resource] = head
+            self._trace(
+                ev.LOCK_GRANT, owner=owner, resource=resource,
+                mode=mode.name,
+            )
+            return LockStatus.GRANTED
         if any(r.owner == owner for r in head.queue):
             # Retry of a still-queued request: keep the queue position.
             return LockStatus.WAITING
@@ -207,8 +228,18 @@ class LockManager:
         """Like :meth:`acquire` but never waits: a conflicting request
         returns WOULD_BLOCK without being enqueued.  Used for
         opportunistic operations such as lock escalation."""
-        self.stats.incr(LOCK_REQUESTS)
-        head = self._table.setdefault(resource, _LockHead())
+        self._requests.bump()
+        head = self._table.get(resource)
+        if head is None:
+            # Same uncontended fast lane as acquire().
+            head = _LockHead()
+            head.granted[owner] = mode
+            self._table[resource] = head
+            self._trace(
+                ev.LOCK_GRANT, owner=owner, resource=resource,
+                mode=mode.name,
+            )
+            return LockStatus.GRANTED
         if any(r.owner == owner for r in head.queue):
             return LockStatus.WOULD_BLOCK
         held = head.granted.get(owner)
@@ -305,14 +336,16 @@ class LockManager:
     # ------------------------------------------------------------------
     @staticmethod
     def _grant_compatible(head: _LockHead, mode: LockMode) -> bool:
-        return all(are_compatible(mode, held) for held in head.granted.values())
+        mask = _COMPAT_MASK[mode]
+        return all(mask >> held & 1 for held in head.granted.values())
 
     @staticmethod
     def _conversion_compatible(
         head: _LockHead, owner: Hashable, target: LockMode
     ) -> bool:
+        mask = _COMPAT_MASK[target]
         return all(
-            are_compatible(target, held)
+            mask >> held & 1
             for other, held in head.granted.items()
             if other != owner
         )

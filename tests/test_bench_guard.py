@@ -1,0 +1,32 @@
+"""Guard rails around the benchmarks/ directory.
+
+Tier-1 (`pytest` with no arguments) must never collect benchmarks/,
+and collecting a bench module *without* pytest-benchmark must produce
+clean skips — not collection errors — so environments lacking the
+optional plugin can still run everything else.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_tier1_testpaths_exclude_benchmarks():
+    pyproject = (REPO / "pyproject.toml").read_text()
+    assert 'testpaths = ["tests"]' in pyproject
+
+
+def test_bench_without_plugin_skips_cleanly():
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest",
+         str(REPO / "benchmarks" / "bench_a3_group_commit.py"),
+         "-rs", "-p", "no:benchmark", "-p", "no:cacheprovider"],
+        capture_output=True, text=True, cwd=str(REPO),
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "SKIPPED" in proc.stdout
+    assert "pytest-benchmark not installed" in proc.stdout
+    assert "error" not in proc.stdout.lower()

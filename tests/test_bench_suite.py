@@ -1,0 +1,237 @@
+"""Tests for the parallel bench-suite runner (``python -m repro.bench``).
+
+Real benches are slow, so these tests build a toy bench directory:
+one standalone bench (the ``build_result``/``--json`` contract) and
+one pytest bench, plus broken variants for the failure paths.  The
+compare logic is exercised purely in memory.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    compare,
+    discover,
+    load_suite,
+    main,
+    run_suite,
+    write_suite,
+)
+
+STANDALONE_BENCH = '''\
+"""Fake standalone bench following the bench_main contract."""
+import json
+import sys
+
+
+def build_result():
+    return {"holds": True}
+
+
+def main():
+    out = None
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--json":
+        out = argv[1]
+    if out:
+        with open(out, "w") as handle:
+            json.dump({"experiment_id": "FAKE", "holds": True,
+                       "counters": {"log.forces": 3, "note": "skip-me"}},
+                      handle)
+    print("fake bench ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+'''
+
+PYTEST_BENCH = '''\
+def test_always_passes():
+    assert 1 + 1 == 2
+
+
+def test_also_passes():
+    assert True
+'''
+
+FAILING_PYTEST_BENCH = '''\
+def test_always_fails():
+    assert False, "injected failure"
+'''
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    root = tmp_path / "benchmarks"
+    root.mkdir()
+    (root / "bench_fake_standalone.py").write_text(STANDALONE_BENCH)
+    (root / "bench_fake_pytest.py").write_text(PYTEST_BENCH)
+    (root / "helper.py").write_text("# not a bench\n")
+    return root
+
+
+class TestDiscovery:
+    def test_finds_only_bench_modules(self, bench_dir):
+        names = [p.stem for p in discover(bench_dir)]
+        assert names == ["bench_fake_pytest", "bench_fake_standalone"]
+
+    def test_only_filter_preserves_order(self, bench_dir):
+        names = [p.stem for p in discover(
+            bench_dir, ["bench_fake_standalone", "bench_fake_pytest"])]
+        assert names == ["bench_fake_standalone", "bench_fake_pytest"]
+
+    def test_unknown_name_raises(self, bench_dir):
+        with pytest.raises(FileNotFoundError):
+            discover(bench_dir, ["bench_missing"])
+
+
+class TestRunSuite:
+    def test_standalone_and_pytest_modes(self, bench_dir):
+        suite = run_suite(discover(bench_dir), jobs=2)
+        assert suite["schema"] == SCHEMA_VERSION
+        benches = suite["benches"]
+        sa = benches["bench_fake_standalone"]
+        assert sa["mode"] == "standalone"
+        assert sa["ok"] is True
+        assert sa["holds"] is True
+        assert sa["counters"] == {"log.forces": 3}  # non-ints dropped
+        py = benches["bench_fake_pytest"]
+        assert py["mode"] == "pytest"
+        assert py["ok"] is True
+        assert py["counters"].get("passed") == 2
+        assert all(b["seconds"] >= 0 for b in benches.values())
+
+    def test_failing_bench_reported_not_raised(self, bench_dir):
+        (bench_dir / "bench_fake_failing.py").write_text(
+            FAILING_PYTEST_BENCH)
+        suite = run_suite(discover(bench_dir), jobs=1)
+        failing = suite["benches"]["bench_fake_failing"]
+        assert failing["ok"] is False
+        assert "injected failure" in failing["detail"]
+
+    def test_json_roundtrip(self, bench_dir, tmp_path):
+        suite = run_suite(discover(bench_dir), jobs=1)
+        out = tmp_path / "BENCH_SUITE.json"
+        write_suite(suite, str(out))
+        assert load_suite(str(out)) == suite
+
+    def test_load_rejects_malformed(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a suite"}')
+        with pytest.raises(ValueError):
+            load_suite(str(bad))
+        bad.write_text(json.dumps(
+            {"schema": 99, "jobs": 1, "benches": {}}))
+        with pytest.raises(ValueError):
+            load_suite(str(bad))
+
+
+def _suite(**benches):
+    return {"schema": SCHEMA_VERSION, "jobs": 1,
+            "total_seconds": sum(b["seconds"] for b in benches.values()),
+            "benches": benches}
+
+
+def _bench(seconds=1.0, ok=True, holds=None, mode="pytest"):
+    entry = {"seconds": seconds, "ok": ok, "mode": mode, "counters": {}}
+    if holds is not None:
+        entry["holds"] = holds
+    return entry
+
+
+class TestCompare:
+    def test_identical_suites_are_clean(self):
+        suite = _suite(a=_bench(), b=_bench(seconds=2.0))
+        assert compare(suite, suite) == []
+
+    def test_slower_bench_flagged(self):
+        base = _suite(a=_bench(seconds=1.0))
+        cur = _suite(a=_bench(seconds=2.0))
+        problems = compare(base, cur, tolerance=0.5, abs_slack=0.25)
+        assert len(problems) == 1 and "2.000s" in problems[0]
+
+    def test_tolerance_plus_slack_allows_noise(self):
+        base = _suite(a=_bench(seconds=1.0))
+        cur = _suite(a=_bench(seconds=1.7))
+        assert compare(base, cur, tolerance=0.5, abs_slack=0.25) == []
+
+    def test_missing_bench_flagged(self):
+        base = _suite(a=_bench(), b=_bench())
+        cur = _suite(a=_bench())
+        problems = compare(base, cur)
+        assert any("missing" in p for p in problems)
+
+    def test_new_failure_flagged(self):
+        base = _suite(a=_bench(ok=True))
+        cur = _suite(a=_bench(ok=False, seconds=0.1))
+        assert any("fails now" in p for p in compare(base, cur))
+
+    def test_claim_regression_flagged(self):
+        base = _suite(a=_bench(holds=True))
+        cur = _suite(a=_bench(holds=False))
+        assert any("claim" in p for p in compare(base, cur))
+
+    def test_extra_bench_ignored(self):
+        base = _suite(a=_bench())
+        cur = _suite(a=_bench(), b=_bench())
+        assert compare(base, cur) == []
+
+
+class TestCli:
+    def test_run_writes_suite_and_exits_zero(self, bench_dir, tmp_path,
+                                             capsys):
+        out = tmp_path / "SUITE.json"
+        rc = main(["--root", str(bench_dir), "-o", str(out), "--jobs", "2"])
+        assert rc == 0
+        suite = load_suite(str(out))
+        assert set(suite["benches"]) == {
+            "bench_fake_standalone", "bench_fake_pytest"}
+        assert "bench suite:" in capsys.readouterr().out
+
+    def test_compare_against_baseline_regression(self, bench_dir,
+                                                 tmp_path, capsys):
+        out = tmp_path / "SUITE.json"
+        assert main(["--root", str(bench_dir), "-o", str(out)]) == 0
+        baseline = load_suite(str(out))
+        baseline["benches"]["bench_injected"] = _bench()
+        base_path = tmp_path / "BASELINE.json"
+        write_suite(baseline, str(base_path))
+        rc = main(["--root", str(bench_dir), "-o", str(out),
+                   "--compare", str(base_path)])
+        assert rc == 1
+        assert "bench_injected" in capsys.readouterr().out
+
+    def test_compare_only_paths(self, tmp_path, capsys):
+        clean = _suite(a=_bench(seconds=1.0))
+        slower = _suite(a=_bench(seconds=9.0))
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_suite(clean, str(a))
+        write_suite(slower, str(b))
+        assert main(["--compare-only", str(a), str(a)]) == 0
+        assert main(["--compare-only", str(a), str(b)]) == 1
+        assert main(["--compare-only", str(b), str(a)]) == 0  # faster: fine
+
+    def test_failing_bench_fails_run(self, bench_dir, tmp_path):
+        (bench_dir / "bench_fake_failing.py").write_text(
+            FAILING_PYTEST_BENCH)
+        rc = main(["--root", str(bench_dir),
+                   "-o", str(tmp_path / "S.json"), "--jobs", "1"])
+        assert rc == 1
+
+    def test_module_entry_point(self, bench_dir, tmp_path):
+        src = Path(__file__).resolve().parents[1] / "src"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench",
+             "--root", str(bench_dir),
+             "-o", str(tmp_path / "S.json")],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert (tmp_path / "S.json").exists()

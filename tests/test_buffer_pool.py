@@ -4,9 +4,11 @@ import pytest
 
 from repro.common.errors import BufferPoolFullError, WALViolationError
 from repro.common.stats import (
+    BUFFER_BATCH_FLUSHES,
     DISK_PAGE_READS,
     DISK_PAGE_WRITES,
     LOG_FORCES,
+    LOG_FORCES_COALESCED,
     StatsRegistry,
 )
 from repro.buffer.buffer_pool import BufferPool
@@ -268,3 +270,134 @@ class TestDropAndCrash:
         pool.flush_all()
         assert stats.get(DISK_PAGE_WRITES) == writes_before + 3
         assert pool.dirty_page_table() == {}
+
+
+class TestLruOrder:
+    def test_rereference_resets_eviction_order(self):
+        """A page re-fixed (or re-touched via put_page) moves to the MRU
+        end; the LRU victim is always the least-recently-*used* page,
+        not the least-recently-*loaded* one."""
+        pool, disk, _, stats = setup_pool(capacity=3)
+        for page_id in (1, 2, 3):
+            seed_page(disk, page_id)
+            pool.fix(page_id)
+            pool.unfix(page_id)
+        # Touch 1 again: eviction order becomes 2, 3, 1.
+        pool.fix(1)
+        pool.unfix(1)
+        seed_page(disk, 4)
+        pool.fix(4)  # evicts 2
+        assert not pool.contains(2)
+        assert pool.contains(1) and pool.contains(3)
+        seed_page(disk, 5)
+        pool.fix(5)  # evicts 3
+        assert not pool.contains(3)
+        assert pool.contains(1)
+
+    def test_repeated_rereference_pins_hot_page_logically(self):
+        pool, disk, _, _ = setup_pool(capacity=2)
+        seed_page(disk, 1)
+        seed_page(disk, 2)
+        pool.fix(1)
+        pool.unfix(1)
+        for page_id in (2, 3, 4, 5):
+            if page_id > 2:
+                seed_page(disk, page_id)
+            pool.fix(1)      # keep 1 hot before each new page arrives
+            pool.unfix(1)
+            pool.fix(page_id)
+            pool.unfix(page_id)
+        assert pool.contains(1)  # survived four eviction rounds
+
+
+class TestBatchFlush:
+    def _dirty_pages(self, pool, disk, log, page_ids):
+        for page_id in page_ids:
+            seed_page(disk, page_id)
+            pool.fix(page_id)
+            log_an_update(pool, log, page_id)
+            pool.unfix(page_id)
+
+    def test_flush_pages_forces_log_once(self):
+        """Tentpole acceptance: one batch flush = exactly one LOG_FORCES
+        bump, however many dirty pages are in the set."""
+        pool, disk, log, stats = setup_pool(capacity=8)
+        self._dirty_pages(pool, disk, log, [1, 2, 3, 4])
+        assert stats.get(LOG_FORCES) == 0
+        written = pool.flush_pages([1, 2, 3, 4])
+        assert written == 4
+        assert stats.get(LOG_FORCES) == 1
+        assert stats.get(LOG_FORCES_COALESCED) == 3
+        assert all(not pool.is_dirty(p) for p in (1, 2, 3, 4))
+
+    def test_per_page_path_forces_n_times(self):
+        """The slow-path contrast: page-at-a-time writes pay one force
+        per page when each page's updates extend the log."""
+        pool, disk, log, stats = setup_pool(capacity=8)
+        self._dirty_pages(pool, disk, log, [1, 2, 3, 4])
+        for page_id in (1, 2, 3, 4):
+            pool.write_page(page_id)
+        assert stats.get(LOG_FORCES) == 4
+
+    def test_on_before_write_fires_per_page(self):
+        seen = []
+        pool, disk, log, stats = setup_pool(capacity=8)
+        pool.on_before_write = lambda bcb: seen.append(bcb.page.page_id)
+        self._dirty_pages(pool, disk, log, [1, 2, 3])
+        pool.flush_pages([1, 2, 3])
+        assert seen == [1, 2, 3]
+
+    def test_flush_all_uses_batch_lane(self):
+        pool, disk, log, stats = setup_pool(capacity=8)
+        self._dirty_pages(pool, disk, log, [1, 2, 3])
+        written = pool.flush_all()
+        assert written == 3
+        assert stats.get(LOG_FORCES) == 1
+        assert stats.get(BUFFER_BATCH_FLUSHES) == 1
+
+    def test_wal_violation_raised_before_any_write(self):
+        pool, disk, log, stats = setup_pool(capacity=8, enforce_wal=False)
+        self._dirty_pages(pool, disk, log, [1, 2])
+        writes_before = stats.get(DISK_PAGE_WRITES)
+        with pytest.raises(WALViolationError):
+            pool.flush_pages([1, 2])
+        assert stats.get(DISK_PAGE_WRITES) == writes_before
+
+    def test_clean_pages_write_without_force(self):
+        pool, disk, log, stats = setup_pool(capacity=8)
+        for page_id in (1, 2):
+            seed_page(disk, page_id)
+            pool.fix(page_id)
+            pool.unfix(page_id)
+        pool.flush_pages([1, 2])
+        assert stats.get(LOG_FORCES) == 0
+
+
+class TestShrinkTo:
+    def test_shrinks_dirty_pool_with_one_force(self):
+        pool, disk, log, stats = setup_pool(capacity=8)
+        for page_id in (1, 2, 3, 4):
+            seed_page(disk, page_id)
+            pool.fix(page_id)
+            log_an_update(pool, log, page_id)
+            pool.unfix(page_id)
+        evicted = pool.shrink_to(1)
+        assert evicted == 3
+        assert len(pool) == 1
+        assert stats.get(LOG_FORCES) == 1
+
+    def test_skips_fixed_pages(self):
+        pool, disk, _, _ = setup_pool(capacity=4)
+        for page_id in (1, 2, 3):
+            seed_page(disk, page_id)
+            pool.fix(page_id)
+        pool.unfix(2)
+        evicted = pool.shrink_to(0)
+        assert evicted == 1
+        assert pool.contains(1) and pool.contains(3)
+        assert not pool.contains(2)
+
+    def test_negative_target_rejected(self):
+        pool, _, _, _ = setup_pool()
+        with pytest.raises(ValueError):
+            pool.shrink_to(-1)

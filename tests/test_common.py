@@ -117,3 +117,50 @@ class TestStatsRegistry:
         assert list(stats) == [("a", 1), ("b", 1)]
         stats.reset()
         assert stats.snapshot() == {}
+
+
+class TestCounterHandles:
+    """Pre-resolved counter handles (the hot-lane stats fast path) must
+    stay indistinguishable from ``incr``/``get`` on the registry."""
+
+    def test_handle_bumps_visible_through_get(self):
+        stats = StatsRegistry()
+        handle = stats.handle("h.counter")
+        handle.bump()
+        handle.bump(4)
+        assert stats.get("h.counter") == 5
+
+    def test_handle_and_incr_merge(self):
+        stats = StatsRegistry()
+        handle = stats.handle("h.counter")
+        handle.bump(2)
+        stats.incr("h.counter", 3)
+        assert stats.get("h.counter") == 5
+        assert stats.snapshot()["h.counter"] == 5
+
+    def test_handle_is_interned(self):
+        stats = StatsRegistry()
+        assert stats.handle("h.counter") is stats.handle("h.counter")
+
+    def test_reset_zeroes_but_keeps_handle_alive(self):
+        stats = StatsRegistry()
+        handle = stats.handle("h.counter")
+        handle.bump(7)
+        stats.reset()
+        assert stats.get("h.counter") == 0
+        handle.bump()
+        assert stats.get("h.counter") == 1
+
+    def test_diff_sees_handle_bumps(self):
+        stats = StatsRegistry()
+        handle = stats.handle("h.counter")
+        handle.bump()
+        before = stats.snapshot()
+        handle.bump(9)
+        assert stats.diff(before) == {"h.counter": 9}
+
+    def test_iteration_includes_handle_counters(self):
+        stats = StatsRegistry()
+        stats.handle("h.counter").bump(2)
+        stats.incr("other", 1)
+        assert dict(iter(stats)) == {"h.counter": 2, "other": 1}

@@ -215,3 +215,60 @@ class TestDeadlock:
         assert lm.acquire(1, R, LockMode.X) is LockStatus.WAITING
         with pytest.raises(DeadlockError):
             lm.acquire(2, R, LockMode.X)
+
+
+class TestFastPath:
+    """The uncontended-acquire fast lane must be observably identical
+    to the general path: same status, same stats, same trace events."""
+
+    def test_mask_matches_reference_matrix(self):
+        reference = {
+            (LockMode.IS, LockMode.IS), (LockMode.IS, LockMode.IX),
+            (LockMode.IS, LockMode.S), (LockMode.IS, LockMode.SIX),
+            (LockMode.IX, LockMode.IX), (LockMode.S, LockMode.S),
+        }
+        for a in LockMode:
+            for b in LockMode:
+                expected = (a, b) in reference or (b, a) in reference
+                assert are_compatible(a, b) is expected, (a, b)
+
+    def test_uncontended_acquire_counts_request(self):
+        from repro.common.stats import LOCK_REQUESTS, StatsRegistry
+
+        stats = StatsRegistry()
+        lm = LockManager(stats=stats)
+        lm.acquire(1, R, LockMode.X)
+        assert stats.get(LOCK_REQUESTS) == 1
+        lm.acquire(1, R2, LockMode.S)
+        assert stats.get(LOCK_REQUESTS) == 2
+
+    def test_try_acquire_fast_path_grants(self):
+        lm = LockManager()
+        assert lm.try_acquire(1, R, LockMode.X) is LockStatus.GRANTED
+        assert lm.holds(1, R, LockMode.X)
+        assert lm.waiters(R) == []
+
+    def test_fast_path_then_contention_behaves_normally(self):
+        """A resource first touched via the fast lane must queue, convert
+        and release exactly like one built by the general path."""
+        lm = LockManager()
+        lm.acquire(1, R, LockMode.S)          # fast lane creates the head
+        assert lm.acquire(2, R, LockMode.S) is LockStatus.GRANTED
+        assert lm.acquire(3, R, LockMode.X) is LockStatus.WAITING
+        assert lm.waiters(R) == [3]
+        lm.release(1, R)
+        granted = lm.release(2, R)
+        assert granted == [3]
+        assert lm.holds(3, R, LockMode.X)
+
+    def test_fast_path_emits_grant_trace(self):
+        from repro.obs import events as ev
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+        lm = LockManager(tracer=tracer)
+        lm.acquire(1, R, LockMode.X)
+        grants = [e for e in tracer.events() if e.kind == ev.LOCK_GRANT]
+        assert len(grants) == 1
+        assert grants[0].fields["owner"] == 1
+        assert grants[0].fields["mode"] == "X"

@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common.config import NULL_LSN
-from repro.common.stats import LOG_FORCES, LOG_RECORDS_WRITTEN, StatsRegistry
+from repro.common.stats import (
+    LOG_FORCES,
+    LOG_FORCES_COALESCED,
+    LOG_RECORDS_WRITTEN,
+    StatsRegistry,
+)
 from repro.wal.log_manager import LogManager
 from repro.wal.records import LogRecord, RecordKind, make_update
 
@@ -236,3 +241,115 @@ def test_property_lamport_merge_never_decreases(ops):
             log.observe_remote_max(value)
         assert log.local_max_lsn >= previous_max
         previous_max = log.local_max_lsn
+
+
+class TestAppendMany:
+    """The batched append lane must be *semantically identical* to a
+    loop of single appends — same LSNs, same bytes, same addresses."""
+
+    def _batch(self, n=5):
+        return [rec(txn_id=i + 1, page_id=10 + i) for i in range(n)]
+
+    def test_matches_sequential_appends(self):
+        slow, fast = LogManager(1), LogManager(1)
+        slow_records, fast_records = self._batch(), self._batch()
+        slow_addrs = [slow.append(r) for r in slow_records]
+        fast_addrs = fast.append_many(fast_records)
+        assert fast_addrs == slow_addrs
+        assert [r.lsn for r in fast_records] == [r.lsn for r in slow_records]
+        assert bytes(slow._buffer) == bytes(fast._buffer)
+        assert slow.local_max_lsn == fast.local_max_lsn
+
+    def test_matches_sequential_with_page_lsns(self):
+        hints = [0, 100, 3, 100, 250]
+        slow, fast = LogManager(1), LogManager(1)
+        slow_records, fast_records = self._batch(), self._batch()
+        slow_addrs = [
+            slow.append(r, page_lsn=h) for r, h in zip(slow_records, hints)
+        ]
+        fast_addrs = fast.append_many(fast_records, page_lsns=hints)
+        assert fast_addrs == slow_addrs
+        assert [r.lsn for r in fast_records] == [r.lsn for r in slow_records]
+        assert bytes(slow._buffer) == bytes(fast._buffer)
+
+    def test_stamps_system_id(self):
+        log = LogManager(7)
+        records = self._batch()
+        log.append_many(records)
+        assert all(r.system_id == 7 for r in records)
+
+    def test_counters_match_sequential(self):
+        slow, fast = LogManager(1), LogManager(1)
+        for r in self._batch():
+            slow.append(r)
+        fast.append_many(self._batch())
+        assert (slow.stats.get(LOG_RECORDS_WRITTEN)
+                == fast.stats.get(LOG_RECORDS_WRITTEN) == 5)
+        assert slow.stats.snapshot() == fast.stats.snapshot()
+
+    def test_length_mismatch_rejected(self):
+        log = LogManager(1)
+        with pytest.raises(ValueError):
+            log.append_many(self._batch(3), page_lsns=[0, 0])
+
+    def test_empty_batch(self):
+        log = LogManager(1)
+        assert log.append_many([]) == []
+        assert log.local_max_lsn == NULL_LSN
+
+    def test_records_scannable(self):
+        log = LogManager(1)
+        records = self._batch()
+        addrs = log.append_many(records)
+        scanned = list(log.scan())
+        assert [a for a, _ in scanned] == addrs
+        assert [r for _, r in scanned] == records
+
+    def test_cached_encoding_survives_roundtrip(self):
+        log = LogManager(1)
+        records = self._batch()
+        log.append_many(records)
+        for record in records:
+            clone, _ = LogRecord.from_bytes(record.to_bytes())
+            assert clone == record
+
+
+class TestForceThrough:
+    def _log_with_offsets(self, n=4):
+        log = LogManager(1)
+        addrs = log.append_many([rec() for _ in range(n)])
+        ends = [a.offset for a in addrs[1:]] + [log.end_offset]
+        return log, ends
+
+    def test_coalesces_into_one_force(self):
+        log, ends = self._log_with_offsets()
+        coalesced = log.force_through(ends)
+        assert coalesced == len(ends) - 1
+        assert log.stats.get(LOG_FORCES) == 1
+        assert log.stats.get(LOG_FORCES_COALESCED) == len(ends) - 1
+        assert log.flushed_offset == max(ends)
+
+    def test_already_stable_offsets_are_free(self):
+        log, ends = self._log_with_offsets()
+        log.force()
+        assert log.force_through(ends) == 0
+        assert log.stats.get(LOG_FORCES) == 1
+        assert log.stats.get(LOG_FORCES_COALESCED) == 0
+
+    def test_single_pending_is_not_coalesced(self):
+        log, ends = self._log_with_offsets()
+        assert log.force_through([ends[0]]) == 0
+        assert log.stats.get(LOG_FORCES) == 1
+        assert log.stats.get(LOG_FORCES_COALESCED) == 0
+
+    def test_partial_overlap(self):
+        log, ends = self._log_with_offsets()
+        log.force(up_to=ends[1])
+        coalesced = log.force_through(ends)
+        assert coalesced == len(ends) - 3  # first two already stable
+        assert log.flushed_offset == max(ends)
+
+    def test_empty_iterable(self):
+        log, _ = self._log_with_offsets()
+        assert log.force_through([]) == 0
+        assert log.stats.get(LOG_FORCES) == 0

@@ -143,3 +143,129 @@ class TestCheckpointData:
         clone = CheckpointData.from_bytes(data.to_bytes())
         assert clone.dirty_pages == dpt
         assert clone.transactions == tt
+
+
+class TestZeroCopyParsing:
+    """PR 3 fast lane: ``parse_stream``/``from_bytes`` accept
+    ``memoryview`` and never copy the buffer for header parsing."""
+
+    def _stream(self):
+        records = [
+            make_update(1, 1, 5, 0, redo=b"a" * 10, undo=b"b" * 10),
+            LogRecord(kind=RecordKind.COMMIT, txn_id=1),
+            make_format(1, 1, 9, 1),
+        ]
+        return records, b"".join(r.to_bytes() for r in records)
+
+    def test_parse_stream_accepts_memoryview(self):
+        records, data = self._stream()
+        parsed = [r for _, r in LogRecord.parse_stream(memoryview(data))]
+        assert parsed == records
+
+    def test_parse_stream_accepts_bytearray(self):
+        records, data = self._stream()
+        parsed = [r for _, r in LogRecord.parse_stream(bytearray(data))]
+        assert parsed == records
+
+    def test_from_bytes_accepts_memoryview_at_offset(self):
+        records, data = self._stream()
+        offset = records[0].serialized_size()
+        clone, _ = LogRecord.from_bytes(memoryview(data), offset)
+        assert clone == records[1]
+
+    def test_no_intermediate_bytes_for_headers(self, monkeypatch):
+        """Regression: every header unpack must happen against the one
+        shared memoryview — no per-record slicing/copying of the input
+        buffer on the header path."""
+        from repro.wal import records as records_mod
+
+        real_header = records_mod._HEADER
+        seen_buffers = []
+
+        records, data = self._stream()  # serialize before installing spy
+
+        class SpyHeader:
+            size = real_header.size
+            pack = staticmethod(real_header.pack)
+
+            @staticmethod
+            def unpack_from(buffer, offset=0):
+                seen_buffers.append(buffer)
+                return real_header.unpack_from(buffer, offset)
+
+        monkeypatch.setattr(records_mod, "_HEADER", SpyHeader)
+        view = memoryview(data)
+        parsed = [r for _, r in LogRecord.parse_stream(view)]
+        assert parsed == records
+        assert len(seen_buffers) == len(records)
+        for buffer in seen_buffers:
+            assert buffer is view, "header parsed from a copied buffer"
+
+
+class TestEncodingCache:
+    def test_to_bytes_is_cached(self):
+        record = make_update(1, 1, 5, 0, redo=b"r", undo=b"u")
+        assert record.to_bytes() is record.to_bytes()
+
+    def test_field_assignment_invalidates_cache(self):
+        record = make_update(1, 1, 5, 0, redo=b"r", undo=b"u")
+        first = record.to_bytes()
+        record.lsn = 42
+        second = record.to_bytes()
+        assert second is not first
+        clone, _ = LogRecord.from_bytes(second)
+        assert clone.lsn == 42
+
+    def test_cache_never_leaks_into_equality(self):
+        cached = make_update(1, 1, 5, 0, redo=b"r", undo=b"u")
+        cached.to_bytes()
+        fresh = make_update(1, 1, 5, 0, redo=b"r", undo=b"u")
+        assert cached == fresh
+
+    def test_parsed_record_reserializes_identically(self):
+        record = make_update(3, 2, 7, 1, redo=b"xy", undo=b"z")
+        record.lsn = 9
+        data = record.to_bytes()
+        clone, _ = LogRecord.from_bytes(data)
+        assert clone.to_bytes() == data
+
+
+class TestStampAndEncodeBatch:
+    def test_matches_single_stamp_path(self):
+        from repro.wal.records import stamp_and_encode_batch
+
+        def fresh():
+            return [
+                make_update(i + 1, 0, 10 + i, 0, redo=b"r" * i, undo=b"u")
+                for i in range(6)
+            ]
+
+        slow = fresh()
+        expected = []
+        lsn = 0
+        for record in slow:
+            lsn += 1
+            record.lsn = lsn
+            record.system_id = 3
+            expected.append(record.to_bytes())
+        fast = fresh()
+        parts, last = stamp_and_encode_batch(fast, 0, 3)
+        assert parts == expected
+        assert last == lsn
+        assert fast == slow
+
+    def test_page_lsn_rule(self):
+        from repro.wal.records import stamp_and_encode_batch
+
+        records = [make_update(1, 0, 10, 0, b"r", b"u") for _ in range(3)]
+        _, last = stamp_and_encode_batch(records, 5, 1,
+                                         page_lsns=[0, 100, 0])
+        assert [r.lsn for r in records] == [6, 101, 102]
+        assert last == 102
+
+    def test_installed_cache_is_the_encoding(self):
+        from repro.wal.records import stamp_and_encode_batch
+
+        records = [make_update(1, 0, 10, 0, b"r", b"u")]
+        (part,), _ = stamp_and_encode_batch(records, 0, 1)
+        assert records[0].to_bytes() is part

@@ -61,6 +61,19 @@ if [ "$fast" -eq 0 ]; then
             python -m repro.trace --bench BENCH_E1.json >/dev/null
     }
     step "bench-e1 smoke (BENCH_E1.json)" bench_smoke
+
+    # Bench-suite smoke: run the trimmed parallel suite, then prove the
+    # written BENCH_SUITE.smoke.json round-trips through the --compare
+    # reader (a self-compare must load both files and report clean).
+    bench_suite_smoke() {
+        env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+            python -m repro.bench --smoke >/dev/null \
+        && [ -f BENCH_SUITE.smoke.json ] \
+        && env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+            python -m repro.bench --compare-only \
+                BENCH_SUITE.smoke.json BENCH_SUITE.smoke.json >/dev/null
+    }
+    step "bench-suite smoke (BENCH_SUITE.smoke.json)" bench_suite_smoke
 fi
 
 echo
