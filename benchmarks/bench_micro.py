@@ -169,3 +169,39 @@ def test_micro_engine_update_commit(benchmark):
         s1.commit(txn)
 
     benchmark(txn_cycle)
+
+
+def test_disabled_injector_is_zero_cost():
+    """Acceptance gate: with no injector (the default null object) and
+    with an enabled injector holding an empty plan, the chaos workload
+    must be byte-identical — same trace, same counters.  The fault
+    seams are guarded by a single ``enabled`` attribute check, so
+    leaving them off cannot perturb a run."""
+    from repro.faults import scenarios
+    from repro.faults.injector import NULL_INJECTOR, FaultInjector, FaultPlan
+
+    null_sd, null_tracer = scenarios.build_sd(NULL_INJECTOR, seed=0)
+    scenarios.run_sd_workload(null_sd, 0)
+
+    live_sd, live_tracer = scenarios.build_sd(
+        FaultInjector(FaultPlan(seed=0)), seed=0)
+    scenarios.run_sd_workload(live_sd, 0)
+
+    assert live_tracer.dump_jsonl() == null_tracer.dump_jsonl()
+    assert live_sd.stats.snapshot() == null_sd.stats.snapshot()
+
+
+def test_micro_injector_guard_overhead(benchmark):
+    """The seam cost when faults are off: one attribute check per
+    engine update/commit cycle (compare test_micro_engine_update_commit
+    — the two must stay in the same ballpark)."""
+    sd, (s1,) = build_sd(1, n_data_pages=256)
+    assert not s1.injector.enabled
+    page_id, slot = committed_row(s1)
+
+    def txn_cycle():
+        txn = s1.begin()
+        s1.update(txn, page_id, slot, b"value")
+        s1.commit(txn)
+
+    benchmark(txn_cycle)

@@ -21,6 +21,8 @@ from repro.common.errors import BufferPoolFullError, WALViolationError
 from repro.common.lsn import Lsn
 from repro.common.stats import BUFFER_BATCH_FLUSHES
 from repro.buffer.bcb import BufferControlBlock
+from repro.faults import points as fp
+from repro.faults.injector import NULL_INJECTOR, NullFaultInjector
 from repro.obs import events as ev
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.storage.disk import SharedDisk
@@ -44,6 +46,7 @@ class BufferPool:
         enforce_wal: bool = True,
         on_before_write: Optional[Callable[[BufferControlBlock], None]] = None,
         tracer: Optional[NullTracer] = None,
+        injector: Optional[NullFaultInjector] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("buffer pool needs at least one frame")
@@ -53,6 +56,7 @@ class BufferPool:
         self.enforce_wal = enforce_wal
         self.on_before_write = on_before_write
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._injector = injector if injector is not None else NULL_INJECTOR
         self._frames: "OrderedDict[int, BufferControlBlock]" = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -171,6 +175,12 @@ class BufferPool:
         """
         if self.on_before_write is not None:
             self.on_before_write(bcb)
+        if self._injector.enabled:
+            # The classic crash window: WAL obligation satisfied, page
+            # write about to hit the disk.
+            self._injector.fire(
+                fp.BUFFER_WRITE, system=self.log.system_id, page=page_id
+            )
         self.disk.write_page(bcb.page)
         bcb.mark_clean()
         if self.tracer.enabled:

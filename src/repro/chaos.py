@@ -1,0 +1,8 @@
+"""``python -m repro.chaos`` entry point (see :mod:`repro.faults.cli`)."""
+
+from repro.faults.cli import main, run
+
+__all__ = ["main", "run"]
+
+if __name__ == "__main__":
+    raise SystemExit(run())

@@ -21,6 +21,51 @@ class MediaError(ReproError):
     """
 
 
+class FaultInjectedError(ReproError):
+    """A deterministic injected fault fired (see :mod:`repro.faults`).
+
+    Raised **only** by the fault injector (rule R007 forbids ad-hoc
+    raises elsewhere), so catching it always means "the configured
+    :class:`~repro.faults.FaultPlan` fired here", never a genuine
+    protocol failure.  Carries the injection point, the action, the
+    per-point hit number and the system the point attributed the hit
+    to (0 when the site cannot know, e.g. the shared disk).
+    """
+
+    def __init__(self, point: str, action: str, system: int = 0,
+                 hit: int = 0) -> None:
+        super().__init__(
+            f"injected {action} at {point} (hit {hit}, system {system})"
+        )
+        self.point = point
+        self.action = action
+        self.system = system
+        self.hit = hit
+
+
+class TornPageError(FaultInjectedError):
+    """An injected torn write: the disk kept a half-old/half-new image.
+
+    The corrupt image stays on disk — a later read of the page fails
+    its checksum and raises plain :class:`MediaError`, exactly how a
+    real torn write is discovered; media recovery then rebuilds the
+    page.  Subclasses :class:`FaultInjectedError` because the tear is
+    always injector-made (rule R007 guards the raise site).
+    """
+
+
+class DegradedModeError(ReproError):
+    """An update was rejected because the system is running degraded.
+
+    A log-device failure (injected at the ``log.force`` fault point)
+    flips a :class:`~repro.sd.instance.DbmsInstance` or the
+    :class:`~repro.cs.server.CsServer` into read-only degraded mode
+    instead of taking the whole complex down: reads keep working,
+    anything that would need new log records raises this error, and a
+    restart (which "repairs" the log device) clears the mode.
+    """
+
+
 class WALViolationError(ReproError):
     """The buffer manager was asked to write a dirty page whose latest
     update's log record has not yet been forced to stable storage.

@@ -126,6 +126,15 @@ LOG_BYTES_ARCHIVED = "log.bytes_archived"
 LOG_ARCHIVE_SCANS = "log.archive_scans"
 LOCK_ESCALATIONS = "lock.escalations"
 BUFFER_BATCH_FLUSHES = "buffer.batch_flushes"
+FAULTS_INJECTED = "faults.injected"
+DEGRADED_ENTRIES = "faults.degraded_entries"
+DEGRADED_REJECTIONS = "faults.degraded_rejections"
+NET_DROPS_INJECTED = "net.drops_injected"
+NET_RETRANSMITS = "net.retransmits"
+NET_DUP_DROPPED = "net.dup_dropped"
+NET_DELAYED = "net.delayed"
+LOCK_RETRIES = "lock.retries"
+LOCK_RETRY_TIMEOUTS = "lock.retry_timeouts"
 
 
 def message_kind_counter(kind: str) -> str:

@@ -22,6 +22,7 @@ from repro.common.config import NULL_LSN
 from repro.common.errors import LockWouldBlock, ReproError
 from repro.common.lsn import Lsn
 from repro.common.stats import PAGE_READS_AVOIDED
+from repro.faults import points as fp
 from repro.locking.lock_manager import LockMode, LockStatus, record_lock
 from repro.obs import events as ev
 from repro.recovery.apply import apply_payload, stamp_page_lsn
@@ -84,6 +85,7 @@ class CsClient:
         self.isolation = isolation
         self.stats = server.stats
         self.tracer = server.tracer
+        self.injector = server.injector
         self.log = ClientLogManager(client_id, stats=self.stats,
                                     tracer=self.tracer)
         self.txns = TransactionManager(client_id)
@@ -446,6 +448,12 @@ class CsClient:
     def _log_applied_update(self, txn: Transaction, entry: _CachedPage,
                             record: LogRecord,
                             lsn_hint: Optional[Lsn] = None) -> None:
+        if self.injector.enabled:
+            # Mid-operation crash point (see DbmsInstance._log_update):
+            # the applied cache mutation is volatile and dies with the
+            # client; the record below never reaches the client log.
+            self.injector.fire(fp.INSTANCE_UPDATE, system=self.client_id,
+                               page=record.page_id, txn=txn.txn_id)
         page_lsn_prev = entry.page.page_lsn
         hint = page_lsn_prev if lsn_hint is None else lsn_hint
         self.log.append(record, page_lsn=hint)

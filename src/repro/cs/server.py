@@ -19,9 +19,16 @@ from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.buffer.buffer_pool import BufferPool
 from repro.common.config import NULL_LSN, PAGE_SIZE
-from repro.common.errors import ProtocolError, ReproError
+from repro.common.errors import (
+    DegradedModeError,
+    FaultInjectedError,
+    ProtocolError,
+    ReproError,
+)
 from repro.common.lsn import Lsn
-from repro.common.stats import StatsRegistry
+from repro.common.stats import DEGRADED_ENTRIES, DEGRADED_REJECTIONS, StatsRegistry
+from repro.faults import points as fp
+from repro.faults.injector import FAIL, NULL_INJECTOR, NullFaultInjector
 from repro.locking.lock_manager import LockManager, LockMode, LockStatus
 from repro.net.network import Network
 from repro.obs import events as ev
@@ -82,24 +89,33 @@ class CsServer:
         network: Optional[Network] = None,
         buffer_capacity: int = 256,
         tracer: Optional[NullTracer] = None,
+        injector: Optional[NullFaultInjector] = None,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        if self.injector.enabled:
+            self.injector.attach(stats=self.stats, tracer=self.tracer)
         self.network = network if network is not None else Network(
-            stats=self.stats, tracer=self.tracer
+            stats=self.stats, tracer=self.tracer, injector=self.injector
         )
         self.disk = SharedDisk(capacity=data_start + n_data_pages + 64,
-                               stats=self.stats)
+                               stats=self.stats, tracer=self.tracer,
+                               injector=self.injector)
         self.log = LogManager(SERVER_ID, stats=self.stats,
-                              tracer=self.tracer)
+                              tracer=self.tracer, injector=self.injector)
         self.pool = BufferPool(self.disk, self.log, capacity=buffer_capacity,
-                               tracer=self.tracer)
+                               tracer=self.tracer, injector=self.injector)
         self.glm = LockManager(stats=self.stats, tracer=self.tracer)
         self.space_map = SpaceMap(smp_start=smp_start, data_start=data_start,
                                   n_data_pages=n_data_pages)
         self.network.register(SERVER_ID, self.log)
         self.system_id = SERVER_ID  # duck-type for the generic ARIES passes
         self.crashed = False
+        # Read-only degraded mode after a log-device failure: fetches
+        # still served, everything that must append or force is
+        # rejected until restart.
+        self.degraded = False
         # Coherency: which client may hold each page dirty; who caches it.
         self._writer: Dict[int, int] = {}
         self._readers: Dict[int, Set[int]] = {}
@@ -217,10 +233,16 @@ class CsServer:
         Returns the server-log offset of the appended batch (None when
         the client had nothing to ship).
         """
-        self._check_up()
+        self._check_writable()
         data = client.log.ship()
         if not data:
             return None
+        if self.injector.enabled:
+            # Fired before the batch reaches the server log, attributed
+            # to the shipping client: a kill here loses the batch with
+            # the client's volatile state.
+            self.injector.fire(fp.CS_SHIP, system=client.client_id,
+                               nbytes=len(data))
         records = [rec for _, rec in LogRecord.parse_stream(data)]
         addr = self.log.append_raw(data)
         self.network.message(client.client_id, SERVER_ID, "log_ship",
@@ -284,10 +306,28 @@ class CsServer:
             )
 
     def commit_point(self, client: "CsClient", txn_id: int) -> None:
-        """Client commit: ship records, force the single log, ack."""
-        self._check_up()
+        """Client commit: ship records, force the single log, ack.
+
+        A log-device failure at the force degrades the server to
+        read-only instead of taking the whole complex down: the commit
+        is *not* acknowledged (the client sees
+        :class:`DegradedModeError` and its locks stay held), but every
+        client can keep reading committed data.
+        """
+        self._check_writable()
+        if self.injector.enabled:
+            self.injector.fire(fp.CS_COMMIT, system=client.client_id,
+                               txn=txn_id)
         self.receive_log_records(client)
-        self.log.force()
+        try:
+            self.log.force()
+        except FaultInjectedError as exc:
+            if exc.action != FAIL:
+                raise
+            self._enter_degraded("log device failure")
+            raise DegradedModeError(
+                "server: commit not durable, log device failed"
+            ) from exc
         self.release_txn_locks(txn_id)
         self.network.message(SERVER_ID, client.client_id, "commit_ack")
         if self.tracer.enabled:
@@ -558,6 +598,10 @@ class CsServer:
     def crash(self) -> None:
         """Server failure takes the complex down: every client's cached
         state is unusable without the server, so all clients fail too."""
+        if self.degraded:
+            self.degraded = False
+            if self.tracer.enabled:
+                self.tracer.emit(ev.DEGRADED_EXIT, system=SERVER_ID)
         self.crashed = True
         self.pool.crash()
         self.log.crash()
@@ -593,6 +637,22 @@ class CsServer:
     def _check_up(self) -> None:
         if self.crashed:
             raise ReproError("server is down")
+
+    def _check_writable(self) -> None:
+        """Reject log-appending work while the server runs degraded."""
+        self._check_up()
+        if self.degraded:
+            self.stats.incr(DEGRADED_REJECTIONS)
+            raise DegradedModeError("server is read-only (degraded)")
+
+    def _enter_degraded(self, reason: str) -> None:
+        if self.degraded:
+            return
+        self.degraded = True
+        self.stats.incr(DEGRADED_ENTRIES)
+        if self.tracer.enabled:
+            self.tracer.emit(ev.DEGRADED_ENTER, system=SERVER_ID,
+                             reason=reason)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

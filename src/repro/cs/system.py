@@ -7,6 +7,7 @@ from typing import Dict, Optional
 from repro.common.stats import StatsRegistry
 from repro.cs.client import CsClient
 from repro.cs.server import ClientRecoverySummary, CsServer
+from repro.faults.injector import NULL_INJECTOR, NullFaultInjector
 from repro.net.network import Network
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.recovery.commit_lsn import CommitLsnService
@@ -22,14 +23,18 @@ class CsSystem:
         piggyback_enabled: bool = True,
         stats: Optional[StatsRegistry] = None,
         tracer: Optional[NullTracer] = None,
+        injector: Optional[NullFaultInjector] = None,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.injector = injector if injector is not None else NULL_INJECTOR
         self.network = Network(stats=self.stats,
                                piggyback_enabled=piggyback_enabled,
-                               tracer=self.tracer)
+                               tracer=self.tracer,
+                               injector=self.injector)
         self.server = CsServer(n_data_pages=n_data_pages, stats=self.stats,
-                               network=self.network, tracer=self.tracer)
+                               network=self.network, tracer=self.tracer,
+                               injector=self.injector)
         self.clients: Dict[int, CsClient] = {}
         self.commit_lsn = CommitLsnService(stats=self.stats,
                                            tracer=self.tracer)

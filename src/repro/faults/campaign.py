@@ -1,0 +1,449 @@
+"""Crash-point torture campaigns: kill the system at every fault
+point, run restart recovery, and verify the outcome.
+
+The campaign has two phases.  A **survey** run drives the seeded chaos
+workload (:mod:`repro.faults.scenarios`) under an *enabled but empty*
+injector, which counts how many times each fault point is crossed
+without perturbing the run.  The runner then **enumerates crash
+specs** — (point, hit number, crash flavour) triples — and replays the
+identical workload once per spec with a one-shot rule armed, so the
+run dies exactly there.  Determinism makes the two runs agree hit for
+hit up to the fault, so a spec aimed at "the 17th log force" really
+kills the 17th log force.
+
+After the injected death the runner plays operator:
+
+1. crash the faulted scope (one instance/client, or the whole
+   complex/server — an injected fault from the shared disk or the
+   server always takes the complex view);
+2. sweep the disk for unreadable pages (torn writes) and rebuild them
+   with media recovery (Section 3.2.2) *before* restart, since restart
+   redo must be able to read every page it screens;
+3. restart recovery for everything that died;
+4. roll back the surviving systems' in-flight transactions (their
+   locks are live; only the dead systems' transactions are losers);
+5. quiesce (flush every pool) and run the harness verifier in
+   ``quiesced`` mode plus the trace invariant checker.
+
+A spec passes only if the armed rule actually fired, recovery ran to
+completion, and both checkers are clean.  ``CampaignReport.ok`` folds
+the table into the process exit status.
+
+:func:`sabotage_redo_screening` deliberately breaks redo's page_LSN
+test so the campaign's own alarm can be tested: with screening off,
+restart redo double-applies records and the trace checker's
+``redo-screening`` invariant trips, turning the whole campaign red.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.common.errors import FaultInjectedError, MediaError, ReproError
+from repro.faults import points as fpoints
+from repro.faults import scenarios
+from repro.faults.injector import (
+    CRASH,
+    CRASH_COMPLEX,
+    TORN,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+from repro.harness.verifier import verify_cs_system, verify_sd_complex
+from repro.obs import events as ev
+from repro.obs.invariants import Violation, check_trace
+from repro.recovery import aries
+from repro.recovery.media import recover_page_from_media
+
+ARCH_SD = "sd"
+ARCH_CS = "cs"
+ARCHES = (ARCH_SD, ARCH_CS)
+
+#: Points the ``--smoke`` gate crashes (one mid-workload kill each);
+#: chosen to cover disk, log, network and the commit path per
+#: architecture while keeping the whole gate at <= 10 crash points.
+SMOKE_POINTS: Dict[str, Tuple[str, ...]] = {
+    ARCH_SD: (
+        fpoints.DISK_WRITE,
+        fpoints.LOG_FORCE,
+        fpoints.NET_MSG,
+        fpoints.INSTANCE_UPDATE,
+        fpoints.COMMIT_PRE_FORCE,
+    ),
+    ARCH_CS: (
+        fpoints.DISK_WRITE,
+        fpoints.LOG_FORCE,
+        fpoints.CS_SHIP,
+        fpoints.CS_COMMIT,
+        fpoints.INSTANCE_UPDATE,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# survey
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SurveyResult:
+    """Hit counts from one un-faulted pass over the chaos workload.
+
+    ``build_hits`` are hits consumed while *constructing* the stack
+    (initial space-map writes and the like); crash specs only target
+    the workload phase, ``build_hits[p] < hit <= total_hits[p]``,
+    because a death during construction leaves nothing to recover.
+    """
+
+    arch: str
+    seed: int
+    build_hits: Dict[str, int]
+    total_hits: Dict[str, int]
+    #: Page id written at each disk.write hit, in hit order.
+    disk_write_pages: Tuple[int, ...]
+    #: Pages born via allocate_page — rebuildable from a blank page by
+    #: media recovery (their FORMAT records are logged; the statically
+    #: formatted space-map pages are not).
+    data_pages: FrozenSet[int]
+
+    def workload_hits(self, point: str) -> Tuple[int, int]:
+        """(first, last) workload-phase hit for ``point`` (0, 0 if the
+        workload never crosses it)."""
+        first = self.build_hits.get(point, 0) + 1
+        last = self.total_hits.get(point, 0)
+        if last < first:
+            return (0, 0)
+        return (first, last)
+
+
+def run_survey(arch: str, seed: int) -> SurveyResult:
+    """Drive the chaos workload once with an empty plan, counting hits."""
+    injector = FaultInjector(FaultPlan(seed=seed))
+    if arch == ARCH_SD:
+        system, tracer = scenarios.build_sd(injector, seed)
+        build_hits = dict(injector.hit_counts())
+        handles = scenarios.run_sd_workload(system, seed)
+    elif arch == ARCH_CS:
+        cs, tracer = scenarios.build_cs(injector, seed)
+        build_hits = dict(injector.hit_counts())
+        handles = scenarios.run_cs_workload(cs, seed)
+    else:
+        raise ValueError(f"unknown architecture {arch!r}")
+    disk_write_pages = tuple(
+        event.fields["page"] for event in tracer.events()
+        if event.kind == ev.DISK_WRITE
+    )
+    return SurveyResult(
+        arch=arch,
+        seed=seed,
+        build_hits=build_hits,
+        total_hits=dict(injector.hit_counts()),
+        disk_write_pages=disk_write_pages,
+        data_pages=frozenset(page_id for page_id, _ in handles),
+    )
+
+
+# ----------------------------------------------------------------------
+# spec enumeration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrashSpec:
+    """One planned death: arm ``action`` at the ``hit``-th crossing of
+    ``point`` and see whether recovery holds."""
+
+    arch: str
+    point: str
+    hit: int
+    action: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.arch}:{self.point}@{self.hit}:{self.action}"
+
+
+def enumerate_specs(survey: SurveyResult, smoke: bool = False) -> List[CrashSpec]:
+    """Expand a survey into the campaign's crash specs.
+
+    Full mode arms a single-scope crash at the first, middle and last
+    workload hit of every point, a complex-wide crash at the middle
+    hit, and one torn write against a rebuildable data page.  Smoke
+    mode arms one mid-workload crash per :data:`SMOKE_POINTS` entry.
+    """
+    specs: List[CrashSpec] = []
+    if smoke:
+        for point in SMOKE_POINTS[survey.arch]:
+            first, last = survey.workload_hits(point)
+            if not last:
+                continue
+            mid = first + (last - first) // 2
+            specs.append(CrashSpec(survey.arch, point, mid, CRASH))
+        return specs
+    for point in fpoints.ALL_POINTS:
+        first, last = survey.workload_hits(point)
+        if not last:
+            continue
+        mid = first + (last - first) // 2
+        for hit in sorted({first, mid, last}):
+            specs.append(CrashSpec(survey.arch, point, hit, CRASH))
+        specs.append(CrashSpec(survey.arch, point, mid, CRASH_COMPLEX))
+    torn_hit = _torn_target_hit(survey)
+    if torn_hit:
+        specs.append(
+            CrashSpec(survey.arch, fpoints.DISK_WRITE, torn_hit, TORN))
+    return specs
+
+
+def _torn_target_hit(survey: SurveyResult) -> int:
+    """The disk.write hit to tear: the middle workload-phase write of a
+    data page.  Space-map pages are skipped — their initial format is
+    not logged, so a blank-page rebuild cannot recreate them (a real
+    complex rebuilds those from an image copy, not from the log)."""
+    first, last = survey.workload_hits(fpoints.DISK_WRITE)
+    if not last:
+        return 0
+    candidates = [
+        hit for hit in range(first, last + 1)
+        if survey.disk_write_pages[hit - 1] in survey.data_pages
+    ]
+    if not candidates:
+        return 0
+    return candidates[len(candidates) // 2]
+
+
+# ----------------------------------------------------------------------
+# one torture run
+# ----------------------------------------------------------------------
+@dataclass
+class SpecResult:
+    """Outcome of one crash spec."""
+
+    spec: CrashSpec
+    fired: bool = False
+    fault_system: int = -1
+    crashed_scope: str = ""
+    repaired_pages: Tuple[int, ...] = ()
+    recovered: bool = False
+    verifier_ok: bool = False
+    invariant_violations: Tuple[str, ...] = ()
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return (self.fired and self.recovered and self.verifier_ok
+                and not self.invariant_violations)
+
+    @property
+    def status(self) -> str:
+        if self.ok:
+            return "ok"
+        if not self.fired:
+            return "no-fire"
+        if not self.recovered:
+            return "unrecovered"
+        if not self.verifier_ok:
+            return "verify-fail"
+        return "invariant-fail"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.label,
+            "fired": self.fired,
+            "fault_system": self.fault_system,
+            "crashed_scope": self.crashed_scope,
+            "repaired_pages": list(self.repaired_pages),
+            "recovered": self.recovered,
+            "verifier_ok": self.verifier_ok,
+            "invariant_violations": list(self.invariant_violations),
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+
+def run_spec(spec: CrashSpec, seed: int) -> SpecResult:
+    """Replay the workload with ``spec`` armed; crash, recover, verify."""
+    plan = FaultPlan(seed=seed)
+    plan.add(FaultRule(point=spec.point, action=spec.action, nth=spec.hit))
+    injector = FaultInjector(plan)
+    result = SpecResult(spec=spec)
+    if spec.arch == ARCH_SD:
+        system, tracer = scenarios.build_sd(injector, seed)
+        runner, recoverer = scenarios.run_sd_workload, _recover_sd
+        verifier = verify_sd_complex
+    else:
+        system, tracer = scenarios.build_cs(injector, seed)
+        runner, recoverer = scenarios.run_cs_workload, _recover_cs
+        verifier = verify_cs_system
+    fault: Optional[FaultInjectedError] = None
+    try:
+        runner(system, seed)
+    except FaultInjectedError as exc:
+        fault = exc
+    if fault is None:
+        result.detail = "armed rule never fired (hit count drifted?)"
+        return result
+    result.fired = True
+    result.fault_system = fault.system
+    try:
+        result.crashed_scope, repaired = recoverer(system, spec, fault)
+        result.repaired_pages = tuple(repaired)
+    except ReproError as exc:
+        result.detail = f"recovery failed: {type(exc).__name__}: {exc}"
+        return result
+    result.recovered = True
+    report = verifier(system, quiesced=True)
+    result.verifier_ok = report.ok
+    if not report.ok:
+        result.detail = "; ".join(
+            f"{v.invariant}: {v.detail}" for v in report.violations[:3])
+    result.invariant_violations = tuple(
+        _render_violation(v) for v in check_trace(tracer.events()))
+    return result
+
+
+def _recover_sd(sd, spec: CrashSpec,
+                fault: FaultInjectedError) -> Tuple[str, List[int]]:
+    if spec.action == CRASH_COMPLEX or fault.system not in sd.instances:
+        sd.crash_complex()
+        scope = "complex"
+    else:
+        sd.crash_instance(fault.system)
+        scope = f"instance:{fault.system}"
+    repaired = _repair_media(sd.disk, sd.local_logs())
+    sd.restart_complex()
+    for system_id in sorted(sd.instances):
+        instance = sd.instances[system_id]
+        for txn in list(instance.txns.active()):
+            instance.rollback(txn)
+    for system_id in sorted(sd.instances):
+        sd.instances[system_id].pool.flush_all()
+    return scope, repaired
+
+
+def _recover_cs(cs, spec: CrashSpec,
+                fault: FaultInjectedError) -> Tuple[str, List[int]]:
+    if spec.action == CRASH_COMPLEX or fault.system not in cs.clients:
+        cs.crash_server()
+        scope = "server"
+    else:
+        cs.crash_client(fault.system)
+        scope = f"client:{fault.system}"
+    repaired = _repair_media(cs.server.disk, [cs.server.log])
+    if cs.server.crashed:
+        cs.restart_server()
+    else:
+        for client_id in sorted(cs.clients):
+            if cs.clients[client_id].crashed:
+                cs.recover_client(client_id)
+    for client_id in sorted(cs.clients):
+        client = cs.clients[client_id]
+        if client.crashed:
+            continue
+        for txn in list(client.txns.active()):
+            client.rollback(txn)
+    cs.quiesce()
+    return scope, repaired
+
+
+def _repair_media(disk, logs) -> List[int]:
+    """Probe every written page; rebuild the unreadable ones from the
+    merged stable logs (torn writes fail their checksum on read)."""
+    repaired: List[int] = []
+    for page_id in list(disk.written_page_ids()):
+        try:
+            disk.read_page(page_id)
+        except MediaError:
+            recover_page_from_media(page_id, None, logs, disk=disk)
+            repaired.append(page_id)
+    return repaired
+
+
+def _render_violation(violation: Violation) -> str:
+    return (f"{violation.invariant}@seq{violation.seq}"
+            f"(sys{violation.system}): {violation.message}")
+
+
+# ----------------------------------------------------------------------
+# the campaign
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignReport:
+    """Everything one architecture's campaign produced."""
+
+    arch: str
+    seed: int
+    smoke: bool
+    survey: SurveyResult
+    results: List[SpecResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.results) and all(r.ok for r in self.results)
+
+    @property
+    def failed(self) -> List[SpecResult]:
+        return [r for r in self.results if not r.ok]
+
+    def table(self) -> str:
+        """Fixed-width summary table, one row per crash spec."""
+        header = (f"{'#':>3} {'point':<17} {'hit':>5} {'action':<13} "
+                  f"{'scope':<12} {'repair':>6} {'status':<14}")
+        lines = [
+            f"-- chaos campaign: arch={self.arch} seed={self.seed} "
+            f"mode={'smoke' if self.smoke else 'full'} "
+            f"specs={len(self.results)} --",
+            header,
+            "-" * len(header),
+        ]
+        for index, result in enumerate(self.results, start=1):
+            spec = result.spec
+            lines.append(
+                f"{index:>3} {spec.point:<17} {spec.hit:>5} "
+                f"{spec.action:<13} {result.crashed_scope or '-':<12} "
+                f"{len(result.repaired_pages):>6} {result.status:<14}")
+            if not result.ok:
+                for violation in result.invariant_violations[:3]:
+                    lines.append(f"      ! {violation}")
+                if result.detail:
+                    lines.append(f"      ! {result.detail}")
+        passed = sum(1 for r in self.results if r.ok)
+        lines.append(f"-- {passed}/{len(self.results)} specs recovered "
+                     f"cleanly --")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "arch": self.arch,
+            "seed": self.seed,
+            "smoke": self.smoke,
+            "survey_hits": dict(sorted(self.survey.total_hits.items())),
+            "results": [r.to_dict() for r in self.results],
+            "ok": self.ok,
+        }
+
+
+def run_campaign(arch: str, seed: int = 0, smoke: bool = False) -> CampaignReport:
+    """Survey, enumerate, and torture one architecture."""
+    survey = run_survey(arch, seed)
+    report = CampaignReport(arch=arch, seed=seed, smoke=smoke, survey=survey)
+    for spec in enumerate_specs(survey, smoke=smoke):
+        report.results.append(run_spec(spec, seed))
+    return report
+
+
+# ----------------------------------------------------------------------
+# self-test sabotage
+# ----------------------------------------------------------------------
+@contextmanager
+def sabotage_redo_screening() -> Iterator[None]:
+    """Disable restart redo's page_LSN screening for the duration.
+
+    Exists so the campaign's alarm can be proven live: under sabotage
+    the trace checker's ``redo-screening`` invariant must trip and the
+    campaign must exit non-zero.  Never set the flag any other way.
+    """
+    aries._SABOTAGE_DISABLE_REDO_SCREENING = True
+    try:
+        yield
+    finally:
+        aries._SABOTAGE_DISABLE_REDO_SCREENING = False

@@ -1,0 +1,97 @@
+"""``python -m repro.chaos`` — run crash-point torture campaigns.
+
+Usage:
+
+* ``python -m repro.chaos`` — full campaign over both architectures
+  (every fault point x {first, mid, last} hit, complex-wide kills,
+  one torn write);
+* ``python -m repro.chaos --smoke`` — the fast CI gate: <= 10 crash
+  points across SD and CS, one mid-workload kill each;
+* ``python -m repro.chaos --arch sd --seed 7`` — one architecture
+  under a different workload seed;
+* ``python -m repro.chaos --list`` — survey only: print per-point hit
+  counts without crashing anything;
+* ``python -m repro.chaos --sabotage redo-screening`` — deliberately
+  break restart redo's page_LSN test first; the campaign must go red
+  (used to prove the alarm itself works).
+
+Exit status 0 iff every crash spec recovered cleanly and both the
+harness verifier and the trace invariant checker came back clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+from contextlib import nullcontext
+from typing import List, Optional
+
+from repro.faults.campaign import (
+    ARCHES,
+    run_campaign,
+    run_survey,
+    sabotage_redo_screening,
+)
+from repro.faults.points import ALL_POINTS
+
+SABOTAGES = ("redo-screening",)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Crash-point torture campaigns over the recovery stack.",
+    )
+    parser.add_argument("--arch", choices=ARCHES + ("both",), default="both",
+                        help="architecture(s) to torture (default: both)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default: 0)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast gate: <= 10 crash points total")
+    parser.add_argument("--list", action="store_true", dest="list_points",
+                        help="survey only: print fault-point hit counts")
+    parser.add_argument("--sabotage", choices=SABOTAGES, default=None,
+                        help="break recovery on purpose to test the alarm")
+    return parser
+
+
+def _list_points(arches: List[str], seed: int) -> int:
+    for arch in arches:
+        survey = run_survey(arch, seed)
+        print(f"-- fault points: arch={arch} seed={seed} --")
+        for point in ALL_POINTS:
+            first, last = survey.workload_hits(point)
+            total = survey.total_hits.get(point, 0)
+            build = survey.build_hits.get(point, 0)
+            window = f"{first}..{last}" if last else "-"
+            print(f"  {point:<17} hits={total:>4} (build={build}, "
+                  f"workload={window})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    arches = list(ARCHES) if args.arch == "both" else [args.arch]
+    if args.list_points:
+        return _list_points(arches, args.seed)
+    guard = (sabotage_redo_screening() if args.sabotage == "redo-screening"
+             else nullcontext())
+    reports = []
+    with guard:
+        for arch in arches:
+            reports.append(run_campaign(arch, seed=args.seed,
+                                        smoke=args.smoke))
+    for report in reports:
+        print(report.table())
+        print()
+    total = sum(len(r.results) for r in reports)
+    failed = sum(len(r.failed) for r in reports)
+    if failed or not total:
+        print(f"CHAOS: FAIL — {failed}/{total} crash specs left the "
+              f"database unrecovered or inconsistent")
+        return 1
+    print(f"CHAOS: OK — {total} crash specs, all recovered and verified")
+    return 0
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    return main(argv)

@@ -1,0 +1,324 @@
+"""Seeded, deterministic fault injection.
+
+The injector follows the observability seam's NULL-object pattern
+(:data:`~repro.obs.tracer.NULL_TRACER`): every instrumented subsystem
+holds an injector unconditionally, the default is the shared
+:data:`NULL_INJECTOR` whose ``enabled`` flag is ``False``, and call
+sites guard the consultation behind ``if self._injector.enabled`` —
+so fault injection that is switched off costs one attribute read and
+leaves traces and counters byte-identical.
+
+An enabled injector counts every hit of every consulted
+:mod:`~repro.faults.points` fault point (the **survey** the campaign
+runner uses to enumerate crash points), and fires the actions its
+:class:`FaultPlan` selects:
+
+* ``fail`` / ``crash`` / ``crash_complex`` raise
+  :class:`~repro.common.errors.FaultInjectedError` (crash actions are
+  a *request*: the campaign catches the error and kills the instance
+  or the complex at the unwound point — volatile state is discarded
+  either way, and no stable state mutates during the unwind);
+* ``torn`` raises :class:`~repro.common.errors.TornPageError` (the
+  disk catches it, persists the torn image, and re-raises);
+* ``drop`` / ``duplicate`` / ``delay`` are returned to the call site,
+  which owns the transport semantics (the network fabric).
+
+Determinism: probabilistic rules draw from a ``random.Random`` seeded
+by the plan, and hit counting is per-point — the same plan over the
+same workload fires at exactly the same places every run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import FaultInjectedError, TornPageError
+from repro.common.stats import FAULTS_INJECTED, StatsRegistry
+from repro.obs import events as ev
+from repro.obs.tracer import NullTracer
+
+# ----------------------------------------------------------------------
+# actions
+# ----------------------------------------------------------------------
+FAIL = "fail"
+TORN = "torn"
+CRASH = "crash"
+CRASH_COMPLEX = "crash_complex"
+DROP = "drop"
+DUPLICATE = "duplicate"
+DELAY = "delay"
+
+#: Actions :meth:`FaultInjector.fire` raises for; the rest are returned
+#: to the call site.
+RAISING_ACTIONS = frozenset({FAIL, TORN, CRASH, CRASH_COMPLEX})
+SOFT_ACTIONS = frozenset({DROP, DUPLICATE, DELAY})
+ALL_ACTIONS = RAISING_ACTIONS | SOFT_ACTIONS
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One trigger: fire ``action`` at ``point`` when the hit matches.
+
+    Exactly one trigger mode is set per rule (the :class:`FaultPlan`
+    DSL guarantees it): ``nth`` fires on that hit number only,
+    ``every`` fires on every ``every``-th hit (1 = every hit), and
+    ``probability`` flips a seeded coin per hit.
+    """
+
+    point: str
+    action: str
+    nth: Optional[int] = None
+    every: int = 0
+    probability: float = 0.0
+
+    def describe(self) -> str:
+        if self.nth is not None:
+            trigger = f"hit {self.nth}"
+        elif self.every == 1:
+            trigger = "every hit"
+        elif self.every:
+            trigger = f"every {self.every}th hit"
+        else:
+            trigger = f"p={self.probability}"
+        return f"{self.point}@{trigger} -> {self.action}"
+
+
+class _SiteBuilder:
+    """Builder half of the plan DSL: ``plan.at(P).on_hit(3).crash()``."""
+
+    def __init__(self, plan: "FaultPlan", point: str) -> None:
+        self._plan = plan
+        self._point = point
+        self._nth: Optional[int] = None
+        self._every = 0
+        self._probability = 0.0
+
+    def on_hit(self, n: int) -> "_SiteBuilder":
+        """Fire on exactly the ``n``-th hit of the point (1-based)."""
+        if n < 1:
+            raise ValueError("hit numbers are 1-based")
+        self._nth = n
+        return self
+
+    def every_hit(self, k: int = 1) -> "_SiteBuilder":
+        """Fire on every ``k``-th hit (default: every hit)."""
+        if k < 1:
+            raise ValueError("every_hit period must be >= 1")
+        self._every = k
+        return self
+
+    def with_probability(self, p: float) -> "_SiteBuilder":
+        """Fire with seeded probability ``p`` on each hit."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        self._probability = p
+        return self
+
+    # -- terminal verbs ------------------------------------------------
+    def _finish(self, action: str) -> "FaultPlan":
+        if self._nth is None and not self._every and not self._probability:
+            self._every = 1
+        self._plan.add(FaultRule(
+            point=self._point, action=action, nth=self._nth,
+            every=self._every, probability=self._probability,
+        ))
+        return self._plan
+
+    def fail(self) -> "FaultPlan":
+        return self._finish(FAIL)
+
+    def torn(self) -> "FaultPlan":
+        return self._finish(TORN)
+
+    def crash(self) -> "FaultPlan":
+        return self._finish(CRASH)
+
+    def crash_complex(self) -> "FaultPlan":
+        return self._finish(CRASH_COMPLEX)
+
+    def drop(self) -> "FaultPlan":
+        return self._finish(DROP)
+
+    def duplicate(self) -> "FaultPlan":
+        return self._finish(DUPLICATE)
+
+    def delay(self) -> "FaultPlan":
+        return self._finish(DELAY)
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultRule`\\ s plus the seed for any
+    probabilistic triggers.
+
+    Build plans with the fluent DSL — each terminal verb returns the
+    plan, so rules chain::
+
+        plan = (FaultPlan(seed=7)
+                .at(points.DISK_WRITE).on_hit(3).torn()
+                .at(points.NET_MSG).with_probability(0.1).drop())
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rules: List[FaultRule] = []
+
+    def at(self, point: str) -> _SiteBuilder:
+        """Start a rule for ``point`` (see :mod:`repro.faults.points`)."""
+        return _SiteBuilder(self, point)
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        if rule.action not in ALL_ACTIONS:
+            raise ValueError(f"unknown fault action {rule.action!r}")
+        self._rules.append(rule)
+        return self
+
+    @property
+    def rules(self) -> Tuple[FaultRule, ...]:
+        return tuple(self._rules)
+
+    def match(self, point: str, hit: int,
+              rng: "random.Random") -> Optional[FaultRule]:
+        """The first rule that fires for the ``hit``-th hit of ``point``."""
+        for rule in self._rules:
+            if rule.point != point:
+                continue
+            if rule.nth is not None:
+                if hit == rule.nth:
+                    return rule
+            elif rule.every:
+                if hit % rule.every == 0:
+                    return rule
+            elif rule.probability and rng.random() < rule.probability:
+                return rule
+        return None
+
+    def describe(self) -> str:
+        if not self._rules:
+            return f"FaultPlan(seed={self.seed}, no rules)"
+        rules = "; ".join(r.describe() for r in self._rules)
+        return f"FaultPlan(seed={self.seed}, {rules})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return self.describe()
+
+
+# ----------------------------------------------------------------------
+# injectors
+# ----------------------------------------------------------------------
+class NullFaultInjector:
+    """The zero-cost default: never fires, never counts.
+
+    Call sites guard on ``enabled`` exactly as they do for the null
+    tracer, so the disabled hot path costs one attribute read and
+    performs no counter or trace work whatsoever.
+    """
+
+    enabled: bool = False
+
+    def attach(self, stats: Optional[StatsRegistry] = None,
+               tracer: Optional[NullTracer] = None) -> None:
+        """Late-bind the owning stack's stats/tracer (no-op)."""
+
+    def fire(self, point: str, /, system: int = 0,
+             **ctx: object) -> Optional[str]:
+        """Consult the plan at ``point`` (no-op: nothing ever fires)."""
+        return None
+
+    def hit_count(self, point: str) -> int:
+        return 0
+
+    def hit_counts(self) -> Dict[str, int]:
+        return {}
+
+    def fired(self) -> List[Tuple[str, int, str]]:
+        return []
+
+
+#: Shared process-wide null injector; safe because it holds no state.
+NULL_INJECTOR = NullFaultInjector()
+
+
+class FaultInjector(NullFaultInjector):
+    """A recording, plan-driven injector.
+
+    Every consulted point is hit-counted even when no rule fires, so a
+    run under an *empty* plan doubles as the campaign's survey pass —
+    and, because counting touches only injector-private state, such a
+    run is observably identical (traces, counters) to one under
+    :data:`NULL_INJECTOR`.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        plan: Optional[FaultPlan] = None,
+        stats: Optional[StatsRegistry] = None,
+        tracer: Optional[NullTracer] = None,
+    ) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.stats = stats
+        self.tracer = tracer
+        self._rng = random.Random(self.plan.seed)
+        self._hits: Dict[str, int] = {}
+        self._fired: List[Tuple[str, int, str]] = []
+
+    def attach(self, stats: Optional[StatsRegistry] = None,
+               tracer: Optional[NullTracer] = None) -> None:
+        """Adopt the owning stack's stats/tracer unless already bound.
+
+        The SD complex and CS system call this from their constructors
+        so a campaign-made injector reports into the same registries
+        the stack under test uses.
+        """
+        if self.stats is None and stats is not None:
+            self.stats = stats
+        if self.tracer is None and tracer is not None:
+            self.tracer = tracer
+
+    def fire(self, point: str, /, system: int = 0,
+             **ctx: object) -> Optional[str]:
+        """Count one hit of ``point`` and fire the matching rule, if any.
+
+        Raises for the raising actions (see module docstring), returns
+        the action name for the soft transport actions, and returns
+        ``None`` when no rule matches.
+        """
+        hit = self._hits.get(point, 0) + 1
+        self._hits[point] = hit
+        rule = self.plan.match(point, hit, self._rng)
+        if rule is None:
+            return None
+        action = rule.action
+        self._fired.append((point, hit, action))
+        if self.stats is not None:
+            self.stats.incr(FAULTS_INJECTED)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(ev.FAULT_INJECT, system=system, point=point,
+                        hit=hit, action=action, **ctx)
+        if action == TORN:
+            raise TornPageError(point, action, system, hit)
+        if action in RAISING_ACTIONS:
+            raise FaultInjectedError(point, action, system, hit)
+        return action
+
+    def hit_count(self, point: str) -> int:
+        """Hits observed at ``point`` so far."""
+        return self._hits.get(point, 0)
+
+    def hit_counts(self) -> Dict[str, int]:
+        """All per-point hit totals (the survey the campaign enumerates)."""
+        return dict(self._hits)
+
+    def fired(self) -> List[Tuple[str, int, str]]:
+        """Every fired injection as ``(point, hit, action)``, in order."""
+        return list(self._fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultInjector(plan={self.plan.describe()}, "
+            f"hits={sum(self._hits.values())}, fired={len(self._fired)})"
+        )

@@ -1,0 +1,109 @@
+"""Retry policies: the *response* half of robustness.
+
+Transient faults — an injected message drop, a lock that stays busy —
+are answered with bounded retries and deterministic backoff.  Backoff
+is expressed in :class:`~repro.common.clock.SkewedClock` ticks, never
+wall time (rule R002): two runs with the same seed back off through
+identical clock readings, so retried runs stay byte-reproducible.
+
+Two consumers:
+
+* :class:`~repro.net.network.Network` retransmits dropped messages
+  (``net.retransmits``) and deduplicates duplicated ones
+  (``net.dup_dropped``);
+* :func:`run_with_lock_retry` converts a persistently blocking lock
+  acquisition (:class:`~repro.common.errors.LockWouldBlock` on every
+  attempt) into :class:`~repro.common.errors.LockTimeoutError` after
+  the attempt budget is spent — the bounded-wait discipline a
+  transaction monitor applies around the global lock manager.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TypeVar
+
+from repro.common.clock import SkewedClock
+from repro.common.errors import LockTimeoutError, LockWouldBlock
+
+T = TypeVar("T")
+
+
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff.
+
+    ``max_attempts`` counts the first try: a policy with
+    ``max_attempts=3`` performs at most two retries.  Backoff after
+    attempt ``n`` is ``base_ticks * 2**(n-1)`` clock ticks, capped at
+    ``max_backoff_ticks`` — advanced on the supplied
+    :class:`SkewedClock` (or silently skipped without one; the tick
+    count is still returned for accounting).
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_ticks: int = 1,
+        max_backoff_ticks: int = 64,
+        clock: Optional[SkewedClock] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_ticks < 1:
+            raise ValueError("base_ticks must be >= 1")
+        if max_backoff_ticks < base_ticks:
+            raise ValueError("max_backoff_ticks must be >= base_ticks")
+        self.max_attempts = max_attempts
+        self.base_ticks = base_ticks
+        self.max_backoff_ticks = max_backoff_ticks
+        self.clock = clock
+
+    def backoff_ticks(self, attempt: int) -> int:
+        """The (deterministic) backoff after the ``attempt``-th try."""
+        if attempt < 1:
+            raise ValueError("attempts are 1-based")
+        return min(self.base_ticks << (attempt - 1), self.max_backoff_ticks)
+
+    def backoff(self, attempt: int) -> int:
+        """Advance the clock by the attempt's backoff; returns the ticks."""
+        ticks = self.backoff_ticks(attempt)
+        if self.clock is not None:
+            self.clock.tick(ticks)
+        return ticks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base_ticks={self.base_ticks}, "
+            f"max_backoff_ticks={self.max_backoff_ticks})"
+        )
+
+
+def run_with_lock_retry(
+    policy: RetryPolicy,
+    attempt: Callable[[], T],
+    on_retry: Optional[Callable[[int], None]] = None,
+) -> T:
+    """Run ``attempt`` until it stops raising ``LockWouldBlock``.
+
+    Each blocked attempt keeps its queue position in the lock manager
+    (the simulation's waits are re-polled, not re-enqueued), backs off
+    deterministically, and retries; after ``policy.max_attempts``
+    blocked attempts the wait is declared hopeless and
+    :class:`LockTimeoutError` is raised from the last block.
+    ``on_retry`` is called with the attempt number before each retry
+    (the accounting hook the instance uses for ``lock.retries``).
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return attempt()
+        except LockWouldBlock as exc:
+            if attempts >= policy.max_attempts:
+                raise LockTimeoutError(
+                    f"lock wait for {exc.resource!r} exceeded "
+                    f"{policy.max_attempts} attempts"
+                ) from exc
+            policy.backoff(attempts)
+            if on_retry is not None:
+                on_retry(attempts)

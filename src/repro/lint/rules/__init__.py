@@ -9,6 +9,7 @@ from typing import Dict, List
 from repro.lint.engine import Rule
 from repro.lint.rules.clock import ClockDisciplineRule
 from repro.lint.rules.errors import ErrorDisciplineRule
+from repro.lint.rules.faults import FaultDisciplineRule
 from repro.lint.rules.locks import LockPairingRule
 from repro.lint.rules.lsn import LsnHygieneRule
 from repro.lint.rules.stats import StatsDisciplineRule
@@ -21,6 +22,7 @@ ALL_RULES: List[Rule] = [
     LockPairingRule(),
     ErrorDisciplineRule(),
     StatsDisciplineRule(),
+    FaultDisciplineRule(),
 ]
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -1,0 +1,54 @@
+"""R007 — fault discipline: injected faults come from the injector.
+
+:class:`~repro.common.errors.FaultInjectedError` (and its torn-write
+subclass) means exactly one thing: a :class:`repro.faults` injector
+fired at a named fault point.  Production code raising one by hand
+forges that signal — the chaos campaign would crash a scope no fault
+plan armed, hit-count bookkeeping would drift from reality, and a
+same-seed replay would not reproduce the raise.  Re-raising a caught
+injected fault (a bare ``raise``, or ``raise exc`` of the caught name)
+is fine and is how the seams propagate faults; *constructing* one is
+the act this rule reserves to ``repro/faults/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, LintContext, Rule, terminal_name
+
+#: Exception types only the injector may construct-and-raise.
+_INJECTABLE = frozenset({"FaultInjectedError", "TornPageError"})
+
+_ALLOWED_PREFIX = "repro/faults/"
+
+
+class FaultDisciplineRule(Rule):
+    id = "R007"
+    name = "fault-discipline"
+    description = (
+        "only repro.faults may raise FaultInjectedError/TornPageError; "
+        "everywhere else injected faults are produced by injector.fire()"
+    )
+    applies_to_tests = True
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.module_path.startswith(_ALLOWED_PREFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            # Only flag construction (a Call); ``raise exc`` of a caught
+            # fault is propagation, not forgery.
+            if not isinstance(node.exc, ast.Call):
+                continue
+            name = terminal_name(node.exc)
+            if name in _INJECTABLE:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"raising {name} outside repro.faults forges an "
+                    f"injected fault; fire it through a FaultInjector "
+                    f"fault point instead",
+                )

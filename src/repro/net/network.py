@@ -16,20 +16,43 @@ complex-wide Commit_LSN drags behind (experiment E2).
 Participants register an object exposing ``local_max_lsn`` and
 ``observe_remote_max`` (both :class:`~repro.wal.log_manager.LogManager`
 and :class:`~repro.wal.client_log.ClientLogManager` qualify).
+
+Fault handling (the ``injector=`` seam, :mod:`repro.faults`): the
+``net.msg`` point can *drop*, *duplicate* or *delay* a message.  Drops
+are answered by bounded retransmission under the configured
+:class:`~repro.faults.policy.RetryPolicy`; duplicates are filtered by a
+per-source sequence-number window (at-most-once delivery); delayed
+messages are parked and delivered before the next message on the
+fabric, modelling reordering the Lamport merge is insensitive to.  All
+of this lives off the fast path: with the null injector the delivery
+code is exactly the pre-fault version.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol
+from typing import Dict, List, Optional, Protocol, Set, Tuple
 
 from repro.common.lsn import Lsn
 from repro.common.stats import (
     MESSAGES_SENT,
     MESSAGE_BYTES,
+    NET_DELAYED,
+    NET_DROPS_INJECTED,
+    NET_DUP_DROPPED,
     NET_MAX_LSN_BROADCAST,
+    NET_RETRANSMITS,
     StatsRegistry,
     message_kind_counter,
 )
+from repro.faults import points as fp
+from repro.faults.injector import (
+    DELAY,
+    DROP,
+    DUPLICATE,
+    NULL_INJECTOR,
+    NullFaultInjector,
+)
+from repro.faults.policy import RetryPolicy
 from repro.obs import events as ev
 from repro.obs.tracer import NULL_TRACER, NullTracer
 
@@ -50,11 +73,21 @@ class Network:
         stats: Optional[StatsRegistry] = None,
         piggyback_enabled: bool = True,
         tracer: Optional[NullTracer] = None,
+        injector: Optional[NullFaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.piggyback_enabled = piggyback_enabled
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._injector = injector if injector is not None else NULL_INJECTOR
+        self.retry = retry if retry is not None else RetryPolicy()
         self._participants: Dict[int, LamportParticipant] = {}
+        # Fault-path state (untouched on the fast path): a fabric-wide
+        # message sequence, the at-most-once delivery window, and the
+        # park bench for delayed messages.
+        self._msg_seq = 0
+        self._seen_seqs: Set[int] = set()
+        self._delayed: List[Tuple[int, int, str, int, int]] = []
 
     def register(self, system_id: int, participant: LamportParticipant) -> None:
         """Attach a system's log manager to the fabric."""
@@ -78,6 +111,70 @@ class Network:
         """
         if src_id == dst_id:
             return  # local calls are not messages
+        if self._injector.enabled:
+            self._message_faulty(src_id, dst_id, kind, nbytes)
+            return
+        self._deliver(src_id, dst_id, kind, nbytes)
+
+    def _message_faulty(
+        self, src_id: int, dst_id: int, kind: str, nbytes: int
+    ) -> None:
+        """The injector-enabled transmit path.
+
+        Parked (delayed) messages are released ahead of this one, then
+        the injector is consulted once per transmission attempt: a drop
+        burns one attempt of the retry budget and retransmits with
+        deterministic backoff; a duplicate delivers a second copy the
+        sequence window rejects; a delay parks the message for the next
+        release.  A message still dropped after ``retry.max_attempts``
+        attempts is lost for good — bounded retries, not a guarantee.
+        """
+        self._flush_delayed()
+        self._msg_seq += 1
+        seq = self._msg_seq
+        attempts = 0
+        while True:
+            attempts += 1
+            action = self._injector.fire(
+                fp.NET_MSG, system=src_id, src=src_id, dst=dst_id, kind=kind
+            )
+            if action == DROP:
+                self.stats.incr(NET_DROPS_INJECTED)
+                if attempts >= self.retry.max_attempts:
+                    return
+                self.retry.backoff(attempts)
+                self.stats.incr(NET_RETRANSMITS)
+                continue
+            if action == DELAY:
+                self.stats.incr(NET_DELAYED)
+                self._delayed.append((src_id, dst_id, kind, nbytes, seq))
+                return
+            self._deliver(src_id, dst_id, kind, nbytes, seq=seq)
+            if action == DUPLICATE:
+                self._deliver(src_id, dst_id, kind, nbytes, seq=seq)
+            return
+
+    def _flush_delayed(self) -> None:
+        """Deliver every parked message, in park order."""
+        while self._delayed:
+            src_id, dst_id, kind, nbytes, seq = self._delayed.pop(0)
+            self._deliver(src_id, dst_id, kind, nbytes, seq=seq)
+
+    def _deliver(
+        self,
+        src_id: int,
+        dst_id: int,
+        kind: str,
+        nbytes: int,
+        seq: Optional[int] = None,
+    ) -> None:
+        if seq is not None:
+            if seq in self._seen_seqs:
+                # At-most-once: the receiver has already processed this
+                # sequence number (an injected duplicate).
+                self.stats.incr(NET_DUP_DROPPED)
+                return
+            self._seen_seqs.add(seq)
         self.stats.incr(MESSAGES_SENT)
         self.stats.incr(MESSAGE_BYTES, nbytes)
         self.stats.incr(message_kind_counter(kind))

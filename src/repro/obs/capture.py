@@ -34,6 +34,7 @@ def capture_e1(
     scheme: str = "usn",
     filler_records: int = 50,
     skews: Optional[Dict[int, Tuple[float, float]]] = None,
+    injector=None,
 ) -> Tuple[Tracer, Dict[str, object]]:
     """Run the Section 1.5 anomaly scenario under a recording tracer.
 
@@ -41,13 +42,16 @@ def capture_e1(
     system id to (offset, rate) for that instance's clock.  Returns the
     tracer plus a summary dict (survivor payload, the two contending
     LSNs, and whether the committed update survived the restart).
+    ``injector`` threads a :mod:`repro.faults` injector through the
+    complex (default: the zero-cost null injector; an enabled injector
+    with an empty plan must leave the trace byte-identical).
     """
     if scheme not in ("usn", "naive"):
         raise ValueError("scheme must be 'usn' or 'naive'")
     instance_cls = DbmsInstance if scheme == "usn" else NaiveDbmsInstance
     clock_skews = skews if skews is not None else DEFAULT_SKEWS
     tracer = Tracer()
-    complex_ = SDComplex(n_data_pages=128, tracer=tracer)
+    complex_ = SDComplex(n_data_pages=128, tracer=tracer, injector=injector)
     instances = {}
     for system_id in (1, 2):
         offset, rate = clock_skews.get(system_id, (0.0, 1.0))

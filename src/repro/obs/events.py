@@ -65,6 +65,24 @@ Client-server shipping (system = the server):
 * ``CS_SHIP``       — ``client``, ``nbytes``, ``offset``
 * ``CS_PAGE_BACK``  — ``client``, ``page``, ``rec_lsn``
 * ``CS_COMMIT_POINT`` — ``client``, ``txn``
+
+Disk-level I/O (system 0, the shared disk; distinct from the
+pool-level ``PAGE_READ``/``PAGE_WRITE``, which attribute the I/O to
+the pool's owner):
+
+* ``DISK_READ``     — ``page``
+* ``DISK_WRITE``    — ``page``, ``page_lsn``
+* ``DISK_LOSE``     — ``page`` (simulated media failure armed)
+* ``DISK_CORRUPT``  — ``page``, ``offset`` (byte flipped in the image)
+
+Faults and degradation (see :mod:`repro.faults` and
+``docs/fault_injection.md``):
+
+* ``FAULT_INJECT``  — ``point``, ``action``, ``hit`` (system = the
+  system the injection point attributed the hit to, 0 when unknown)
+* ``DEGRADED_ENTER``— ``reason`` (log-device failure flipped the
+  system read-only)
+* ``DEGRADED_EXIT`` — (restart repaired the log device)
 """
 
 from __future__ import annotations
@@ -104,6 +122,15 @@ RECOVERY_END = "recovery.end"
 CS_SHIP = "cs.ship"
 CS_PAGE_BACK = "cs.page_back"
 CS_COMMIT_POINT = "cs.commit_point"
+
+DISK_READ = "disk.read"
+DISK_WRITE = "disk.write"
+DISK_LOSE = "disk.lose"
+DISK_CORRUPT = "disk.corrupt"
+
+FAULT_INJECT = "fault.inject"
+DEGRADED_ENTER = "degraded.enter"
+DEGRADED_EXIT = "degraded.exit"
 
 #: Event kinds that stamp a new page_LSN onto a page image; each must
 #: carry ``page``, ``lsn`` and ``page_lsn_prev``.

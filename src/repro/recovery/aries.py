@@ -33,6 +33,13 @@ from repro.wal.records import (
 _COMMITTED = 1
 _ACTIVE = 0
 
+# Deliberate-breakage seam for the chaos campaign's self-test: with
+# redo screening disabled, redo re-applies records already reflected in
+# the page (double-apply), which the verifier/invariant checker must
+# catch — proving the campaign can actually fail.  Never set outside
+# ``repro.faults.campaign.sabotage_redo_screening``.
+_SABOTAGE_DISABLE_REDO_SCREENING = False
+
 
 @dataclass
 class RestartSummary:
@@ -159,7 +166,7 @@ def _redo_pass(instance, dpt: Dict[int, Tuple[Lsn, int]],
         page = pool.fix(record.page_id)
         tracer = _tracer_of(instance)
         try:
-            if record.lsn > page.page_lsn:
+            if _SABOTAGE_DISABLE_REDO_SCREENING or record.lsn > page.page_lsn:
                 page_lsn_prev = page.page_lsn
                 apply_redo(page, record)
                 record_end = addr.offset + record.serialized_size()

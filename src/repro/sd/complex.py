@@ -25,6 +25,8 @@ from typing import Dict, Hashable, List, Optional
 from repro.common.errors import ReproError
 from repro.common.lsn import Lsn
 from repro.common.stats import StatsRegistry
+from repro.faults.injector import NULL_INJECTOR, NullFaultInjector
+from repro.faults.policy import RetryPolicy
 from repro.locking.lock_manager import LockManager, LockMode, LockStatus
 from repro.net.network import Network
 from repro.obs.tracer import NULL_TRACER, NullTracer
@@ -56,14 +58,24 @@ class SDComplex:
         transfer_scheme: str = "medium",
         stats: Optional[StatsRegistry] = None,
         tracer: Optional[NullTracer] = None,
+        injector: Optional[NullFaultInjector] = None,
+        net_retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        if self.injector.enabled:
+            # A campaign-made injector reports into the same registries
+            # the stack under test uses.
+            self.injector.attach(stats=self.stats, tracer=self.tracer)
         capacity = disk_capacity or (data_start + n_data_pages + 64)
-        self.disk = SharedDisk(capacity=capacity, stats=self.stats)
+        self.disk = SharedDisk(capacity=capacity, stats=self.stats,
+                               tracer=self.tracer, injector=self.injector)
         self.network = Network(stats=self.stats,
                                piggyback_enabled=piggyback_enabled,
-                               tracer=self.tracer)
+                               tracer=self.tracer,
+                               injector=self.injector,
+                               retry=net_retry)
         self.glm = LockManager(stats=self.stats, tracer=self.tracer)
         self.transfer_scheme = transfer_scheme
         self.coherency = CoherencyController(self, scheme=transfer_scheme)

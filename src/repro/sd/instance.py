@@ -18,9 +18,25 @@ from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 from repro.buffer.buffer_pool import BufferPool
 from repro.common.clock import SkewedClock
-from repro.common.errors import LockWouldBlock, ReproError
+from repro.common.errors import (
+    DegradedModeError,
+    FaultInjectedError,
+    LockTimeoutError,
+    LockWouldBlock,
+    ReproError,
+)
 from repro.common.lsn import Lsn
-from repro.common.stats import LOCK_ESCALATIONS, PAGE_READS_AVOIDED
+from repro.common.stats import (
+    DEGRADED_ENTRIES,
+    DEGRADED_REJECTIONS,
+    LOCK_ESCALATIONS,
+    LOCK_RETRIES,
+    LOCK_RETRY_TIMEOUTS,
+    PAGE_READS_AVOIDED,
+)
+from repro.faults import points as fp
+from repro.faults.injector import FAIL
+from repro.faults.policy import RetryPolicy, run_with_lock_retry
 from repro.locking.lock_manager import LockMode, LockStatus, page_lock, record_lock
 from repro.obs import events as ev
 from repro.recovery.apply import apply_op, apply_payload, stamp_page_lsn
@@ -56,6 +72,7 @@ class DbmsInstance:
         isolation: str = "cursor_stability",
         escalation_threshold: Optional[int] = None,
         clock: Optional[SkewedClock] = None,
+        lock_retry: Optional[RetryPolicy] = None,
     ) -> None:
         """``isolation`` is "cursor_stability" (degree 2: read locks
         released after the read — the level the Commit_LSN optimization
@@ -75,11 +92,12 @@ class DbmsInstance:
         self.complex = sd_complex
         self.stats = sd_complex.stats
         self.tracer = sd_complex.tracer
+        self.injector = sd_complex.injector
         self.log = LogManager(system_id, stats=self.stats,
-                              tracer=self.tracer)
+                              tracer=self.tracer, injector=self.injector)
         self.pool = BufferPool(
             sd_complex.disk, self.log, capacity=buffer_capacity,
-            tracer=self.tracer,
+            tracer=self.tracer, injector=self.injector,
         )
         self.txns = TransactionManager(system_id)
         self.lock_granularity = lock_granularity
@@ -91,6 +109,14 @@ class DbmsInstance:
         )
         self.tracer.register_clock(system_id, self.clock)
         self.crashed = False
+        # Read-only degraded mode: entered when the log device fails
+        # (an injected ``log.force`` fault); reads keep working, every
+        # update or commit is rejected until restart.
+        self.degraded = False
+        # Optional bounded lock-wait policy; None keeps the raw
+        # LockWouldBlock behaviour the interleaved workload driver
+        # round-robins on.
+        self.lock_retry = lock_retry
         # Lazy (group) commits awaiting their covering log force.
         self._pending_commits: List[Transaction] = []
 
@@ -116,7 +142,7 @@ class DbmsInstance:
         until synced: its locks stay held, and a crash before the sync
         rolls it back like any in-flight transaction.
         """
-        self._check_up()
+        self._check_writable()
         self._check_active(txn)
         commit = LogRecord(kind=RecordKind.COMMIT, txn_id=txn.txn_id,
                            prev_lsn=txn.last_lsn)
@@ -128,18 +154,46 @@ class DbmsInstance:
         if lazy:
             self._pending_commits.append(txn)
             return
-        self.log.force()
+        if self.injector.enabled:
+            self.injector.fire(fp.COMMIT_PRE_FORCE, system=self.system_id,
+                               txn=txn.txn_id)
+        self._force_or_degrade()
+        if self.injector.enabled:
+            self.injector.fire(fp.COMMIT_POST_FORCE, system=self.system_id,
+                               txn=txn.txn_id)
         self._finish_commit(txn)
         self._finish_pending()
 
     def sync_commits(self) -> int:
         """Group-commit sync: one log force acknowledges every pending
         lazy commit.  Returns the number of transactions completed."""
-        self._check_up()
+        self._check_writable()
         if not self._pending_commits:
             return 0
-        self.log.force()
+        self._force_or_degrade()
         return self._finish_pending()
+
+    def _force_or_degrade(self) -> None:
+        """Force the log; a log-device failure degrades the instance.
+
+        An injected ``fail`` at the ``log.force`` point means the
+        commit record never reached stable storage: the commit is *not*
+        acknowledged (the caller sees :class:`DegradedModeError`), the
+        instance flips to read-only degraded mode, and the rest of the
+        complex keeps running.  Crash-flavoured injections propagate
+        untouched — they are the campaign's kill signal, not a device
+        error.
+        """
+        try:
+            self.log.force()
+        except FaultInjectedError as exc:
+            if exc.action != FAIL:
+                raise
+            self._enter_degraded("log device failure")
+            raise DegradedModeError(
+                f"system {self.system_id}: commit not durable, "
+                f"log device failed"
+            ) from exc
 
     def _finish_pending(self) -> int:
         finished = 0
@@ -225,6 +279,7 @@ class DbmsInstance:
     # ------------------------------------------------------------------
     def insert(self, txn: Transaction, page_id: int, payload: bytes) -> int:
         """Insert a record; returns its slot number."""
+        self._check_writable()
         self._check_active(txn)
         page = self._access(page_id, for_update=True)
         try:
@@ -247,6 +302,7 @@ class DbmsInstance:
     def update(self, txn: Transaction, page_id: int, slot: int,
                payload: bytes) -> None:
         """Overwrite the record in ``slot`` with ``payload``."""
+        self._check_writable()
         self._check_active(txn)
         self._lock_for_write(txn, page_id, slot)
         page = self._access(page_id, for_update=True)
@@ -268,6 +324,7 @@ class DbmsInstance:
 
     def delete(self, txn: Transaction, page_id: int, slot: int) -> None:
         """Delete the record in ``slot``."""
+        self._check_writable()
         self._check_active(txn)
         self._lock_for_write(txn, page_id, slot)
         page = self._access(page_id, for_update=True)
@@ -329,6 +386,7 @@ class DbmsInstance:
         page's final LSN), so the reallocated page's LSN sequence keeps
         increasing even though we never saw the old image.
         """
+        self._check_writable()
         self._check_active(txn)
         geometry = self.complex.space_map
         chosen = page_id
@@ -389,6 +447,7 @@ class DbmsInstance:
         LSN ends up above everything ever written to the page — the
         property reallocation relies on.
         """
+        self._check_writable()
         self._check_active(txn)
         slot = self.complex.space_map.slot_for(page_id)
         page = self._access(page_id, for_update=True)
@@ -429,6 +488,7 @@ class DbmsInstance:
         updates of these pages carried the updater's Local_Max_LSN to
         us, so our SMP record's LSN exceeds every page's final LSN.
         """
+        self._check_writable()
         self._check_active(txn)
         runs = self._contiguous_smp_runs(sorted(set(page_ids)))
         records = 0
@@ -510,6 +570,13 @@ class DbmsInstance:
         the current page_LSN to the log manager, then place the returned
         LSN into the page header and the BCB.
         """
+        if self.injector.enabled:
+            # Mid-operation crash point: fired before the log append, so
+            # a kill here leaves the log without the record while the
+            # (volatile) page copy may already carry the change — the
+            # change simply evaporates with the pool.
+            self.injector.fire(fp.INSTANCE_UPDATE, system=self.system_id,
+                               page=page.page_id, txn=txn.txn_id)
         page_lsn_prev = page.page_lsn
         hint = page_lsn_prev if lsn_hint is None else lsn_hint
         addr = self.log.append(record, page_lsn=hint)
@@ -596,9 +663,26 @@ class DbmsInstance:
             self.stats.incr(LOCK_ESCALATIONS)
 
     def _lock(self, txn: Transaction, resource, mode: LockMode) -> None:
-        status = self.complex.lock(self, txn.txn_id, resource, mode)
-        if status is LockStatus.WAITING:
-            raise LockWouldBlock(txn.txn_id, resource)
+        if self.lock_retry is None:
+            status = self.complex.lock(self, txn.txn_id, resource, mode)
+            if status is LockStatus.WAITING:
+                raise LockWouldBlock(txn.txn_id, resource)
+            return
+
+        def attempt() -> None:
+            status = self.complex.lock(self, txn.txn_id, resource, mode)
+            if status is LockStatus.WAITING:
+                raise LockWouldBlock(txn.txn_id, resource)
+
+        def note_retry(_attempt: int) -> None:
+            self.stats.incr(LOCK_RETRIES)
+
+        try:
+            run_with_lock_retry(self.lock_retry, attempt,
+                                on_retry=note_retry)
+        except LockTimeoutError:
+            self.stats.incr(LOCK_RETRY_TIMEOUTS)
+            raise
 
     def _access(self, page_id: int, for_update: bool) -> Page:
         self._check_up()
@@ -607,6 +691,29 @@ class DbmsInstance:
     def _check_up(self) -> None:
         if self.crashed:
             raise ReproError(f"system {self.system_id} is down")
+
+    def _check_writable(self) -> None:
+        """Reject updates and commits while in degraded mode.
+
+        Reads are deliberately *not* gated: a log-device failure leaves
+        stable state intact, so serving committed data read-only is
+        safe — that is the whole point of degrading instead of failing.
+        """
+        self._check_up()
+        if self.degraded:
+            self.stats.incr(DEGRADED_REJECTIONS)
+            raise DegradedModeError(
+                f"system {self.system_id} is read-only (degraded)"
+            )
+
+    def _enter_degraded(self, reason: str) -> None:
+        if self.degraded:
+            return
+        self.degraded = True
+        self.stats.incr(DEGRADED_ENTRIES)
+        if self.tracer.enabled:
+            self.tracer.emit(ev.DEGRADED_ENTER, system=self.system_id,
+                             reason=reason)
 
     def _check_active(self, txn: Transaction) -> None:
         self._check_up()
@@ -645,6 +752,12 @@ class DbmsInstance:
         """System failure: buffers, transaction state and the unforced
         log tail all evaporate.  Locks of in-flight transactions are
         *retained* by the global lock manager until restart recovery."""
+        if self.degraded:
+            # A restart replaces the failed log device; degraded mode
+            # does not survive the crash/recovery cycle.
+            self.degraded = False
+            if self.tracer.enabled:
+                self.tracer.emit(ev.DEGRADED_EXIT, system=self.system_id)
         self.crashed = True
         self.pool.crash()
         self.txns.crash()

@@ -5,9 +5,14 @@ Figure 1: in the shared-disks architecture every DBMS instance reads and
 writes it directly; in client-server only the server touches it.
 
 The disk maintains CRC32 checksums on write and verifies them on read,
-counts I/Os in a :class:`~repro.common.stats.StatsRegistry`, and offers
-fault-injection hooks (:meth:`lose_page`, :meth:`corrupt_page`) that the
-media-recovery experiment (E9) uses.
+counts I/Os in a :class:`~repro.common.stats.StatsRegistry`, emits
+disk-level trace events through the ``tracer=`` obs seam, and offers
+fault hooks on two levels: the ad-hoc :meth:`lose_page` /
+:meth:`corrupt_page` pokes the media-recovery experiment (E9) uses,
+and the plan-driven ``injector=`` seam (:mod:`repro.faults`) consulted
+at the ``disk.write`` / ``disk.read`` fault points — a torn write
+persists a half-old/half-new image whose checksum check fails on the
+next read, exactly how real torn writes are discovered.
 """
 
 from __future__ import annotations
@@ -16,12 +21,16 @@ import zlib
 from typing import Dict, Iterator, Optional, Set
 
 from repro.common.config import PAGE_SIZE
-from repro.common.errors import MediaError
+from repro.common.errors import FaultInjectedError, MediaError, TornPageError
 from repro.common.stats import (
     DISK_PAGE_READS,
     DISK_PAGE_WRITES,
     StatsRegistry,
 )
+from repro.faults import points as fp
+from repro.faults.injector import FAIL, NULL_INJECTOR, NullFaultInjector
+from repro.obs import events as ev
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.storage.page import Page, PageType
 
 # Checksum covers everything except the 4-byte checksum field itself
@@ -46,11 +55,15 @@ class SharedDisk:
         self,
         capacity: int = 1 << 20,
         stats: Optional[StatsRegistry] = None,
+        tracer: Optional[NullTracer] = None,
+        injector: Optional[NullFaultInjector] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("disk capacity must be positive")
         self.capacity = capacity
         self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._injector = injector if injector is not None else NULL_INJECTOR
         self._pages: Dict[int, bytes] = {}
         self._lost: Set[int] = set()
 
@@ -63,16 +76,50 @@ class SharedDisk:
                 f"page id {page_id} outside disk capacity {self.capacity}"
             )
 
+    def _stamped_image(self, page: Page) -> bytes:
+        """The page's byte image with a fresh checksum stamped in.
+
+        Stamping happens on a copy so the caller's in-memory page is
+        not mutated by the act of writing it.
+        """
+        image = bytearray(page.to_bytes())
+        cksum = _compute_checksum(bytes(image))
+        probe = Page(image)
+        probe.set_checksum(cksum)
+        return probe.to_bytes()
+
     def write_page(self, page: Page) -> None:
         """Persist ``page``, stamping a fresh checksum into the image."""
         self._check_page_id(page.page_id)
-        image = bytearray(page.to_bytes())
-        cksum = _compute_checksum(bytes(image))
-        # Stamp the checksum directly into the image copy so the caller's
-        # in-memory page is not mutated by the act of writing it.
-        probe = Page(image)
-        probe.set_checksum(cksum)
-        self._pages[page.page_id] = probe.to_bytes()
+        if self._injector.enabled:
+            try:
+                self._injector.fire(fp.DISK_WRITE, page=page.page_id)
+            except TornPageError:
+                # The device failed mid-write: keep a half-new/half-old
+                # image on disk, then let the tear surface to the
+                # caller.  The stored checksum covers the *intended*
+                # image, so the next read fails verification.
+                self._store_torn_image(page)
+                raise
+        self._pages[page.page_id] = self._stamped_image(page)
+        self._lost.discard(page.page_id)
+        self.stats.incr(DISK_PAGE_WRITES)
+        if self.tracer.enabled:
+            self.tracer.emit(ev.DISK_WRITE, page=page.page_id,
+                             page_lsn=int(page.page_lsn))
+
+    def _store_torn_image(self, page: Page) -> None:
+        intended = self._stamped_image(page)
+        old = self._pages.get(page.page_id, bytes(PAGE_SIZE))
+        half = PAGE_SIZE // 2
+        torn = intended[:half] + old[half:]
+        if torn == intended:
+            # Old and new agree on the back half; tear a byte anyway so
+            # the torn write is deterministically detectable.
+            mutated = bytearray(torn)
+            mutated[-1] ^= 0xFF
+            torn = bytes(mutated)
+        self._pages[page.page_id] = torn
         self._lost.discard(page.page_id)
         self.stats.incr(DISK_PAGE_WRITES)
 
@@ -83,6 +130,17 @@ class SharedDisk:
         a freshly formatted volume.
         """
         self._check_page_id(page_id)
+        if self._injector.enabled:
+            try:
+                self._injector.fire(fp.DISK_READ, page=page_id)
+            except FaultInjectedError as exc:
+                if exc.action == FAIL:
+                    # An injected read failure is indistinguishable from
+                    # a genuine media error: media recovery applies.
+                    raise MediaError(
+                        f"page {page_id} unreadable (injected media error)"
+                    ) from exc
+                raise
         self.stats.incr(DISK_PAGE_READS)
         if page_id in self._lost:
             raise MediaError(f"page {page_id} unreadable (media failure)")
@@ -90,12 +148,16 @@ class SharedDisk:
         if image is None:
             blank = Page()
             blank.format(page_id, PageType.FREE)
+            if self.tracer.enabled:
+                self.tracer.emit(ev.DISK_READ, page=page_id)
             return blank
         page = Page.from_bytes(image)
         if _compute_checksum(image) != page.checksum:
             raise MediaError(
                 f"page {page_id} failed checksum verification"
             )
+        if self.tracer.enabled:
+            self.tracer.emit(ev.DISK_READ, page=page_id)
         return page
 
     def page_exists(self, page_id: int) -> bool:
@@ -124,6 +186,8 @@ class SharedDisk:
         """Simulate a media failure: subsequent reads raise MediaError."""
         self._check_page_id(page_id)
         self._lost.add(page_id)
+        if self.tracer.enabled:
+            self.tracer.emit(ev.DISK_LOSE, page=page_id)
 
     def corrupt_page(self, page_id: int, byte_offset: int = 100) -> None:
         """Flip a byte in the stored image (checksum will catch it)."""
@@ -135,6 +199,9 @@ class SharedDisk:
         mutated = bytearray(image)
         mutated[byte_offset] ^= 0xFF
         self._pages[page_id] = bytes(mutated)
+        if self.tracer.enabled:
+            self.tracer.emit(ev.DISK_CORRUPT, page=page_id,
+                             offset=byte_offset)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

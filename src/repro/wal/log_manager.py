@@ -36,6 +36,8 @@ from repro.common.stats import (
     LOG_RECORDS_WRITTEN,
     StatsRegistry,
 )
+from repro.faults import points as fp
+from repro.faults.injector import NULL_INJECTOR, NullFaultInjector
 from repro.obs import events as ev
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.wal.records import LogRecord, stamp_and_encode_batch
@@ -49,10 +51,12 @@ class LogManager:
         system_id: int,
         stats: Optional[StatsRegistry] = None,
         tracer: Optional[NullTracer] = None,
+        injector: Optional[NullFaultInjector] = None,
     ) -> None:
         self.system_id = system_id
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._injector = injector if injector is not None else NULL_INJECTOR
         # Pre-resolved counter handles: the append path bumps these on
         # every record, so skipping the registry's string hashing there
         # is the cheapest real win in the whole hot lane.
@@ -230,6 +234,13 @@ class LogManager:
         """
         target = len(self._buffer) if up_to is None else min(up_to, len(self._buffer))
         if target > self._flushed_len:
+            if self._injector.enabled:
+                # Consulted only when a real device write would happen,
+                # and before the stable boundary moves: an injected
+                # log-device failure leaves the log exactly as it was.
+                self._injector.fire(
+                    fp.LOG_FORCE, system=self.system_id, up_to=target
+                )
             self._flushed_len = target
             self.stats.incr(LOG_FORCES)
             if self.tracer.enabled:

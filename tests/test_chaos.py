@@ -1,0 +1,460 @@
+"""Tests for repro.faults: the injector DSL, retry/degradation
+policies, torn-write media repair, and the crash-point torture
+campaign (``python -m repro.chaos``).
+
+The campaign tests run the real seeded chaos workload end to end —
+kill, media sweep, restart recovery, verifier, invariant checker — so
+they double as integration coverage for every fault seam in the stack.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.common.clock import SkewedClock
+from repro.common.errors import (
+    DegradedModeError,
+    FaultInjectedError,
+    LockTimeoutError,
+    LockWouldBlock,
+    MediaError,
+    TornPageError,
+)
+from repro.common.stats import (
+    DEGRADED_ENTRIES,
+    DEGRADED_REJECTIONS,
+    FAULTS_INJECTED,
+    NET_DELAYED,
+    NET_DROPS_INJECTED,
+    NET_DUP_DROPPED,
+    NET_RETRANSMITS,
+)
+from repro.cs.system import CsSystem
+from repro.faults import points as fp
+from repro.faults import scenarios
+from repro.faults.campaign import (
+    CrashSpec,
+    enumerate_specs,
+    run_campaign,
+    run_spec,
+    run_survey,
+    sabotage_redo_screening,
+)
+from repro.faults.injector import (
+    CRASH,
+    CRASH_COMPLEX,
+    TORN,
+    NULL_INJECTOR,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.faults.policy import RetryPolicy, run_with_lock_retry
+from repro.lint import lint_source
+from repro.lint.rules import RULES_BY_ID
+from repro.obs import events as ev
+from repro.obs.capture import capture_e1
+from repro.obs.tracer import Tracer
+from repro.recovery import aries
+from repro.recovery.media import recover_page_from_media
+from repro.sd.complex import SDComplex
+from repro.harness.verifier import verify_sd_complex
+
+
+def committed_row(engine, payload=b"v1"):
+    txn = engine.begin()
+    page_id = engine.allocate_page(txn)
+    slot = engine.insert(txn, page_id, payload)
+    engine.commit(txn)
+    return page_id, slot
+
+
+def arm_next_hit(injector, point):
+    """A site builder for the *next* crossing of ``point``."""
+    return injector.plan.at(point).on_hit(injector.hit_count(point) + 1)
+
+
+# ----------------------------------------------------------------------
+# plan DSL / injector semantics
+# ----------------------------------------------------------------------
+class TestFaultPlanDsl:
+    def test_nth_rule_fires_exactly_once(self):
+        plan = FaultPlan(seed=0)
+        plan.at("p").on_hit(3).crash()
+        injector = FaultInjector(plan)
+        injector.fire("p")
+        injector.fire("p")
+        with pytest.raises(FaultInjectedError) as excinfo:
+            injector.fire("p", system=7)
+        assert excinfo.value.point == "p"
+        assert excinfo.value.action == CRASH
+        assert excinfo.value.hit == 3
+        assert excinfo.value.system == 7
+        injector.fire("p")  # nth is one-shot: hit 4 passes
+        assert injector.hit_count("p") == 4
+        assert injector.fired() == [("p", 3, CRASH)]
+
+    def test_every_kth_hit_fires_periodically(self):
+        plan = FaultPlan(seed=0)
+        plan.at("p").every_hit(2).fail()
+        injector = FaultInjector(plan)
+        outcomes = []
+        for _ in range(6):
+            try:
+                injector.fire("p")
+                outcomes.append("ok")
+            except FaultInjectedError:
+                outcomes.append("boom")
+        assert outcomes == ["ok", "boom", "ok", "boom", "ok", "boom"]
+
+    def test_probability_rule_is_seed_deterministic(self):
+        def pattern(seed):
+            plan = FaultPlan(seed=seed)
+            plan.at("p").with_probability(0.5).fail()
+            injector = FaultInjector(plan)
+            fired = []
+            for _ in range(64):
+                try:
+                    injector.fire("p")
+                    fired.append(False)
+                except FaultInjectedError:
+                    fired.append(True)
+            return fired
+
+        first = pattern(seed=42)
+        assert first == pattern(seed=42)
+        assert any(first) and not all(first)
+        assert pattern(seed=43) != first
+
+    def test_empty_plan_counts_hits_without_firing(self):
+        injector = FaultInjector(FaultPlan(seed=0))
+        for _ in range(5):
+            injector.fire("p", system=1)
+        assert injector.hit_count("p") == 5
+        assert injector.fired() == []
+
+    def test_null_injector_is_disabled_and_inert(self):
+        assert not NULL_INJECTOR.enabled
+        assert NULL_INJECTOR.fire("p") is None
+        assert NULL_INJECTOR.hit_count("p") == 0
+
+    def test_torn_action_raises_torn_page_error(self):
+        plan = FaultPlan(seed=0)
+        plan.at(fp.DISK_WRITE).on_hit(1).torn()
+        injector = FaultInjector(plan)
+        with pytest.raises(TornPageError):
+            injector.fire(fp.DISK_WRITE)
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(max_attempts=6, base_ticks=2,
+                             max_backoff_ticks=9)
+        assert [policy.backoff_ticks(a) for a in range(1, 6)] == [
+            2, 4, 8, 9, 9]
+
+    def test_transient_block_is_retried_to_success(self):
+        clock = SkewedClock()
+        policy = RetryPolicy(max_attempts=4, base_ticks=1, clock=clock)
+        state = {"failures": 2, "attempts": 0}
+
+        def attempt():
+            state["attempts"] += 1
+            if state["failures"]:
+                state["failures"] -= 1
+                raise LockWouldBlock("t1", "row-9")
+            return "granted"
+
+        assert run_with_lock_retry(policy, attempt) == "granted"
+        assert state["attempts"] == 3
+        assert clock.ticks > 0  # backoff consumed simulated time
+
+    def test_persistent_block_times_out(self):
+        policy = RetryPolicy(max_attempts=3, base_ticks=1,
+                             clock=SkewedClock())
+        calls = {"n": 0}
+
+        def attempt():
+            calls["n"] += 1
+            raise LockWouldBlock("t1", "row-9")
+
+        with pytest.raises(LockTimeoutError):
+            run_with_lock_retry(policy, attempt)
+        assert calls["n"] == 3
+
+
+# ----------------------------------------------------------------------
+# degraded mode (log-device failure -> read-only)
+# ----------------------------------------------------------------------
+class TestDegradedModeSd:
+    def test_log_force_failure_degrades_instance(self):
+        injector = FaultInjector(FaultPlan(seed=0))
+        tracer = Tracer()
+        sd = SDComplex(n_data_pages=64, tracer=tracer, injector=injector)
+        s1 = sd.add_instance(1)
+        page_a, slot_a = committed_row(s1, b"safe")
+        page_b, slot_b = committed_row(s1, b"other")
+        arm_next_hit(injector, fp.LOG_FORCE).fail()
+
+        txn = s1.begin()
+        s1.update(txn, page_a, slot_a, b"doomed")
+        with pytest.raises(DegradedModeError):
+            s1.commit(txn)
+        assert s1.degraded
+        assert sd.stats.get(DEGRADED_ENTRIES) == 1
+        assert any(e.kind == ev.DEGRADED_ENTER for e in tracer.events())
+
+        # Writes are rejected, reads still served.
+        reader = s1.begin()
+        with pytest.raises(DegradedModeError):
+            s1.insert(reader, page_b, b"nope")
+        assert sd.stats.get(DEGRADED_REJECTIONS) == 1
+        assert s1.read(reader, page_b, slot_b) == b"other"
+
+        # A restart repairs the log device: the unacknowledged commit
+        # rolls back (its COMMIT record never reached stable storage).
+        sd.crash_instance(1)
+        assert not s1.degraded
+        assert any(e.kind == ev.DEGRADED_EXIT for e in tracer.events())
+        sd.restart_instance(1)
+        verdict = s1.begin()
+        assert s1.read(verdict, page_a, slot_a) == b"safe"
+
+
+class TestDegradedModeCs:
+    def test_log_force_failure_degrades_server(self):
+        injector = FaultInjector(FaultPlan(seed=0))
+        cs = CsSystem(n_data_pages=64, injector=injector)
+        c1 = cs.add_client(1)
+        page_a, slot_a = committed_row(c1, b"safe")
+        arm_next_hit(injector, fp.LOG_FORCE).fail()
+
+        txn = c1.begin()
+        c1.update(txn, page_a, slot_a, b"doomed")
+        with pytest.raises(DegradedModeError):
+            c1.commit(txn)
+        assert cs.server.degraded
+        assert cs.stats.get(DEGRADED_ENTRIES) == 1
+
+        # The next commit is rejected at the server's door.
+        txn2 = c1.begin()
+        with pytest.raises(DegradedModeError):
+            c1.commit(txn2)
+        assert cs.stats.get(DEGRADED_REJECTIONS) >= 1
+
+        # Server restart clears the mode and undoes the doomed update.
+        cs.crash_server()
+        assert not cs.server.degraded
+        cs.restart_server()
+        verdict = c1.begin()
+        assert c1.read(verdict, page_a, slot_a) == b"safe"
+        committed_row(c1, b"post-repair")  # log device works again
+
+
+# ----------------------------------------------------------------------
+# torn writes + media repair
+# ----------------------------------------------------------------------
+class TestTornWrite:
+    def test_torn_write_detected_on_read_and_rebuilt(self):
+        injector = FaultInjector(FaultPlan(seed=0))
+        sd = SDComplex(n_data_pages=64, injector=injector)
+        s1 = sd.add_instance(1)
+        page_id, slot = committed_row(s1, b"precious")
+        arm_next_hit(injector, fp.DISK_WRITE).torn()
+
+        with pytest.raises(TornPageError):
+            s1.pool.write_page(page_id)
+        with pytest.raises(MediaError):
+            sd.disk.read_page(page_id)
+
+        recover_page_from_media(page_id, None, sd.local_logs(),
+                                disk=sd.disk)
+        assert sd.disk.read_page(page_id).read_record(slot) == b"precious"
+
+
+# ----------------------------------------------------------------------
+# network faults ride the retry/dedup machinery transparently
+# ----------------------------------------------------------------------
+class TestNetworkFaults:
+    def _run(self, arm):
+        injector = FaultInjector(FaultPlan(seed=0))
+        arm(injector.plan)
+        sd, tracer = scenarios.build_sd(injector, seed=0)
+        scenarios.run_sd_workload(sd, 0)
+        return sd
+
+    def test_drops_are_retransmitted(self):
+        sd = self._run(lambda plan: plan.at(fp.NET_MSG).every_hit(5).drop())
+        assert sd.stats.get(NET_DROPS_INJECTED) > 0
+        assert sd.stats.get(NET_RETRANSMITS) > 0
+        assert verify_sd_complex(sd).ok
+
+    def test_duplicates_are_deduplicated(self):
+        sd = self._run(
+            lambda plan: plan.at(fp.NET_MSG).every_hit(3).duplicate())
+        assert sd.stats.get(NET_DUP_DROPPED) > 0
+        assert verify_sd_complex(sd).ok
+
+    def test_delays_are_parked_then_flushed(self):
+        sd = self._run(lambda plan: plan.at(fp.NET_MSG).every_hit(7).delay())
+        assert sd.stats.get(NET_DELAYED) > 0
+        assert verify_sd_complex(sd).ok
+
+
+# ----------------------------------------------------------------------
+# the campaign
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def surveys():
+    return {arch: run_survey(arch, seed=0) for arch in ("sd", "cs")}
+
+
+MATRIX_POINTS = {
+    "sd": (fp.LOG_FORCE, fp.INSTANCE_UPDATE, fp.DISK_WRITE),
+    "cs": (fp.LOG_FORCE, fp.INSTANCE_UPDATE, fp.CS_SHIP),
+}
+
+
+class TestCampaignMatrix:
+    @pytest.mark.parametrize("arch", ["sd", "cs"])
+    @pytest.mark.parametrize("kind", [0, 1, 2])
+    @pytest.mark.parametrize("action", [CRASH, CRASH_COMPLEX])
+    def test_kill_and_recover(self, surveys, arch, kind, action):
+        point = MATRIX_POINTS[arch][kind]
+        survey = surveys[arch]
+        first, last = survey.workload_hits(point)
+        assert last, f"{point} never hit in the {arch} workload"
+        spec = CrashSpec(arch, point, first + (last - first) // 2, action)
+        result = run_spec(spec, seed=0)
+        assert result.fired, result.to_dict()
+        assert result.ok, result.to_dict()
+
+    @pytest.mark.parametrize("arch", ["sd", "cs"])
+    def test_torn_spec_repairs_media(self, surveys, arch):
+        torn = [s for s in enumerate_specs(surveys[arch]) if s.action == TORN]
+        assert torn, "full campaign must include a torn-write spec"
+        result = run_spec(torn[0], seed=0)
+        assert result.ok, result.to_dict()
+        assert result.repaired_pages
+
+    def test_smoke_campaign_stays_small_and_green(self):
+        reports = [run_campaign(arch, seed=0, smoke=True)
+                   for arch in ("sd", "cs")]
+        assert sum(len(r.results) for r in reports) <= 10
+        for report in reports:
+            assert report.ok, report.table()
+            assert report.survey.total_hits.get(fp.DISK_WRITE, 0) > 0
+
+    def test_same_seed_same_campaign(self):
+        first = run_campaign("sd", seed=11, smoke=True)
+        again = run_campaign("sd", seed=11, smoke=True)
+        assert first.to_dict() == again.to_dict()
+
+
+class TestSabotage:
+    def test_broken_redo_screening_turns_campaign_red(self):
+        with sabotage_redo_screening():
+            report = run_campaign("sd", seed=0, smoke=True)
+        assert not aries._SABOTAGE_DISABLE_REDO_SCREENING
+        assert not report.ok
+        assert any("redo-screening" in violation
+                   for result in report.failed
+                   for violation in result.invariant_violations)
+
+    def test_cli_exit_codes(self, capsys):
+        from repro.chaos import main
+
+        assert main(["--smoke", "--arch", "sd"]) == 0
+        assert main(["--smoke", "--arch", "sd",
+                     "--sabotage", "redo-screening"]) == 1
+        assert main(["--list", "--arch", "cs"]) == 0
+        out = capsys.readouterr().out
+        assert "CHAOS: OK" in out and "CHAOS: FAIL" in out
+
+
+# ----------------------------------------------------------------------
+# zero-cost-off: an enabled-but-empty injector must be invisible, and
+# the default null injector doubly so
+# ----------------------------------------------------------------------
+class TestDisabledInjectorIdentity:
+    def test_e1_trace_is_byte_identical(self):
+        baseline_tracer, baseline_summary = capture_e1()
+        injected_tracer, injected_summary = capture_e1(
+            injector=FaultInjector(FaultPlan(seed=0)))
+        assert injected_summary == baseline_summary
+        assert injected_tracer.dump_jsonl() == baseline_tracer.dump_jsonl()
+
+    def test_chaos_workload_identical_under_empty_plan(self):
+        null_sd, null_tracer = scenarios.build_sd(NULL_INJECTOR, seed=0)
+        scenarios.run_sd_workload(null_sd, 0)
+        injector = FaultInjector(FaultPlan(seed=0))
+        live_sd, live_tracer = scenarios.build_sd(injector, seed=0)
+        scenarios.run_sd_workload(live_sd, 0)
+        assert live_tracer.dump_jsonl() == null_tracer.dump_jsonl()
+        # The injector's own counter is the only divergence allowed,
+        # and it lives outside the stats registry until a rule fires.
+        assert live_sd.stats.get(FAULTS_INJECTED) == 0
+        assert null_sd.stats.snapshot() == live_sd.stats.snapshot()
+
+
+# ----------------------------------------------------------------------
+# R007: injected fault types may only be raised by the injector
+# ----------------------------------------------------------------------
+class TestFaultDisciplineRule:
+    def _findings(self, source, path):
+        return lint_source(textwrap.dedent(source), path=path,
+                           rules=[RULES_BY_ID["R007"]])
+
+    def test_forging_an_injected_fault_is_flagged(self):
+        found = self._findings(
+            """
+            from repro.common.errors import FaultInjectedError
+
+            def sneaky():
+                raise FaultInjectedError("disk.write", "crash")
+            """,
+            path="src/repro/sd/fake.py",
+        )
+        assert [f.rule_id for f in found] == ["R007"]
+
+    def test_torn_page_error_is_also_guarded(self):
+        found = self._findings(
+            """
+            from repro.common.errors import TornPageError
+
+            def sneaky():
+                raise TornPageError("disk.write", "torn")
+            """,
+            path="src/repro/storage/fake.py",
+        )
+        assert [f.rule_id for f in found] == ["R007"]
+
+    def test_injector_package_may_raise(self):
+        found = self._findings(
+            """
+            from repro.common.errors import FaultInjectedError
+
+            def fire():
+                raise FaultInjectedError("disk.write", "crash")
+            """,
+            path="src/repro/faults/injector.py",
+        )
+        assert found == []
+
+    def test_propagating_a_caught_fault_is_allowed(self):
+        found = self._findings(
+            """
+            from repro.common.errors import TornPageError
+
+            def seam(write):
+                try:
+                    write()
+                except TornPageError as exc:
+                    cleanup = exc
+                    raise
+            """,
+            path="src/repro/storage/fake.py",
+        )
+        assert found == []

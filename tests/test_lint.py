@@ -495,6 +495,7 @@ class TestEngine:
             "R004",
             "R005",
             "R006",
+            "R007",
         ]
         for rule in ALL_RULES:
             assert rule.description

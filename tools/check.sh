@@ -74,6 +74,13 @@ if [ "$fast" -eq 0 ]; then
                 BENCH_SUITE.smoke.json BENCH_SUITE.smoke.json >/dev/null
     }
     step "bench-suite smoke (BENCH_SUITE.smoke.json)" bench_suite_smoke
+
+    # Chaos smoke: <= 10 crash-point kills across SD and CS, each
+    # followed by restart recovery, the harness verifier and the trace
+    # invariant checker (exit 1 if any spec leaves the DB broken).
+    step "chaos smoke (crash-point torture)" \
+        env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -m repro.chaos --smoke
 fi
 
 echo
