@@ -260,7 +260,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="bench directory (default: repo benchmarks/)")
     parser.add_argument("-o", "--output", default=None, metavar="PATH",
                         help="suite JSON output (default BENCH_SUITE.json; "
-                        "--smoke defaults to BENCH_SUITE.smoke.json)")
+                        "--smoke defaults to a temp file so the gate "
+                        "leaves no artifact in the tree)")
     parser.add_argument("-j", "--jobs", type=int, default=None,
                         help="pool size (default: min(benches, cpus))")
     parser.add_argument("--smoke", action="store_true",
@@ -306,9 +307,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"no bench_*.py found under {root}", file=sys.stderr)
         return 2
     suite = run_suite(paths, jobs=args.jobs)
-    out = args.output or (
-        "BENCH_SUITE.smoke.json" if args.smoke else "BENCH_SUITE.json"
-    )
+    out = args.output
+    if out is None:
+        if args.smoke:
+            # Smoke runs are a gate, not a trajectory update: write to
+            # a temp file so no stale artifact lands in the worktree.
+            fd, out = tempfile.mkstemp(prefix="BENCH_SUITE.smoke.",
+                                       suffix=".json")
+            os.close(fd)
+        else:
+            out = "BENCH_SUITE.json"
     write_suite(suite, out)
     print(render_suite(suite))
     print(f"wrote {out}")

@@ -1,0 +1,186 @@
+"""A partitioned global lock manager.
+
+The lock name space is hashed into ``n_shards`` partitions, each
+served by an independent :class:`~repro.locking.lock_manager.LockManager`
+(so PR 3's uncontended fast lane survives per shard).  The
+:class:`PartitionedLockManager` facade speaks the exact protocol the
+monolithic GLM speaks — ``acquire`` / ``try_acquire`` / ``release`` /
+``release_all`` / ``holds`` / ``holders`` / ``waiters`` / ``locks_of``
+/ ``owners`` / ``resources`` — so :class:`repro.sd.complex.SDComplex`
+and :class:`repro.cs.server.CsServer` swap it in transparently.
+
+Two things genuinely cross shards:
+
+* **Deadlock detection.**  A wait-for cycle can span shards (txn A
+  waits on a shard-0 resource held by B, B waits on a shard-1 resource
+  held by A); a per-shard DFS would never see it.  Each shard is
+  therefore constructed with a ``blockers_fn`` that unions blocker
+  edges over *all* shards, so the victim choice is identical to the
+  monolithic manager's.
+* **Fault injection.**  ``acquire`` consults the injector at the
+  :data:`~repro.faults.points.GLM_ACQUIRE` point with the target shard
+  in context, so a chaos plan can kill one shard's traffic
+  deterministically.
+
+Routing uses CRC-32 of ``repr(resource)`` — **not** Python's builtin
+``hash``, which is salted per process and would break cross-run
+determinism of shard assignment (and with it byte-identical traces).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.common.stats import (
+    CLUSTER_CROSS_SHARD_CHECKS,
+    StatsRegistry,
+    glm_shard_counter,
+)
+from repro.faults import points as fpoints
+from repro.faults.injector import NULL_INJECTOR, NullFaultInjector
+from repro.locking.lock_manager import LockManager, LockMode, LockStatus
+from repro.obs.tracer import NULL_TRACER, NullTracer
+
+
+def shard_of(resource: Hashable, n_shards: int) -> int:
+    """The shard index serving ``resource``.
+
+    Deterministic across processes and runs: CRC-32 over the
+    resource's ``repr`` (lock names are tuples of strings and ints, so
+    their reprs are stable).  ``n_shards == 1`` short-circuits to 0.
+    """
+    if n_shards <= 1:
+        return 0
+    return zlib.crc32(repr(resource).encode("utf-8")) % n_shards
+
+
+class PartitionedLockManager:
+    """K independent lock-table shards behind the monolithic GLM API."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        stats: Optional[StatsRegistry] = None,
+        tracer: Optional[NullTracer] = None,
+        injector: Optional[NullFaultInjector] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("a partitioned GLM needs at least one shard")
+        self.n_shards = n_shards
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.shards: List[LockManager] = [
+            LockManager(
+                stats=self.stats,
+                tracer=self.tracer,
+                shard=index,
+                blockers_fn=self._global_blockers,
+            )
+            for index in range(n_shards)
+        ]
+        self._shard_requests = [
+            self.stats.handle(glm_shard_counter(index))
+            for index in range(n_shards)
+        ]
+        self._cross_checks = self.stats.handle(CLUSTER_CROSS_SHARD_CHECKS)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_index(self, resource: Hashable) -> int:
+        """The shard index ``resource`` routes to."""
+        return shard_of(resource, self.n_shards)
+
+    def _route(self, resource: Hashable) -> LockManager:
+        index = shard_of(resource, self.n_shards)
+        self._shard_requests[index].bump()
+        return self.shards[index]
+
+    # ------------------------------------------------------------------
+    # the lock protocol (mirrors LockManager)
+    # ------------------------------------------------------------------
+    def acquire(
+        self, owner: Hashable, resource: Hashable, mode: LockMode
+    ) -> LockStatus:
+        if self.injector.enabled:
+            index = shard_of(resource, self.n_shards)
+            self.injector.fire(
+                fpoints.GLM_ACQUIRE, shard=index,
+            )
+        return self._route(resource).acquire(owner, resource, mode)
+
+    def try_acquire(
+        self, owner: Hashable, resource: Hashable, mode: LockMode
+    ) -> LockStatus:
+        return self._route(resource).try_acquire(owner, resource, mode)
+
+    def release(self, owner: Hashable, resource: Hashable) -> List[Hashable]:
+        shard = self.shards[shard_of(resource, self.n_shards)]
+        return shard.release(owner, resource)
+
+    def release_all(self, owner: Hashable) -> List[Tuple[Hashable, Hashable]]:
+        promoted: List[Tuple[Hashable, Hashable]] = []
+        for shard in self.shards:
+            promoted.extend(shard.release_all(owner))
+        return promoted
+
+    # ------------------------------------------------------------------
+    # read-only views
+    # ------------------------------------------------------------------
+    def holds(self, owner: Hashable, resource: Hashable,
+              mode: Optional[LockMode] = None) -> bool:
+        shard = self.shards[shard_of(resource, self.n_shards)]
+        return shard.holds(owner, resource, mode)
+
+    def holders(self, resource: Hashable) -> Dict[Hashable, LockMode]:
+        shard = self.shards[shard_of(resource, self.n_shards)]
+        return shard.holders(resource)
+
+    def waiters(self, resource: Hashable) -> List[Hashable]:
+        shard = self.shards[shard_of(resource, self.n_shards)]
+        return shard.waiters(resource)
+
+    def locks_of(self, owner: Hashable) -> Dict[Hashable, LockMode]:
+        merged: Dict[Hashable, LockMode] = {}
+        for shard in self.shards:
+            merged.update(shard.locks_of(owner))
+        return merged
+
+    def owners(self) -> Set[Hashable]:
+        merged: Set[Hashable] = set()
+        for shard in self.shards:
+            merged.update(shard.owners())
+        return merged
+
+    def resources(self) -> List[Hashable]:
+        merged: List[Hashable] = []
+        for shard in self.shards:
+            merged.extend(shard.resources())
+        return merged
+
+    # ------------------------------------------------------------------
+    # the cross-shard wait-for graph
+    # ------------------------------------------------------------------
+    def _global_blockers(self, owner: Hashable) -> List[Hashable]:
+        """Blocker edges for ``owner`` across every shard.
+
+        The workload driver parks an owner on at most one acquire at a
+        time, so at most one shard has a live wait for it — but the
+        owners *blocking* it may hold their other locks anywhere, and
+        the DFS in each shard's ``_find_cycle`` re-enters this function
+        for every visited owner, stitching the per-shard graphs into
+        one.
+        """
+        self._cross_checks.bump()
+        blockers: List[Hashable] = []
+        for shard in self.shards:
+            blockers.extend(shard._blockers(owner))
+        return blockers
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PartitionedLockManager(n_shards={self.n_shards}, "
+            f"resources={sum(len(s.resources()) for s in self.shards)})"
+        )

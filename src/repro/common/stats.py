@@ -135,8 +135,16 @@ NET_DUP_DROPPED = "net.dup_dropped"
 NET_DELAYED = "net.delayed"
 LOCK_RETRIES = "lock.retries"
 LOCK_RETRY_TIMEOUTS = "lock.retry_timeouts"
+CLUSTER_REDO_PARTITIONS = "cluster.redo_partitions"
+CLUSTER_REDO_PARALLEL_RUNS = "cluster.redo_parallel_runs"
+CLUSTER_CROSS_SHARD_CHECKS = "cluster.cross_shard_checks"
 
 
 def message_kind_counter(kind: str) -> str:
     """The per-kind message counter name (``net.messages.<kind>``)."""
     return f"net.messages.{kind}"
+
+
+def glm_shard_counter(shard: int) -> str:
+    """The per-shard GLM request counter (``glm.shard.<n>.requests``)."""
+    return f"glm.shard.{shard}.requests"

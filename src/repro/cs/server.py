@@ -90,6 +90,8 @@ class CsServer:
         buffer_capacity: int = 256,
         tracer: Optional[NullTracer] = None,
         injector: Optional[NullFaultInjector] = None,
+        lock_shards: int = 1,
+        redo_parallelism: int = 1,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -106,7 +108,9 @@ class CsServer:
                               tracer=self.tracer, injector=self.injector)
         self.pool = BufferPool(self.disk, self.log, capacity=buffer_capacity,
                                tracer=self.tracer, injector=self.injector)
-        self.glm = LockManager(stats=self.stats, tracer=self.tracer)
+        self.lock_shards = lock_shards
+        self.redo_parallelism = redo_parallelism
+        self.glm = self._build_glm()
         self.space_map = SpaceMap(smp_start=smp_start, data_start=data_start,
                                   n_data_pages=n_data_pages)
         self.network.register(SERVER_ID, self.log)
@@ -133,6 +137,17 @@ class CsServer:
             page = Page()
             page.format(smp_page_id, PageType.SPACE_MAP)
             self.disk.write_page(page)
+
+    def _build_glm(self):
+        """A fresh lock service, honouring the shard configuration
+        (restart recreates it — retained-lock release is explicit)."""
+        if self.lock_shards > 1:
+            from repro.cluster.glm import PartitionedLockManager
+
+            return PartitionedLockManager(
+                self.lock_shards, stats=self.stats, tracer=self.tracer,
+                injector=self.injector)
+        return LockManager(stats=self.stats, tracer=self.tracer)
 
     # ------------------------------------------------------------------
     # membership
@@ -408,10 +423,9 @@ class CsServer:
 
     def _owned_txns(self, client_id: int) -> Set[int]:
         owners: Set[int] = set()
-        for resource in list(self.glm._table):
-            for owner in self.glm.holders(resource):
-                if isinstance(owner, int) and owner // _SYSTEM_STRIDE == client_id:
-                    owners.add(owner)
+        for owner in self.glm.owners():
+            if isinstance(owner, int) and owner // _SYSTEM_STRIDE == client_id:
+                owners.add(owner)
         for txn_id in self._txn_table:
             if txn_id // _SYSTEM_STRIDE == client_id:
                 owners.add(txn_id)
@@ -628,9 +642,10 @@ class CsServer:
         self.crashed = False
         # system_id attribute satisfies restart_recovery's duck type.
         self.system_id = SERVER_ID
-        summary = restart_recovery(self)
+        summary = restart_recovery(
+            self, redo_parallelism=self.redo_parallelism)
         self.pool.flush_all()
-        self.glm = LockManager(stats=self.stats, tracer=self.tracer)
+        self.glm = self._build_glm()
         return summary
 
     # ------------------------------------------------------------------

@@ -24,6 +24,8 @@ class CsSystem:
         stats: Optional[StatsRegistry] = None,
         tracer: Optional[NullTracer] = None,
         injector: Optional[NullFaultInjector] = None,
+        lock_shards: int = 1,
+        redo_parallelism: int = 1,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -34,7 +36,9 @@ class CsSystem:
                                injector=self.injector)
         self.server = CsServer(n_data_pages=n_data_pages, stats=self.stats,
                                network=self.network, tracer=self.tracer,
-                               injector=self.injector)
+                               injector=self.injector,
+                               lock_shards=lock_shards,
+                               redo_parallelism=redo_parallelism)
         self.clients: Dict[int, CsClient] = {}
         self.commit_lsn = CommitLsnService(stats=self.stats,
                                            tracer=self.tracer)

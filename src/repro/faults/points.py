@@ -37,6 +37,10 @@ consulted; what happens there is decided by the matching
   client).
 * ``CS_COMMIT``    — :meth:`CsServer.commit_point` entry (hit
   attributed to the committing client).
+* ``GLM_ACQUIRE``  — :meth:`PartitionedLockManager.acquire`, before the
+  request is routed to its shard; the ``shard`` context field names the
+  target shard, so a fault plan can kill exactly one GLM shard (the
+  monolithic single-shard GLM never consults this point).
 """
 
 from __future__ import annotations
@@ -53,6 +57,7 @@ COMMIT_PRE_FORCE = "commit.pre_force"
 COMMIT_POST_FORCE = "commit.post_force"
 CS_SHIP = "cs.ship"
 CS_COMMIT = "cs.commit"
+GLM_ACQUIRE = "glm.acquire"
 
 #: Every injection point, in the order campaign tables list them.
 ALL_POINTS: Tuple[str, ...] = (
@@ -66,4 +71,5 @@ ALL_POINTS: Tuple[str, ...] = (
     COMMIT_POST_FORCE,
     CS_SHIP,
     CS_COMMIT,
+    GLM_ACQUIRE,
 )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.common.errors import DeadlockError
 from repro.common.stats import LOCK_REQUESTS, LOCK_WAITS, StatsRegistry
@@ -131,6 +131,9 @@ class LockManager:
         self,
         stats: Optional[StatsRegistry] = None,
         tracer: Optional[NullTracer] = None,
+        shard: Optional[int] = None,
+        blockers_fn: Optional[
+            Callable[[Hashable], List[Hashable]]] = None,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -140,12 +143,27 @@ class LockManager:
         self._table: Dict[Hashable, _LockHead] = {}
         # owner -> resource currently waited for (for the WFG)
         self._waiting_on: Dict[Hashable, Hashable] = {}
+        # Shard label: a PartitionedLockManager sets this so traces can
+        # be attributed to the shard that emitted them.  None (the
+        # monolithic GLM) keeps the event shape byte-identical to
+        # pre-sharding traces.
+        self.shard = shard
+        # Deadlock seam: when this manager is one shard of a
+        # partitioned GLM, the facade injects a *global* blockers
+        # function here so the DFS in _find_cycle can follow wait-for
+        # edges that cross shard boundaries.  Standalone managers walk
+        # their own table.
+        self._blockers_fn = (
+            blockers_fn if blockers_fn is not None else self._blockers)
 
     def _trace(self, kind: str, **fields: Hashable) -> None:
         # The lock table is global, so its events carry system 0 (the
         # GLM in SD, the server in CS).
         if self.tracer.enabled:
-            self.tracer.emit(kind, system=0, **fields)
+            if self.shard is not None:
+                self.tracer.emit(kind, system=0, shard=self.shard, **fields)
+            else:
+                self.tracer.emit(kind, system=0, **fields)
 
     # ------------------------------------------------------------------
     def acquire(
@@ -331,6 +349,18 @@ class LockManager:
             if owner in head.granted
         }
 
+    def owners(self) -> Set[Hashable]:
+        """Every owner currently holding or awaiting a lock."""
+        result: Set[Hashable] = set()
+        for head in self._table.values():
+            result.update(head.granted)
+            result.update(r.owner for r in head.queue)
+        return result
+
+    def resources(self) -> List[Hashable]:
+        """Every resource with a live lock head (insertion order)."""
+        return list(self._table)
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -407,8 +437,10 @@ class LockManager:
     def _find_cycle(self, start: Hashable) -> bool:
         """Is ``start`` on a wait-for cycle?  Full DFS over all blocker
         edges (a single-successor walk can miss cycles when a resource
-        has several incompatible holders)."""
-        stack = list(self._blockers(start))
+        has several incompatible holders).  The edges come from
+        ``_blockers_fn`` so a partitioned GLM can supply the global
+        wait-for graph spanning all shards."""
+        stack = list(self._blockers_fn(start))
         seen: Set[Hashable] = set()
         while stack:
             current = stack.pop()
@@ -417,7 +449,7 @@ class LockManager:
             if current in seen:
                 continue
             seen.add(current)
-            stack.extend(self._blockers(current))
+            stack.extend(self._blockers_fn(current))
         return False
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -83,6 +83,19 @@ Faults and degradation (see :mod:`repro.faults` and
 * ``DEGRADED_ENTER``— ``reason`` (log-device failure flipped the
   system read-only)
 * ``DEGRADED_EXIT`` — (restart repaired the log device)
+
+Cluster scale-out (system = the recovering instance; see
+``docs/scaleout.md``):
+
+* ``CLUSTER_REDO_PLAN`` — ``partitions``, ``parallelism``, ``records``
+  (the partitioned redo plan built from the merged log)
+* ``CLUSTER_REDO_PART`` — ``partition``, ``pages``, ``records``,
+  ``redone``, ``skipped`` (one partition's replay, emitted in
+  partition order after the pool joins)
+
+Locking events emitted by a sharded GLM additionally carry ``shard``
+(the emitting shard's index); the monolithic GLM omits the field so
+single-shard traces stay byte-identical to pre-sharding runs.
 """
 
 from __future__ import annotations
@@ -131,6 +144,9 @@ DISK_CORRUPT = "disk.corrupt"
 FAULT_INJECT = "fault.inject"
 DEGRADED_ENTER = "degraded.enter"
 DEGRADED_EXIT = "degraded.exit"
+
+CLUSTER_REDO_PLAN = "cluster.redo_plan"
+CLUSTER_REDO_PART = "cluster.redo_part"
 
 #: Event kinds that stamp a new page_LSN onto a page image; each must
 #: carry ``page``, ``lsn`` and ``page_lsn_prev``.

@@ -59,13 +59,18 @@ def _tracer_of(instance) -> NullTracer:
     return getattr(instance, "tracer", NULL_TRACER)
 
 
-def restart_recovery(instance, fix_page=None, unfix_page=None) -> RestartSummary:
+def restart_recovery(instance, fix_page=None, unfix_page=None,
+                     redo_parallelism: int = 1) -> RestartSummary:
     """Recover one failed system from its own local log.
 
     ``instance`` is duck-typed: it needs ``log``, ``pool`` and
     ``system_id``.  On return, all committed updates are reflected in
     the buffer pool / disk, all loser transactions are undone with CLRs
     and closed with END records.
+
+    ``redo_parallelism > 1`` runs the redo pass partitioned by page
+    across a thread pool (:mod:`repro.cluster.redo`) — byte-identical
+    final page images, since redo order only matters *within* a page.
 
     ``fix_page``/``unfix_page`` override how the **undo** pass reaches
     pages.  In the multi-system architectures they must go through the
@@ -90,7 +95,7 @@ def restart_recovery(instance, fix_page=None, unfix_page=None) -> RestartSummary
     dpt, losers = _analysis_pass(log, summary)
     summary.dirty_pages_at_crash = len(dpt)
     summary.loser_transactions = len(losers)
-    _redo_pass(instance, dpt, summary)
+    _redo_pass(instance, dpt, summary, parallelism=redo_parallelism)
     _undo_pass(instance, losers, summary,
                fix_page=fix_page, unfix_page=unfix_page)
     log.force()
@@ -150,13 +155,22 @@ def _analysis_pass(
 # redo — repeating history
 # ----------------------------------------------------------------------
 def _redo_pass(instance, dpt: Dict[int, Tuple[Lsn, int]],
-               summary: RestartSummary) -> None:
+               summary: RestartSummary, parallelism: int = 1) -> None:
     if not dpt:
         return
     log = instance.log
     pool = instance.pool
     redo_start = min(rec_addr for _, rec_addr in dpt.values())
     summary.redo_scan_start = redo_start
+    if parallelism > 1:
+        from repro.cluster.redo import collect_local_redo, replay_partitioned
+
+        per_page = collect_local_redo(log, dpt, redo_start)
+        replay_partitioned(
+            instance, per_page, parallelism, summary,
+            sabotage=_SABOTAGE_DISABLE_REDO_SCREENING,
+        )
+        return
     for addr, record in log.scan(from_offset=redo_start):
         if not record.is_page_oriented():
             continue
@@ -201,6 +215,7 @@ def fast_restart_recovery(
     skip_page_ids=(),
     fix_page=None,
     unfix_page=None,
+    redo_parallelism: int = 1,
 ) -> RestartSummary:
     """Restart recovery under the fast page-transfer scheme.
 
@@ -233,7 +248,12 @@ def fast_restart_recovery(
     summary.loser_transactions = len(losers)
 
     targets = (set(dpt) | set(candidate_pages)) - set(skip_page_ids)
-    if targets:
+    if targets and redo_parallelism > 1:
+        from repro.cluster.redo import collect_merged_redo, replay_partitioned
+
+        per_page = collect_merged_redo(all_logs, targets)
+        replay_partitioned(instance, per_page, redo_parallelism, summary)
+    elif targets:
         for _, record in merge_local_logs(all_logs):
             if not record.is_page_oriented() or record.page_id not in targets:
                 continue

@@ -60,6 +60,8 @@ class SDComplex:
         tracer: Optional[NullTracer] = None,
         injector: Optional[NullFaultInjector] = None,
         net_retry: Optional[RetryPolicy] = None,
+        lock_shards: int = 1,
+        redo_parallelism: int = 1,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -76,7 +78,19 @@ class SDComplex:
                                tracer=self.tracer,
                                injector=self.injector,
                                retry=net_retry)
-        self.glm = LockManager(stats=self.stats, tracer=self.tracer)
+        self.lock_shards = lock_shards
+        self.redo_parallelism = redo_parallelism
+        if lock_shards > 1:
+            # Scale-out GLM (lazy import: repro.cluster builds on this
+            # module).  One shard keeps the monolithic manager — and
+            # with it byte-identical traces for every existing scenario.
+            from repro.cluster.glm import PartitionedLockManager
+
+            self.glm = PartitionedLockManager(
+                lock_shards, stats=self.stats, tracer=self.tracer,
+                injector=self.injector)
+        else:
+            self.glm = LockManager(stats=self.stats, tracer=self.tracer)
         self.transfer_scheme = transfer_scheme
         self.coherency = CoherencyController(self, scheme=transfer_scheme)
         self.commit_lsn = CommitLsnService(stats=self.stats,
@@ -178,11 +192,7 @@ class SDComplex:
             self.glm.release_all(owner)
 
     def _all_lock_owners(self) -> List[Hashable]:
-        owners = set()
-        for resource in list(self.glm._table):
-            owners.update(self.glm.holders(resource))
-            owners.update(self.glm.waiters(resource))
-        return list(owners)
+        return list(self.glm.owners())
 
     # ------------------------------------------------------------------
     # failure / recovery orchestration
@@ -238,12 +248,14 @@ class SDComplex:
                 skip_page_ids=skip,
                 fix_page=fix_fast,
                 unfix_page=instance.pool.unfix,
+                redo_parallelism=self.redo_parallelism,
             )
         else:
             summary = restart_recovery(
                 instance,
                 fix_page=self.recovery_page_fixer(instance),
                 unfix_page=instance.pool.unfix,
+                redo_parallelism=self.redo_parallelism,
             )
         instance.pool.flush_all()
         # Cold cache after recovery: keeping reconstructed pages around

@@ -1,0 +1,119 @@
+"""Serial-equivalence tests for parallel partitioned restart redo.
+
+The load-bearing claim (docs/scaleout.md): after a whole-complex crash,
+restart with P-way partitioned redo leaves the shared disk byte-for-byte
+identical to serial restart, for every P and under both page-transfer
+schemes.  These tests assert exactly that, plus the observability
+contract (plan/partition events, invariant-clean traces).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cluster import ClusterConfig, build_cluster
+from repro.cluster.redo import partition_of
+from repro.obs import events as ev
+from repro.obs.invariants import check_trace
+from repro.obs.tracer import Tracer
+from repro.workload.scaleout import ScaleoutConfig, run_scaleout
+
+#: Small enough to keep the parallelism x scheme sweep quick, sharing
+#: high enough that hot pages land in several instances' redo sets.
+WORKLOAD = ScaleoutConfig(n_transactions=24, sharing_ratio=0.2, seed=11)
+
+
+def disk_digest(sd):
+    """SHA-256 over every materialised disk page, in page-id order."""
+    digest = hashlib.sha256()
+    for page_id in sorted(sd.disk._pages):
+        digest.update(page_id.to_bytes(8, "big"))
+        digest.update(sd.disk._pages[page_id])
+    return digest.hexdigest()
+
+
+def crash_and_recover(parallelism, scheme="medium", tracer=None):
+    """Run the workload, crash the whole complex, restart with
+    ``parallelism``-way redo; return the complex for inspection."""
+    sd = build_cluster(
+        ClusterConfig(n_instances=4, lock_shards=1,
+                      redo_parallelism=parallelism, n_data_pages=256,
+                      transfer_scheme=scheme),
+        tracer=tracer,
+    )
+    result = run_scaleout(sd, WORKLOAD)
+    assert result.committed > 0
+    sd.crash_complex()
+    summaries = sd.restart_complex()
+    return sd, summaries
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("scheme", ["medium", "fast"])
+    def test_parallel_redo_is_byte_identical_to_serial(self, scheme):
+        serial, _ = crash_and_recover(1, scheme)
+        baseline = disk_digest(serial)
+        baseline_written = set(serial.disk.written_page_ids())
+        for parallelism in (2, 4, 8):
+            parallel, _ = crash_and_recover(parallelism, scheme)
+            assert disk_digest(parallel) == baseline, (
+                f"divergent disk image at parallelism={parallelism} "
+                f"under the {scheme} scheme")
+            assert set(parallel.disk.written_page_ids()) == baseline_written
+
+    def test_complex_usable_after_parallel_restart(self):
+        """The recovered complex takes (and survives) a fresh workload."""
+        sd, _ = crash_and_recover(4)
+        rerun = run_scaleout(sd, ScaleoutConfig(n_transactions=12, seed=3))
+        assert rerun.committed > 0
+
+
+class TestObservability:
+    def test_plan_and_partition_events_emitted(self):
+        tracer = Tracer()
+        crash_and_recover(4, tracer=tracer)
+        plans = [e for e in tracer.events()
+                 if e.kind == ev.CLUSTER_REDO_PLAN]
+        parts = [e for e in tracer.events()
+                 if e.kind == ev.CLUSTER_REDO_PART]
+        assert plans, "no redo plan traced"
+        assert all(e.fields["parallelism"] == 4 for e in plans)
+        assert parts, "no partition outcomes traced"
+        for event in parts:
+            assert 0 <= event.fields["partition"] < 4
+            assert (event.fields["redone"] + event.fields["skipped"]
+                    == event.fields["records"])
+
+    def test_serial_restart_emits_no_cluster_events(self):
+        tracer = Tracer()
+        crash_and_recover(1, tracer=tracer)
+        kinds = {e.kind for e in tracer.events()}
+        assert ev.CLUSTER_REDO_PLAN not in kinds
+        assert ev.CLUSTER_REDO_PART not in kinds
+
+    @pytest.mark.parametrize("parallelism", [1, 2, 4, 8])
+    def test_trace_invariants_hold(self, parallelism):
+        tracer = Tracer()
+        crash_and_recover(parallelism, tracer=tracer)
+        violations = check_trace(tracer.events())
+        assert violations == []
+
+
+class TestPartitioning:
+    def test_partition_function_is_total_and_stable(self):
+        for page_id in range(64):
+            index = partition_of(page_id, 4)
+            assert index == page_id % 4
+            assert 0 <= index < 4
+
+    def test_redo_and_skip_counts_match_serial(self):
+        _, serial = crash_and_recover(1)
+        _, parallel = crash_and_recover(4)
+
+        def counts(summaries):
+            return sorted(
+                (sid, s.records_redone, s.redo_skipped_by_lsn)
+                for sid, s in summaries.items()
+            )
+
+        assert counts(parallel) == counts(serial)

@@ -1,91 +1,160 @@
 #!/usr/bin/env bash
-# Pre-PR gate: every static check, then the tier-1 test suite.
+# Pre-PR gate, factored into named stages so the hosted CI workflow can
+# run *exactly* the same commands (.github/workflows/ci.yml calls
+# `tools/check.sh <stage>` per job step — local and hosted gates cannot
+# drift).
 #
-#   tools/check.sh            # run everything
-#   tools/check.sh --fast     # static checks only, skip pytest
+#   tools/check.sh                 # all stages: lint type test bench chaos
+#   tools/check.sh --fast          # pre-commit: lint + tier-1 tests only
+#   tools/check.sh lint            # a single stage
+#   tools/check.sh lint type test  # any subset, in order
 #
-# mypy and ruff are optional (pip install -e .[lint]); when absent they
-# are reported as SKIPPED and do not fail the gate — reprolint and
-# pytest are always required.
+# Stages:
+#   lint    ruff (when installed) + reprolint (always required)
+#   type    mypy (when installed; skipped otherwise)
+#   test    tier-1 pytest suite
+#   bench   E1 bench smoke + bench-suite smoke (temp files, self-compare)
+#   chaos   crash-point torture smoke (python -m repro.chaos --smoke)
+#
+# Every stage runs even after an earlier one fails; each step's result
+# is captured, a PASS/FAIL/SKIP summary table prints at the end, and
+# the exit status is non-zero iff any step failed.  mypy and ruff are
+# optional (pip install -e .[lint]); when absent they are SKIPPED and
+# do not fail the gate — reprolint and pytest are always required.
 
-set -u
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
-fast=0
-[ "${1:-}" = "--fast" ] && fast=1
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-failures=0
+step_names=()
+step_results=()
 
-step() {
+note() {
+    step_names+=("$1")
+    step_results+=("$2")
+}
+
+run_step() {
     local name="$1"; shift
     echo "==> ${name}"
     if "$@"; then
-        echo "    ${name}: OK"
+        echo "    ${name}: PASS"
+        note "${name}" PASS
     else
-        echo "    ${name}: FAILED"
-        failures=$((failures + 1))
+        echo "    ${name}: FAIL"
+        note "${name}" FAIL
     fi
 }
 
-skip() {
+skip_step() {
     echo "==> $1"
-    echo "    $1: SKIPPED ($2)"
+    echo "    $1: SKIP ($2)"
+    note "$1" SKIP
 }
 
-if python -c "import ruff" >/dev/null 2>&1 || command -v ruff >/dev/null 2>&1; then
-    step "ruff" python -m ruff check src tests
-else
-    skip "ruff" "not installed; pip install -e .[lint]"
-fi
+# ----------------------------------------------------------------------
+# stages
+# ----------------------------------------------------------------------
+stage_lint() {
+    if python -c "import ruff" >/dev/null 2>&1 \
+            || command -v ruff >/dev/null 2>&1; then
+        run_step "ruff" python -m ruff check src tests
+    else
+        skip_step "ruff" "not installed; pip install -e .[lint]"
+    fi
+    run_step "reprolint" python -m repro.lint src/ tests/
+}
 
-if python -c "import mypy" >/dev/null 2>&1; then
-    step "mypy" python -m mypy
-else
-    skip "mypy" "not installed; pip install -e .[lint]"
-fi
+stage_type() {
+    if python -c "import mypy" >/dev/null 2>&1; then
+        run_step "mypy" python -m mypy
+    else
+        skip_step "mypy" "not installed; pip install -e .[lint]"
+    fi
+}
 
-step "reprolint" env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    python -m repro.lint src/ tests/
+stage_test() {
+    run_step "pytest (tier-1)" python -m pytest -x -q
+}
 
-if [ "$fast" -eq 0 ]; then
-    step "pytest" env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-        python -m pytest -x -q
+# Bench smoke: run E1 standalone and make sure the trace CLI can
+# re-render the JSON it wrote.
+bench_e1_smoke() {
+    local tmp
+    tmp="$(mktemp -t bench_e1.XXXXXX.json)"
+    python benchmarks/bench_e1_anomaly.py --json "${tmp}" >/dev/null \
+        && python -m repro.trace --bench "${tmp}" >/dev/null
+    local status=$?
+    rm -f "${tmp}"
+    return "${status}"
+}
 
-    # Bench smoke: run E1 standalone, write BENCH_E1.json, and make
-    # sure the trace CLI can re-render it.
-    bench_smoke() {
-        env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-            python benchmarks/bench_e1_anomaly.py --json >/dev/null \
-        && [ -f BENCH_E1.json ] \
-        && env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-            python -m repro.trace --bench BENCH_E1.json >/dev/null
-    }
-    step "bench-e1 smoke (BENCH_E1.json)" bench_smoke
+# Bench-suite smoke: run the trimmed parallel suite into a temp file,
+# then prove it round-trips through the --compare reader (a
+# self-compare must load the file twice and report clean).
+bench_suite_smoke() {
+    local tmp
+    tmp="$(mktemp -t bench_suite.smoke.XXXXXX.json)"
+    python -m repro.bench --smoke -o "${tmp}" >/dev/null \
+        && python -m repro.bench --compare-only "${tmp}" "${tmp}" >/dev/null
+    local status=$?
+    rm -f "${tmp}"
+    return "${status}"
+}
 
-    # Bench-suite smoke: run the trimmed parallel suite, then prove the
-    # written BENCH_SUITE.smoke.json round-trips through the --compare
-    # reader (a self-compare must load both files and report clean).
-    bench_suite_smoke() {
-        env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-            python -m repro.bench --smoke >/dev/null \
-        && [ -f BENCH_SUITE.smoke.json ] \
-        && env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-            python -m repro.bench --compare-only \
-                BENCH_SUITE.smoke.json BENCH_SUITE.smoke.json >/dev/null
-    }
-    step "bench-suite smoke (BENCH_SUITE.smoke.json)" bench_suite_smoke
+stage_bench() {
+    run_step "bench-e1 smoke" bench_e1_smoke
+    run_step "bench-suite smoke" bench_suite_smoke
+}
 
-    # Chaos smoke: <= 10 crash-point kills across SD and CS, each
-    # followed by restart recovery, the harness verifier and the trace
-    # invariant checker (exit 1 if any spec leaves the DB broken).
-    step "chaos smoke (crash-point torture)" \
-        env PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+# Chaos smoke: <= 10 crash-point kills across SD and CS, each followed
+# by restart recovery, the harness verifier and the trace invariant
+# checker (exit 1 if any spec leaves the DB broken).
+stage_chaos() {
+    run_step "chaos smoke (crash-point torture)" \
         python -m repro.chaos --smoke
+}
+
+# ----------------------------------------------------------------------
+# stage selection
+# ----------------------------------------------------------------------
+all_stages="lint type test bench chaos"
+if [ "$#" -eq 0 ]; then
+    stages="${all_stages}"
+elif [ "$1" = "--fast" ]; then
+    stages="lint test"
+else
+    stages="$*"
 fi
 
+for stage in ${stages}; do
+    case "${stage}" in
+        lint|type|test|bench|chaos) "stage_${stage}" ;;
+        *)
+            echo "check.sh: unknown stage '${stage}'" >&2
+            echo "usage: tools/check.sh [--fast | ${all_stages// / | }]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+# ----------------------------------------------------------------------
+# summary
+# ----------------------------------------------------------------------
 echo
-if [ "$failures" -gt 0 ]; then
-    echo "check.sh: ${failures} gate(s) failed"
+echo "stage summary"
+echo "-------------"
+failures=0
+for i in "${!step_names[@]}"; do
+    printf '%-36s %s\n' "${step_names[$i]}" "${step_results[$i]}"
+    if [ "${step_results[$i]}" = FAIL ]; then
+        failures=$((failures + 1))
+    fi
+done
+echo
+if [ "${failures}" -gt 0 ]; then
+    echo "check.sh: ${failures} step(s) failed"
     exit 1
 fi
-echo "check.sh: all gates passed"
+echo "check.sh: all steps passed"
