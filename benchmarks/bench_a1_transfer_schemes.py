@@ -12,7 +12,11 @@ correctness under both.
 """
 
 from repro import SDComplex
-from repro.common.stats import DISK_PAGE_WRITES, LOG_FORCES
+from repro.common.stats import (
+    DISK_PAGE_WRITES,
+    LOG_FORCES,
+    message_kind_counter,
+)
 from repro.harness import Table, print_banner
 
 ROUNDS = 40
@@ -31,7 +35,7 @@ def run(scheme):
         instance.update(txn, page_id, slot, b"r%03d" % i)
         instance.commit(txn)
     writes = sd.stats.get(DISK_PAGE_WRITES)
-    transfers = sd.stats.get("net.messages.page_transfer")
+    transfers = sd.stats.get(message_kind_counter("page_transfer"))
     forces = sd.stats.get(LOG_FORCES)
     # Crash the current owner; recover; verify the last committed value.
     owner = sd.coherency.writer_of(page_id)

@@ -8,6 +8,7 @@ the lazy-commit batch size grows, with durability semantics tested in
 tests/test_group_commit.py.
 """
 
+from repro.common.stats import LOG_FORCES
 from repro.harness import Table, print_banner
 
 from _common import build_sd, committed_row
@@ -16,7 +17,7 @@ from _common import build_sd, committed_row
 def run(batch_size: int, n_txns: int = 60):
     sd, (s1,) = build_sd(1, n_data_pages=512)
     rows = [committed_row(s1, b"seed") for _ in range(n_txns)]
-    forces_before = sd.stats.get("log.forces")
+    forces_before = sd.stats.get(LOG_FORCES)
     pending = 0
     for i, (page_id, slot) in enumerate(rows):
         txn = s1.begin()
@@ -27,7 +28,7 @@ def run(batch_size: int, n_txns: int = 60):
             s1.sync_commits()
             pending = 0
     s1.sync_commits()
-    return sd.stats.get("log.forces") - forces_before
+    return sd.stats.get(LOG_FORCES) - forces_before
 
 
 def run_experiment():

@@ -11,6 +11,7 @@ for free; shared-hot workloads pay page transfers and lock waits that
 grow with the system count.
 """
 
+from repro.common.stats import LOCK_WAITS, message_kind_counter
 from repro.harness import Table, print_banner
 from repro.workload.generator import (
     WorkloadConfig,
@@ -51,9 +52,13 @@ def run(n_systems: int, shared: bool):
     committed = max(result.committed, 1)
     return {
         "committed": result.committed,
-        "transfers/txn": sd.stats.get("net.messages.page_transfer") / committed,
-        "invalidations/txn": sd.stats.get("net.messages.invalidate") / committed,
-        "lock waits/txn": sd.stats.get("lock.waits") / committed,
+        "transfers/txn": (
+            sd.stats.get(message_kind_counter("page_transfer")) / committed
+        ),
+        "invalidations/txn": (
+            sd.stats.get(message_kind_counter("invalidate")) / committed
+        ),
+        "lock waits/txn": sd.stats.get(LOCK_WAITS) / committed,
         "deadlock aborts": result.aborted_deadlock,
     }
 

@@ -14,7 +14,13 @@ It also demonstrates the record reordering the VAX scheme permits
 """
 
 from repro.baselines.global_log import GlobalLogComplex
-from repro.common.stats import GLOBAL_LOG_LOCKS, StatsRegistry
+from repro.common.stats import (
+    DISK_PAGE_WRITES,
+    GLOBAL_LOG_LOCK_MESSAGES,
+    GLOBAL_LOG_LOCKS,
+    LOG_FORCES,
+    StatsRegistry,
+)
 from repro.harness import Table, print_banner
 
 from _common import build_sd, committed_row
@@ -35,8 +41,8 @@ def run_global_log(n_systems, commits_per_system):
             system.insert(txn_id=txn, page_id=page, payload=b"p")
             system.commit(txn)
     return (complex_.stats.get(GLOBAL_LOG_LOCKS),
-            complex_.stats.get("net.messages.global_log_lock"),
-            complex_.stats.get("disk.page_writes"))
+            complex_.stats.get(GLOBAL_LOG_LOCK_MESSAGES),
+            complex_.stats.get(DISK_PAGE_WRITES))
 
 
 def run_usn(n_systems, commits_per_system):
@@ -45,8 +51,8 @@ def run_usn(n_systems, commits_per_system):
         for _ in range(commits_per_system):
             committed_row(instance)
     return (sd.stats.get(GLOBAL_LOG_LOCKS),
-            sd.stats.get("log.forces"),
-            sd.stats.get("disk.page_writes"))
+            sd.stats.get(LOG_FORCES),
+            sd.stats.get(DISK_PAGE_WRITES))
 
 
 def run_experiment():

@@ -12,9 +12,8 @@ both schemes and measures key comparisons (exact counters) and wall
 time for a full merge.
 """
 
-import time
-
 from repro.baselines.lomet import LometLogManager
+from repro.common.clock import wall_seconds
 from repro.common.stats import MERGE_COMPARISONS, StatsRegistry
 from repro.harness import Table, format_factor, print_banner
 from repro.wal.log_manager import LogManager
@@ -52,15 +51,15 @@ def build_lomet_logs(k, n):
 def measure(k, n):
     usn_logs = build_usn_logs(k, n)
     usn_stats = StatsRegistry()
-    t0 = time.perf_counter()
+    t0 = wall_seconds()
     usn_count = sum(1 for _ in merge_local_logs(usn_logs, stats=usn_stats))
-    usn_time = time.perf_counter() - t0
+    usn_time = wall_seconds() - t0
 
     l_logs = build_lomet_logs(k, n)
     l_stats = StatsRegistry()
-    t0 = time.perf_counter()
+    t0 = wall_seconds()
     l_count = sum(1 for _ in lomet_merge(l_logs, stats=l_stats))
-    l_time = time.perf_counter() - t0
+    l_time = wall_seconds() - t0
 
     assert usn_count == l_count == k * n
     return (usn_stats.get(MERGE_COMPARISONS),

@@ -14,7 +14,7 @@ the reallocated pages.
 """
 
 from repro.baselines.lomet import LometComplex
-from repro.common.stats import PAGE_READS_AVOIDED
+from repro.common.stats import DISK_PAGE_READS, PAGE_READS_AVOIDED
 from repro.harness import Table, print_banner
 from repro.storage.page import PageType
 
@@ -42,7 +42,7 @@ def run_usn():
         s1.deallocate_page(txn, page_id)
         s1.commit(txn)
         s1.pool.flush_all()
-        reads_before = sd.stats.get("disk.page_reads")
+        reads_before = sd.stats.get(DISK_PAGE_READS)
         txn2 = s2.begin()
         s2.allocate_page(txn2, PageType.INDEX, page_id=page_id)
         slot = s2.insert(txn2, page_id, b"key")
@@ -77,14 +77,17 @@ def run_lomet():
             if s1.pool.is_dirty(page_id):
                 s1.pool.write_page(page_id)
             s1.pool.drop_page(page_id)
-        before = complex_.stats.get("disk.page_reads")
+        before = complex_.stats.get(DISK_PAGE_READS)
         page = s1.pool.fix(page_id)
+        # reprolint: disable=R001 -- Lomet baseline deliberately
+        # models the unlogged dealloc-time page touch the paper
+        # criticises; the read cost is the measurement.
         page.delete_record(slot)
         s1.pool.bcb(page_id).dirty = True
         s1.pool.write_page(page_id)
         s1.pool.unfix(page_id)
         s1.deallocate_page(page_id)
-        dealloc_reads += complex_.stats.get("disk.page_reads") - before
+        dealloc_reads += complex_.stats.get(DISK_PAGE_READS) - before
         s1.flush()
         page_id2 = s2.allocate_page(PageType.INDEX, page_id=page_id)
         slot = s2.insert(page_id2, b"key")

@@ -13,6 +13,7 @@ counts data-page reads and log records.
 """
 
 from repro.baselines.lomet import LometComplex
+from repro.common.stats import DISK_PAGE_READS, LOG_RECORDS_WRITTEN
 from repro.harness import Table, format_factor, print_banner
 from repro.storage.page import PageType
 
@@ -29,14 +30,14 @@ def run_usn(n_pages):
     for page_id in pages:
         if s1.pool.contains(page_id):
             s1.pool.drop_page(page_id)
-    reads_before = sd.stats.get("disk.page_reads")
-    records_before = sd.stats.get("log.records_written")
+    reads_before = sd.stats.get(DISK_PAGE_READS)
+    records_before = sd.stats.get(LOG_RECORDS_WRITTEN)
     txn = s1.begin()
     s1.mass_delete(txn, pages)
     s1.commit(txn)
-    reads = sd.stats.get("disk.page_reads") - reads_before
+    reads = sd.stats.get(DISK_PAGE_READS) - reads_before
     # Subtract the commit/end control records.
-    records = sd.stats.get("log.records_written") - records_before - 2
+    records = sd.stats.get(LOG_RECORDS_WRITTEN) - records_before - 2
     return reads, records
 
 
@@ -48,11 +49,11 @@ def run_lomet(n_pages):
     for page_id in pages:
         if s1.pool.contains(page_id):
             s1.pool.drop_page(page_id)
-    reads_before = complex_.stats.get("disk.page_reads")
-    records_before = complex_.stats.get("log.records_written")
+    reads_before = complex_.stats.get(DISK_PAGE_READS)
+    records_before = complex_.stats.get(LOG_RECORDS_WRITTEN)
     s1.mass_delete(pages)
-    reads = complex_.stats.get("disk.page_reads") - reads_before
-    records = complex_.stats.get("log.records_written") - records_before
+    reads = complex_.stats.get(DISK_PAGE_READS) - reads_before
+    records = complex_.stats.get(LOG_RECORDS_WRITTEN) - records_before
     return reads, records
 
 

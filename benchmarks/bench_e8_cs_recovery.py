@@ -13,6 +13,7 @@ verifies every committed value; it reports the per-recovery work.
 """
 
 from repro import CsSystem
+from repro.common.errors import ReproError
 from repro.harness import Table, print_banner
 from repro.workload.generator import (
     WorkloadConfig,
@@ -42,8 +43,8 @@ def run(n_clients):
         try:
             client.update(txn, page_id, slot, b"inflight")
             client.send_page_back(page_id)
-        except Exception:
-            pass
+        except ReproError:
+            pass  # best-effort in-flight work; crash comes next
         cs.crash_client(client.client_id)
         summaries.append(cs.recover_client(client.client_id))
 

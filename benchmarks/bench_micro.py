@@ -5,6 +5,9 @@ log append (the USN rule), slotted-page record ops, record
 serialization, and a full engine update round trip.
 """
 
+# reprolint: disable-file=R001 -- microbenchmarks measure raw page primitives
+# below the WAL layer; nothing here is recovered.
+
 import pytest
 
 from repro.common.clock import wall_seconds

@@ -15,6 +15,7 @@ Run:  python examples/index_churn.py
 """
 
 from repro import BTree, SDComplex
+from repro.common.stats import DISK_PAGE_READS, PAGE_READS_AVOIDED
 from repro.access.table import SegmentedTable
 
 
@@ -45,7 +46,7 @@ def main() -> None:
     for i in range(20, 110):
         tree.delete(s2, txn, key(i))
     s2.commit(txn)
-    avoided_before = sd.stats.get("storage.page_reads_avoided")
+    avoided_before = sd.stats.get(PAGE_READS_AVOIDED)
 
     # Phase 3: refill — splits reallocate the freed pages, read-free.
     for i in range(200, 290):
@@ -53,7 +54,7 @@ def main() -> None:
         txn = instance.begin()
         tree.insert(instance, txn, key(i), b"refill")
         instance.commit(txn)
-    avoided = sd.stats.get("storage.page_reads_avoided") - avoided_before
+    avoided = sd.stats.get(PAGE_READS_AVOIDED) - avoided_before
     print(f"refill reallocated pages with {avoided} disk reads avoided")
 
     # Phase 4: crash the system that owns most index pages; recover.
@@ -77,11 +78,11 @@ def main() -> None:
         table.insert_row(s1, txn, b"staging row %03d" % i)
     s1.commit(txn)
     s1.pool.flush_all()
-    reads_before = sd.stats.get("disk.page_reads")
+    reads_before = sd.stats.get(DISK_PAGE_READS)
     txn = s1.begin()
     records = table.mass_delete(s1, txn)
     s1.commit(txn)
-    reads = sd.stats.get("disk.page_reads") - reads_before
+    reads = sd.stats.get(DISK_PAGE_READS) - reads_before
     print(f"mass delete of the staging table: {records} log record(s), "
           f"{reads} data-page reads")
     assert reads == 0

@@ -16,6 +16,7 @@ import struct
 
 from repro import BTree, SDComplex, SegmentedTable
 from repro.access.rows import RowCodec
+from repro.common.stats import DISK_PAGE_READS
 from repro.harness import verify_sd_complex
 
 ROW = RowCodec([("sku", "s"), ("qty", "i"), ("site", "i")])
@@ -90,12 +91,12 @@ def main() -> None:
         shipments.insert_row(east, txn, ROW.pack(f"SHP-{i}", i, 1))
     east.commit(txn)
     east.pool.flush_all()
-    reads_before = sd.stats.get("disk.page_reads")
+    reads_before = sd.stats.get(DISK_PAGE_READS)
     txn = east.begin()
     records = shipments.mass_delete(east, txn)
     east.commit(txn)
     print(f"season-end mass delete: {records} log record(s), "
-          f"{sd.stats.get('disk.page_reads') - reads_before} page reads")
+          f"{sd.stats.get(DISK_PAGE_READS) - reads_before} page reads")
 
     for instance in (east, west):
         instance.pool.flush_all()

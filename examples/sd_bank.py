@@ -15,7 +15,12 @@ import random
 import struct
 
 from repro import SDComplex
-from repro.common.errors import DeadlockError, LockWouldBlock, ProtocolError
+from repro.common.errors import (
+    DeadlockError,
+    LockWouldBlock,
+    ProtocolError,
+    ReproError,
+)
 
 N_ACCOUNTS = 24
 INITIAL_BALANCE = 1000
@@ -68,8 +73,8 @@ def main() -> None:
         except (LockWouldBlock, DeadlockError, ProtocolError):
             try:
                 instance.rollback(txn)
-            except Exception:
-                pass
+            except ReproError:
+                pass  # txn may already be gone after the primary failure
             return False
 
     committed = 0

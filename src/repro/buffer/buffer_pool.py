@@ -257,6 +257,9 @@ class BufferPool:
     def _make_room(self) -> None:
         if len(self._frames) < self.capacity:
             return
+        # reprolint: disable=R012 -- LRU order IS insertion order here;
+        # the dict sequence is deterministic and sorting would change
+        # the eviction policy.
         for page_id, bcb in self._frames.items():  # LRU order
             if bcb.fix_count == 0:
                 was_dirty = bcb.dirty

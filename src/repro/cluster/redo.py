@@ -33,7 +33,12 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Collection, Dict, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recovery.aries import RestartSummary
+    from repro.sd.instance import DbmsInstance
+    from repro.wal.log_manager import LogManager
 
 from repro.common.stats import (
     CLUSTER_REDO_PARALLEL_RUNS,
@@ -96,10 +101,10 @@ def _replay(partition: _Partition, sabotage: bool) -> _Outcome:
 
 
 def replay_partitioned(
-    instance,
+    instance: "DbmsInstance",
     per_page: Dict[int, List[LogRecord]],
     parallelism: int,
-    summary,
+    summary: "RestartSummary",
     sabotage: bool = False,
 ) -> None:
     """Partition ``per_page`` and replay it across ``parallelism``
@@ -185,7 +190,7 @@ def replay_partitioned(
 
 
 def collect_local_redo(
-    log, dpt: Dict[int, Tuple[int, int]], redo_start: int
+    log: "LogManager", dpt: Dict[int, Tuple[int, int]], redo_start: int
 ) -> Dict[int, List[LogRecord]]:
     """Per-page redo candidates for single-log restart: exactly the
     records the serial pass would consider (page in the DPT, record at
@@ -202,7 +207,7 @@ def collect_local_redo(
 
 
 def collect_merged_redo(
-    all_logs: Sequence, targets,
+    all_logs: Sequence["LogManager"], targets: Collection[int],
 ) -> Dict[int, List[LogRecord]]:
     """Per-page redo candidates for merged-log (fast scheme) restart:
     the deterministic k-way merge filtered to the target pages."""

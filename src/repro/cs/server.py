@@ -624,7 +624,8 @@ class CsServer:
         self._batches.clear()
         self._txn_table.clear()
         self._client_checkpoints.clear()
-        for client in self._clients.values():
+        for client_id in sorted(self._clients):
+            client = self._clients[client_id]
             if not client.crashed:
                 client.crash()
 

@@ -39,7 +39,22 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cs.system import CsSystem
+    from repro.sd.complex import SDComplex
+    from repro.storage.disk import SharedDisk
+    from repro.wal.log_manager import LogManager
 
 from repro.common.errors import FaultInjectedError, MediaError, ReproError
 from repro.faults import points as fpoints
@@ -301,7 +316,7 @@ def run_spec(spec: CrashSpec, seed: int) -> SpecResult:
     return result
 
 
-def _recover_sd(sd, spec: CrashSpec,
+def _recover_sd(sd: "SDComplex", spec: CrashSpec,
                 fault: FaultInjectedError) -> Tuple[str, List[int]]:
     if spec.action == CRASH_COMPLEX or fault.system not in sd.instances:
         sd.crash_complex()
@@ -320,7 +335,7 @@ def _recover_sd(sd, spec: CrashSpec,
     return scope, repaired
 
 
-def _recover_cs(cs, spec: CrashSpec,
+def _recover_cs(cs: "CsSystem", spec: CrashSpec,
                 fault: FaultInjectedError) -> Tuple[str, List[int]]:
     if spec.action == CRASH_COMPLEX or fault.system not in cs.clients:
         cs.crash_server()
@@ -345,7 +360,9 @@ def _recover_cs(cs, spec: CrashSpec,
     return scope, repaired
 
 
-def _repair_media(disk, logs) -> List[int]:
+def _repair_media(
+    disk: "SharedDisk", logs: Sequence["LogManager"]
+) -> List[int]:
     """Probe every written page; rebuild the unreadable ones from the
     merged stable logs (torn writes fail their checksum on read)."""
     repaired: List[int] = []

@@ -2,7 +2,14 @@
 
 Exit status: 0 clean, 1 findings, 2 usage error.  Output format is one
 finding per line, ``path:line:col: RULE message`` — the same shape as
-ruff/mypy so editors and CI annotate it for free.
+ruff/mypy so editors and CI annotate it for free.  ``--sarif`` /
+``--sarif-file`` emit the same findings as a SARIF 2.1.0 log for
+GitHub code scanning.
+
+Runs are cached by content hash (file bytes + rule set + the lint
+package itself) in ``.reprolint_cache.json``; an unchanged tree
+replays the stored findings in well under a second.  ``--no-cache``
+bypasses the cache entirely.
 """
 
 from __future__ import annotations
@@ -12,8 +19,10 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.lint.engine import Rule, lint_paths
+from repro.lint import cache as result_cache
+from repro.lint.engine import Rule, iter_python_files, lint_paths
 from repro.lint.rules import ALL_RULES, RULES_BY_ID
+from repro.lint.sarif import render_sarif
 
 
 def _select_rules(
@@ -45,16 +54,26 @@ def _select_rules(
     return rules
 
 
+def _default_paths() -> List[str]:
+    """Every standard tree that exists next to the invocation."""
+    present = [
+        p for p in ("src", "tests", "benchmarks", "examples", "tools")
+        if Path(p).exists()
+    ]
+    return present or ["src", "tests"]
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="AST-based protocol linter for the recovery stack",
+        description="flow-aware protocol linter for the recovery stack",
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src", "tests"],
-        help="files or directories to lint (default: src tests)",
+        default=None,
+        help="files or directories to lint (default: src tests "
+        "benchmarks examples tools, whichever exist)",
     )
     parser.add_argument(
         "--select",
@@ -72,6 +91,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="print the rule catalog and exit",
     )
     parser.add_argument(
+        "--sarif",
+        action="store_true",
+        help="write a SARIF 2.1.0 log to stdout instead of plain lines",
+    )
+    parser.add_argument(
+        "--sarif-file",
+        metavar="PATH",
+        help="also write the SARIF 2.1.0 log to PATH",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always lint, ignoring the content-hash result cache",
+    )
+    parser.add_argument(
+        "--cache-file",
+        metavar="PATH",
+        default=result_cache.DEFAULT_CACHE_PATH,
+        help="cache location (default: %(default)s)",
+    )
+    parser.add_argument(
         "-q",
         "--quiet",
         action="store_true",
@@ -81,27 +121,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.list_rules:
         for rule in ALL_RULES:
-            print(f"{rule.id}  {rule.name:<18} {rule.description}")
+            print(f"{rule.id}  {rule.name:<24} {rule.description}")
         return 0
 
     rules = _select_rules(args.select, args.disable)
     if not rules:
         print("reprolint: no rules selected", file=sys.stderr)
         return 2
-    missing = [p for p in args.paths if not Path(p).exists()]
+    paths = args.paths if args.paths else _default_paths()
+    missing = [p for p in paths if not Path(p).exists()]
     if missing:
         for path in missing:
             print(f"reprolint: no such file or directory: {path}",
                   file=sys.stderr)
         return 2
-    findings = lint_paths(args.paths, rules=rules)
-    for finding in findings:
-        print(finding.render())
+
+    cached = False
+    findings = None
+    key = None
+    if not args.no_cache:
+        files = list(iter_python_files(paths))
+        key = result_cache.compute_key(files, rules)
+        findings = result_cache.load(args.cache_file, key)
+        cached = findings is not None
+    if findings is None:
+        findings = lint_paths(paths, rules=rules)
+        if key is not None:
+            result_cache.store(args.cache_file, key, findings)
+
+    if args.sarif or args.sarif_file:
+        document = render_sarif(findings, rules)
+        if args.sarif:
+            print(document)
+        if args.sarif_file:
+            with open(args.sarif_file, "w", encoding="utf-8") as handle:
+                handle.write(document + "\n")
+    if not args.sarif:
+        for finding in findings:
+            print(finding.render())
     if not args.quiet:
         noun = "finding" if len(findings) == 1 else "findings"
+        suffix = ", cached" if cached else ""
         print(
             f"reprolint: {len(findings)} {noun} "
-            f"({len(rules)} rules)",
+            f"({len(rules)} rules{suffix})",
             file=sys.stderr,
         )
     return 1 if findings else 0

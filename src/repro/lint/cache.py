@@ -1,0 +1,161 @@
+"""Content-hash result cache for whole lint runs.
+
+``tools/check.sh --fast`` reruns the linter on every invocation; on an
+unchanged tree that is pure waste.  The cache keys one *run* (not one
+file) by a sha256 over everything that could change its outcome:
+
+* the ruleset version plus the ids of the rules actually enabled,
+* the bytes of every file being linted, in sorted path order,
+* the bytes of the ``repro.lint`` package itself, so editing a rule or
+  the engine invalidates every entry automatically.
+
+A hit replays the stored findings verbatim (path/line/col/rule/message
+— enough to re-render and re-exit identically).  The store is a small
+JSON file holding the most recent entries; writes are atomic
+(tmp + ``os.replace``) so a crashed run never corrupts it.  Cross-file
+analysis makes per-file caching unsound — a seam class edited in module
+A can create findings in module B — which is why the key covers the
+whole input set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.lint.engine import Finding, Rule
+
+#: Bump when the cache entry layout changes.
+CACHE_FORMAT = 1
+
+#: Entries kept in the store (MRU first).  A handful is plenty: the
+#: common hit pattern is "same tree, same rules" across consecutive
+#: check.sh runs.
+MAX_ENTRIES = 16
+
+DEFAULT_CACHE_PATH = ".reprolint_cache.json"
+
+
+def _package_digest(hasher: "hashlib._Hash") -> None:
+    """Fold the lint package's own sources into the key."""
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    for root, dirs, files in os.walk(package_dir):
+        dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(root, name)
+            hasher.update(os.path.relpath(path, package_dir).encode())
+            try:
+                with open(path, "rb") as handle:
+                    hasher.update(handle.read())
+            except OSError:
+                hasher.update(b"<unreadable>")
+
+
+def compute_key(
+    files: Iterable[str], rules: Sequence[Rule]
+) -> str:
+    """The cache key for linting ``files`` with ``rules``."""
+    hasher = hashlib.sha256()
+    hasher.update(f"format:{CACHE_FORMAT}".encode())
+    hasher.update(("rules:" + ",".join(r.id for r in rules)).encode())
+    _package_digest(hasher)
+    for path in sorted(files):
+        hasher.update(b"\x00")
+        hasher.update(path.encode())
+        hasher.update(b"\x00")
+        try:
+            with open(path, "rb") as handle:
+                hasher.update(hashlib.sha256(handle.read()).digest())
+        except OSError:
+            hasher.update(b"<unreadable>")
+    return hasher.hexdigest()
+
+
+def load(cache_path: str, key: str) -> Optional[List[Finding]]:
+    """Findings stored under ``key``, or None on miss/corruption."""
+    try:
+        with open(cache_path, "r", encoding="utf-8") as handle:
+            store = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(store, dict) or store.get("format") != CACHE_FORMAT:
+        return None
+    entry = store.get("entries", {}).get(key)
+    if entry is None:
+        return None
+    try:
+        return [
+            Finding(
+                path=item["path"],
+                line=int(item["line"]),
+                col=int(item["col"]),
+                rule_id=item["rule_id"],
+                message=item["message"],
+            )
+            for item in entry
+        ]
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def store(cache_path: str, key: str, findings: Sequence[Finding]) -> None:
+    """Insert ``key`` -> ``findings`` (MRU), pruning old entries.
+
+    Best-effort: any I/O failure leaves the previous store intact.
+    """
+    entries: Dict[str, List[Dict[str, object]]] = {}
+    order: List[str] = []
+    try:
+        with open(cache_path, "r", encoding="utf-8") as handle:
+            previous = json.load(handle)
+        if (
+            isinstance(previous, dict)
+            and previous.get("format") == CACHE_FORMAT
+        ):
+            entries = dict(previous.get("entries", {}))
+            order = [k for k in previous.get("order", []) if k in entries]
+    except (OSError, ValueError):
+        pass
+
+    entries[key] = [
+        {
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "rule_id": f.rule_id,
+            "message": f.message,
+        }
+        for f in findings
+    ]
+    order = [key] + [k for k in order if k != key]
+    for stale in order[MAX_ENTRIES:]:
+        entries.pop(stale, None)
+    order = order[:MAX_ENTRIES]
+
+    payload = json.dumps(
+        {"format": CACHE_FORMAT, "order": order, "entries": entries},
+        indent=None,
+        sort_keys=True,
+    )
+    directory = os.path.dirname(os.path.abspath(cache_path)) or "."
+    try:
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".reprolint_cache.", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, cache_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass  # a cold cache next run is the only consequence

@@ -1,0 +1,505 @@
+"""Per-function control-flow graphs for the flow-aware rules.
+
+The graph is statement-granular: every statement of the function body
+becomes one :class:`Block` (compound statements contribute a *header*
+block — the ``if`` test, the loop header, the ``with`` items — and
+their bodies become sub-graphs).  Two synthetic blocks terminate every
+graph:
+
+* ``exit_id`` — normal completion: every ``return`` and the fall-off
+  end of the body lead here;
+* ``raise_id`` — an exception escaping the function: ``raise``
+  statements and call-bearing statements with no enclosing handler
+  lead here.
+
+Exception edges are deliberately approximate in the usual linter way:
+only statements that *contain a call* or are a ``raise`` are treated as
+may-raise (attribute errors from plain loads are ignored — modelling
+every expression as throwing would drown the lockset rules in paths
+that never happen).  ``try``/``finally`` is modelled with **two copies**
+of the finally suite — one entered on normal completion, one on the
+exception path — so a may-analysis does not conflate "ran the finally
+and carried on" with "ran the finally and propagated".  ``with`` blocks
+get :class:`WithEnter`/:class:`WithExit` marker pseudo-statements so an
+abstract state (e.g. the lockset) can react to scope entry/exit on both
+the normal and the exception path, exactly like a context manager's
+``__exit__``.
+
+Known approximations, all conservative for may-analyses: ``return``
+routes through the innermost ``finally`` copy only (not the whole
+enclosing chain), and a handler is assumed reachable from any may-raise
+statement of its ``try`` body regardless of exception type.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+
+@dataclass(frozen=True)
+class WithEnter:
+    """Pseudo-statement: the moment a ``with`` body is entered."""
+
+    node: ast.AST  # the ast.With / ast.AsyncWith
+
+
+@dataclass(frozen=True)
+class WithExit:
+    """Pseudo-statement: ``__exit__`` running (normal or exceptional)."""
+
+    node: ast.AST
+
+
+Payload = Union[ast.stmt, WithEnter, WithExit]
+
+
+@dataclass
+class Block:
+    """One CFG node: at most one payload statement plus its out-edges.
+
+    ``succs`` are taken after the payload completes normally;
+    ``exc_succs`` are taken when the payload itself raises — a
+    dataflow must propagate the block's *in*-state along them (the
+    raising statement's effects never happened, e.g. an ``acquire``
+    that throws never granted the lock).
+    """
+
+    id: int
+    stmts: List[Payload] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    exc_succs: List[int] = field(default_factory=list)
+
+    def add_succ(self, block_id: int) -> None:
+        if block_id not in self.succs:
+            self.succs.append(block_id)
+
+    def add_exc_succ(self, block_id: int) -> None:
+        if block_id not in self.exc_succs:
+            self.exc_succs.append(block_id)
+
+
+class CFG:
+    """The control-flow graph of one function definition."""
+
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.entry: int = self._new()
+        self.exit_id: int = self._new()
+        self.raise_id: int = self._new()
+
+    def _new(self) -> int:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block.id
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+    def preds(self) -> Dict[int, List[Tuple[int, bool]]]:
+        """Predecessors per block as ``(pred_id, via_exception)`` pairs."""
+        out: Dict[int, List[Tuple[int, bool]]] = {
+            b.id: [] for b in self.blocks
+        }
+        for block in self.blocks:
+            for succ in block.succs:
+                out[succ].append((block.id, False))
+            for succ in block.exc_succs:
+                out[succ].append((block.id, True))
+        return out
+
+    def exit_blocks(self) -> List[int]:
+        """Both synthetic exits, normal first."""
+        return [self.exit_id, self.raise_id]
+
+
+class _Frame:
+    """Per-construct context the builder threads while recursing."""
+
+    __slots__ = ("break_to", "continue_to", "exc_targets", "finally_stmts")
+
+    def __init__(
+        self,
+        break_to: Optional[int] = None,
+        continue_to: Optional[int] = None,
+        exc_targets: Optional[List[int]] = None,
+        finally_stmts: Optional[Sequence[ast.stmt]] = None,
+    ) -> None:
+        self.break_to = break_to
+        self.continue_to = continue_to
+        self.exc_targets = exc_targets or []
+        self.finally_stmts = finally_stmts
+
+
+#: Predicate deciding whether a given call expression may raise.
+CallPredicate = Callable[[ast.Call], bool]
+
+
+def _stmt_headers(stmt: ast.stmt) -> List[ast.AST]:
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []
+    return [stmt]
+
+
+def _may_raise(
+    stmt: ast.stmt, call_may_raise: Optional[CallPredicate]
+) -> bool:
+    """Does this statement (header only, for compounds) contain a call?
+
+    ``call_may_raise(call)`` lets a rule declare certain calls
+    non-raising (R009 excludes the lock protocol itself, so a bare
+    ``release()`` does not manufacture a lock-held exception path).
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for header in _stmt_headers(stmt):
+        for node in ast.walk(header):
+            if isinstance(node, ast.Call):
+                if call_may_raise is None or call_may_raise(node):
+                    return True
+    return False
+
+
+class _Builder:
+    def __init__(
+        self,
+        func: ast.AST,
+        call_may_raise: Optional[CallPredicate] = None,
+    ) -> None:
+        self.cfg = CFG()
+        self.call_may_raise = call_may_raise
+        body = getattr(func, "body", [])
+        last = self._build_body(
+            body, self.cfg.entry, [_Frame(exc_targets=[self.cfg.raise_id])]
+        )
+        if last is not None:
+            self.cfg.block(last).add_succ(self.cfg.exit_id)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _new_block(self, *payload: Payload) -> int:
+        block_id = self.cfg._new()
+        self.cfg.block(block_id).stmts.extend(payload)
+        return block_id
+
+    def _connect(self, src: Optional[int], dst: int) -> None:
+        if src is not None:
+            self.cfg.block(src).add_succ(dst)
+
+    def _exc_edges(self, block_id: int, frames: List[_Frame]) -> None:
+        """Wire a may-raise block to every enclosing exception target."""
+        for target in self._current_exc_targets(frames):
+            self.cfg.block(block_id).add_exc_succ(target)
+
+    def _current_exc_targets(self, frames: List[_Frame]) -> List[int]:
+        for frame in reversed(frames):
+            if frame.exc_targets:
+                return frame.exc_targets
+        return [self.cfg.raise_id]
+
+    def _innermost(self, frames: List[_Frame], attr: str) -> Optional[int]:
+        for frame in reversed(frames):
+            value = getattr(frame, attr)
+            if value is not None:
+                return int(value)
+        return None
+
+    # ------------------------------------------------------------------
+    # recursive construction
+    # ------------------------------------------------------------------
+    def _build_body(
+        self, stmts: Sequence[ast.stmt], pred: Optional[int],
+        frames: List[_Frame],
+    ) -> Optional[int]:
+        """Build a straight-line suite; returns the open tail block (or
+        None when every path out of the suite jumped away)."""
+        current = pred
+        for stmt in stmts:
+            if current is None:
+                break  # unreachable code after return/raise/...
+            current = self._build_stmt(stmt, current, frames)
+        return current
+
+    def _build_stmt(
+        self, stmt: ast.stmt, pred: int, frames: List[_Frame]
+    ) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, pred, frames)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, pred, frames)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, pred, frames)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, pred, frames)
+        if isinstance(stmt, ast.Return):
+            block = self._new_block(stmt)
+            self._connect(pred, block)
+            if _may_raise(stmt, self.call_may_raise):
+                self._exc_edges(block, frames)
+            self._route_through_finally(block, frames, self.cfg.exit_id)
+            return None
+        if isinstance(stmt, ast.Raise):
+            block = self._new_block(stmt)
+            self._connect(pred, block)
+            self._exc_edges(block, frames)
+            return None
+        if isinstance(stmt, ast.Break):
+            block = self._new_block(stmt)
+            self._connect(pred, block)
+            target = self._innermost(frames, "break_to")
+            self._route_through_finally(
+                block, frames, target if target is not None else self.cfg.exit_id
+            )
+            return None
+        if isinstance(stmt, ast.Continue):
+            block = self._new_block(stmt)
+            self._connect(pred, block)
+            target = self._innermost(frames, "continue_to")
+            self._route_through_finally(
+                block, frames, target if target is not None else self.cfg.exit_id
+            )
+            return None
+        # Simple statement (incl. nested def/class, which we do not enter).
+        block = self._new_block(stmt)
+        self._connect(pred, block)
+        if _may_raise(stmt, self.call_may_raise):
+            self._exc_edges(block, frames)
+        return block
+
+    def _route_through_finally(
+        self, block: int, frames: List[_Frame], target: int
+    ) -> None:
+        """A jump (return/break/continue) runs the innermost pending
+        ``finally`` suite before reaching its target."""
+        for index in range(len(frames) - 1, -1, -1):
+            frame = frames[index]
+            if frame.finally_stmts is not None:
+                entry = self._new_block()
+                self._connect(block, entry)
+                outer = frames[:index] or [_Frame(
+                    exc_targets=[self.cfg.raise_id])]
+                tail = self._build_body(
+                    list(frame.finally_stmts), entry, outer
+                )
+                if tail is not None:
+                    self._connect(tail, target)
+                return
+        self._connect(block, target)
+
+    def _build_if(
+        self, stmt: ast.If, pred: int, frames: List[_Frame]
+    ) -> Optional[int]:
+        header = self._new_block(stmt)
+        self._connect(pred, header)
+        if _may_raise(stmt, self.call_may_raise):
+            self._exc_edges(header, frames)
+        join = self._new_block()
+        then_tail = self._build_body(stmt.body, header, frames)
+        if then_tail is not None:
+            self._connect(then_tail, join)
+        if stmt.orelse:
+            else_tail = self._build_body(stmt.orelse, header, frames)
+            if else_tail is not None:
+                self._connect(else_tail, join)
+        else:
+            self._connect(header, join)
+        return join if self.cfg.block(join).succs or self._has_preds(join) \
+            else None
+
+    def _has_preds(self, block_id: int) -> bool:
+        return any(
+            block_id in b.succs or block_id in b.exc_succs
+            for b in self.cfg.blocks
+        )
+
+    def _build_loop(
+        self,
+        stmt: Union[ast.While, ast.For, ast.AsyncFor],
+        pred: int,
+        frames: List[_Frame],
+    ) -> Optional[int]:
+        header = self._new_block(stmt)
+        self._connect(pred, header)
+        if _may_raise(stmt, self.call_may_raise):
+            self._exc_edges(header, frames)
+        after = self._new_block()
+        loop_frames = frames + [_Frame(break_to=after, continue_to=header)]
+        body_tail = self._build_body(stmt.body, header, loop_frames)
+        if body_tail is not None:
+            self._connect(body_tail, header)  # back edge
+        if stmt.orelse:
+            else_tail = self._build_body(stmt.orelse, header, frames)
+            if else_tail is not None:
+                self._connect(else_tail, after)
+        else:
+            self._connect(header, after)  # loop may not run / may finish
+        return after
+
+    def _build_with(
+        self,
+        stmt: Union[ast.With, ast.AsyncWith],
+        pred: int,
+        frames: List[_Frame],
+    ) -> Optional[int]:
+        enter = self._new_block(stmt, WithEnter(stmt))
+        self._connect(pred, enter)
+        if _may_raise(stmt, self.call_may_raise):
+            self._exc_edges(enter, frames)
+        # Exceptional __exit__: body raise-edges land here, then the
+        # exception keeps propagating outward.
+        exc_exit = self._new_block(WithExit(stmt))
+        for target in self._current_exc_targets(frames):
+            self.cfg.block(exc_exit).add_succ(target)
+        body_frames = frames + [_Frame(exc_targets=[exc_exit])]
+        body_tail = self._build_body(stmt.body, enter, body_frames)
+        after: Optional[int] = None
+        if body_tail is not None:
+            normal_exit = self._new_block(WithExit(stmt))
+            self._connect(body_tail, normal_exit)
+            after = self._new_block()
+            self._connect(normal_exit, after)
+        return after
+
+    def _build_try(
+        self, stmt: ast.Try, pred: int, frames: List[_Frame]
+    ) -> Optional[int]:
+        after = self._new_block()
+        has_finally = bool(stmt.finalbody)
+
+        # The exceptional finally copy: handlers that re-raise (and
+        # unhandled exceptions) run it, then propagate outward.
+        exc_final_entry: Optional[int] = None
+        if has_finally:
+            exc_final_entry = self._new_block()
+            tail = self._build_body(stmt.finalbody, exc_final_entry, frames)
+            if tail is not None:
+                for target in self._current_exc_targets(frames):
+                    self.cfg.block(tail).add_succ(target)
+
+        # Handler entries: exceptions in the try body land on each.
+        handler_entries: List[int] = []
+        for handler in stmt.handlers:
+            handler_entries.append(self._new_block())
+        body_exc_targets = list(handler_entries)
+        if exc_final_entry is not None:
+            # No matching handler (or a raising handler body): the
+            # finally still runs on the way out.
+            body_exc_targets.append(exc_final_entry)
+        elif not handler_entries:
+            body_exc_targets.extend(self._current_exc_targets(frames))
+
+        body_frames = frames + [
+            _Frame(
+                exc_targets=body_exc_targets,
+                finally_stmts=stmt.finalbody if has_finally else None,
+            )
+        ]
+        body_tail = self._build_body(stmt.body, pred, body_frames)
+        if body_tail is not None and stmt.orelse:
+            body_tail = self._build_body(stmt.orelse, body_tail, body_frames)
+
+        # Handler bodies: their own exceptions go to the exceptional
+        # finally (or outward); normal completion goes to the normal
+        # finally (or straight to after).
+        handler_exc = (
+            [exc_final_entry] if exc_final_entry is not None
+            else self._current_exc_targets(frames)
+        )
+        handler_tails: List[int] = []
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            h_frames = frames + [_Frame(exc_targets=list(handler_exc))]
+            tail = self._build_body(handler.body, entry, h_frames)
+            if tail is not None:
+                handler_tails.append(tail)
+
+        # The normal finally copy: body/else and handler completions.
+        normal_preds = [t for t in [body_tail] + handler_tails if t is not None]
+        if has_finally:
+            if normal_preds:
+                final_entry = self._new_block()
+                for tail_id in normal_preds:
+                    self._connect(tail_id, final_entry)
+                final_tail = self._build_body(stmt.finalbody, final_entry,
+                                              frames)
+                if final_tail is not None:
+                    self._connect(final_tail, after)
+        else:
+            for tail_id in normal_preds:
+                self._connect(tail_id, after)
+        return after if self._has_preds(after) else None
+
+
+def build_cfg(
+    func: ast.AST,
+    call_may_raise: Optional[CallPredicate] = None,
+) -> CFG:
+    """Build the CFG of one function/method definition.
+
+    ``call_may_raise`` (default: every call may raise) lets a rule
+    narrow the exception edges — R009 passes a predicate that treats
+    the lock protocol's own calls as non-raising so a trailing
+    ``release()`` does not create a phantom lock-held raise path.
+    """
+    return _Builder(func, call_may_raise=call_may_raise).cfg
+
+
+def block_calls(payload: Payload) -> Iterator[ast.Call]:
+    """Calls inside one payload statement, excluding nested function
+    bodies (their calls belong to the nested scope) and, for compound
+    headers, excluding the statement's own body suites."""
+    if isinstance(payload, (WithEnter, WithExit)):
+        return
+    roots: List[ast.AST]
+    stmt = payload
+    if isinstance(stmt, (ast.If, ast.While)):
+        roots = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        roots = [stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        roots = [item.context_expr for item in stmt.items]
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return
+    else:
+        roots = [stmt]
+    for root in roots:
+        stack: List[ast.AST] = [root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def reachable_blocks(cfg: CFG) -> Set[int]:
+    """Block ids reachable from the entry (deterministic DFS)."""
+    seen: Set[int] = set()
+    stack = [cfg.entry]
+    while stack:
+        block_id = stack.pop()
+        if block_id in seen:
+            continue
+        seen.add(block_id)
+        block = cfg.block(block_id)
+        stack.extend(reversed(block.succs + block.exc_succs))
+    return seen

@@ -33,7 +33,20 @@ import os
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.callgraph import ProjectIndex
 
 #: Matches one suppression pragma inside a comment.
 _PRAGMA = re.compile(
@@ -118,12 +131,28 @@ def parse_suppressions(source: str) -> Suppressions:
 
 
 class LintContext:
-    """Everything a rule needs to know about one module."""
+    """Everything a rule needs to know about one module.
 
-    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+    ``project`` carries the cross-file facts (the seam index) built
+    over every module of the run; when linting a lone source string it
+    is derived from that module alone.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        project: Optional["ProjectIndex"] = None,
+    ) -> None:
         self.path = path
         self.source = source
         self.tree = tree
+        if project is None:
+            from repro.lint.callgraph import ProjectIndex
+
+            project = ProjectIndex.build([(path, tree)])
+        self.project = project
         self.module_path = _normalise(path)
         self.is_test = self.module_path.startswith("tests/") or os.path.basename(
             self.module_path
@@ -233,6 +262,7 @@ def lint_source(
     source: str,
     path: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
+    project: Optional["ProjectIndex"] = None,
 ) -> List[Finding]:
     """Lint one module given as a string (fixture/test entry point)."""
     from repro.lint.rules import ALL_RULES
@@ -250,13 +280,22 @@ def lint_source(
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    ctx = LintContext(path, source, tree)
+    ctx = LintContext(path, source, tree, project=project)
     supp = parse_suppressions(source)
     findings: List[Finding] = []
+    seen: Set[Tuple[int, int, str, str]] = set()
     for rule in active:
         for finding in rule.run(ctx):
-            if not supp.is_suppressed(finding.rule_id, finding.line):
-                findings.append(finding)
+            if supp.is_suppressed(finding.rule_id, finding.line):
+                continue
+            # The CFG duplicates ``finally`` suites on the normal and
+            # exception paths; never report one source line twice.
+            key = (finding.line, finding.col, finding.rule_id,
+                   finding.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings
 
@@ -282,8 +321,18 @@ def lint_paths(
     paths: Iterable[str],
     rules: Optional[Sequence[Rule]] = None,
 ) -> List[Finding]:
-    """Lint every Python file under ``paths``; returns sorted findings."""
+    """Lint every Python file under ``paths``; returns sorted findings.
+
+    Runs in two passes: first every file is parsed and folded into one
+    :class:`~repro.lint.callgraph.ProjectIndex` (so cross-file rules —
+    seam threading — see classes defined in other modules), then each
+    file is checked against that shared index.
+    """
+    from repro.lint.callgraph import ProjectIndex
+
     findings: List[Finding] = []
+    sources: List[Tuple[str, str]] = []
+    parsed: List[Tuple[str, ast.Module]] = []
     for filename in iter_python_files(paths):
         try:
             with open(filename, "r", encoding="utf-8") as handle:
@@ -293,5 +342,14 @@ def lint_paths(
                 Finding(filename, 1, 1, "E001", f"cannot read file: {exc}")
             )
             continue
-        findings.extend(lint_source(source, path=filename, rules=rules))
+        sources.append((filename, source))
+        try:
+            parsed.append((filename, ast.parse(source, filename=filename)))
+        except SyntaxError:
+            pass  # lint_source reports it as E000 below
+    project = ProjectIndex.build(parsed)
+    for filename, source in sources:
+        findings.extend(
+            lint_source(source, path=filename, rules=rules, project=project)
+        )
     return findings

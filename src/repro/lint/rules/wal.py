@@ -1,4 +1,4 @@
-"""R001 — WAL discipline for page_LSN updates.
+"""R001 — WAL discipline for page_LSN updates; R011 — per-path order.
 
 The paper's WAL protocol requires that a page's ``page_lsn`` advance
 only as the result of a logged update: normal processing stamps the LSN
@@ -18,13 +18,23 @@ Two checks:
   no ``*.append`` on a log-ish receiver, no ``apply_*`` helper, no call
   to a ``*log*``-named wrapper.  Page mutations that are never logged
   cannot be redone and violate WAL.
+
+**R011** is the flow-sensitive refinement: in a function that *does*
+log (so R001b stays quiet), every CFG path from a page mutation to the
+function's normal exit must still pass a logging call — an early
+``return`` or a branch that skips the append leaves that path's
+mutation unlogged even though the function "logs somewhere".  The
+escaping-exception exit is deliberately not checked: a raise between
+mutation and append is the abort path, and recovery undoes it.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import FrozenSet, Iterator, List, Optional, Tuple
 
+from repro.lint.cfg import build_cfg, block_calls
+from repro.lint.dataflow import solve_forward
 from repro.lint.engine import (
     Finding,
     LintContext,
@@ -140,3 +150,94 @@ class WalDisciplineRule(Rule):
                         "in the same function (unlogged update cannot be "
                         "redone)",
                     )
+
+# ----------------------------------------------------------------------
+# R011 — per-path WAL ordering (CFG/dataflow)
+# ----------------------------------------------------------------------
+#: Abstract state: (log-seen-on-every-path-so-far, unlogged mutations).
+_WalState = Tuple[bool, FrozenSet[Tuple[int, int, str]]]
+
+
+class WalPathOrderRule(Rule):
+    id = "R011"
+    name = "wal-path-order"
+    description = (
+        "every CFG path that mutates a page must pass a log append; a "
+        "branch or early return that skips the append leaves that "
+        "path's mutation unlogged"
+    )
+    applies_to_tests = False  # mirrors R001
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.in_module(*_ALLOWED_ASSIGN):
+            return
+        if any(ctx.module_path.startswith(p) for p in _ALLOWED_MUTATE_PREFIXES):
+            return
+        for func in walk_functions(ctx.tree):
+            yield from self._check_function(ctx, func)
+
+    def _check_function(
+        self, ctx: LintContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        # Only functions that log somewhere: fully unlogged mutators are
+        # R001b's finding, and reporting both would be noise.
+        mutators: List[ast.Call] = []
+        logs = False
+        for call in function_calls(func):
+            name = terminal_name(call.func)
+            if isinstance(call.func, ast.Attribute) and name in _MUTATORS:
+                mutators.append(call)
+            if _is_logging_call(call):
+                logs = True
+        if not mutators or not logs:
+            return
+
+        sites = {
+            (c.lineno, c.col_offset, terminal_name(c.func) or "?"): c
+            for c in mutators
+        }
+        cfg = build_cfg(func)
+
+        def join(a: _WalState, b: _WalState) -> _WalState:
+            return (a[0] and b[0], a[1] | b[1])
+
+        def transfer(block_id: int, state: _WalState) -> _WalState:
+            has_log, naked = state
+            for payload in cfg.block(block_id).stmts:
+                pending = set(naked)
+                logged_here = False
+                for call in block_calls(payload):
+                    name = terminal_name(call.func)
+                    if (
+                        isinstance(call.func, ast.Attribute)
+                        and name in _MUTATORS
+                        and not has_log
+                    ):
+                        pending.add(
+                            (call.lineno, call.col_offset, name or "?")
+                        )
+                    if _is_logging_call(call):
+                        logged_here = True
+                if logged_here:
+                    # The append covers this path: earlier mutations on
+                    # it are now bracketed by a log record.
+                    has_log, pending = True, set()
+                naked = frozenset(pending)
+            return (has_log, naked)
+
+        bottom: _WalState = (False, frozenset())
+        states = solve_forward(cfg, bottom, bottom, join, transfer)
+        _, exit_naked = states[cfg.exit_id][0]
+        for site in sorted(exit_naked):
+            call = sites.get(site)
+            if call is None:
+                continue
+            yield ctx.finding(
+                self.id,
+                call,
+                f"page mutation '{site[2]}' in "
+                f"'{getattr(func, 'name', '?')}' reaches the function "
+                "exit on a path with no log append (the function logs "
+                "on other paths) — every mutating path must write the "
+                "log record",
+            )

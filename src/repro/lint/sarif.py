@@ -1,0 +1,115 @@
+"""SARIF 2.1.0 serialisation of reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests: uploading the run file annotates the PR diff
+with each finding at its source line.  We emit the minimal valid
+subset — one ``run`` with the full rule catalog in
+``tool.driver.rules`` and one ``result`` per finding, each carrying a
+``ruleId``/``ruleIndex`` pair, the rendered message, and a physical
+location with region.  Everything is plain dict/JSON so the output is
+byte-stable for identical findings (keys sorted, no timestamps).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.engine import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Engine pseudo-rules that can appear in findings without being in the
+#: registered catalog (parse and I/O failures).
+_ENGINE_RULES = {
+    "E000": "file could not be parsed as Python",
+    "E001": "file could not be read",
+}
+
+
+def _rule_entry(rule: Rule) -> Dict[str, Any]:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def findings_to_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule]
+) -> Dict[str, Any]:
+    """Build the SARIF log object for one lint run."""
+    catalog: List[Dict[str, Any]] = [_rule_entry(r) for r in rules]
+    index: Dict[str, int] = {r.id: i for i, r in enumerate(rules)}
+    for rule_id in sorted({f.rule_id for f in findings} - set(index)):
+        index[rule_id] = len(catalog)
+        catalog.append(
+            {
+                "id": rule_id,
+                "name": "engine-error",
+                "shortDescription": {
+                    "text": _ENGINE_RULES.get(rule_id, "engine diagnostic"),
+                },
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "ruleIndex": index[finding.rule_id],
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path.replace("\\", "/"),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": catalog,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule]
+) -> str:
+    """The SARIF log as deterministic, pretty-printed JSON."""
+    return json.dumps(
+        findings_to_sarif(findings, rules),
+        indent=2,
+        sort_keys=True,
+    )

@@ -6,6 +6,8 @@ with a violation must produce a finding with the right rule ID and
 line, and the corresponding clean snippet must produce none.
 """
 
+import ast
+import json
 import subprocess
 import sys
 import textwrap
@@ -14,8 +16,12 @@ from pathlib import Path
 import pytest
 
 from repro.lint import ALL_RULES, lint_paths, lint_source
-from repro.lint.engine import parse_suppressions
+from repro.lint import cache as result_cache
+from repro.lint.cfg import WithEnter, WithExit, build_cfg, reachable_blocks
+from repro.lint.dataflow import LocksetAnalysis, ReachingDefinitions
+from repro.lint.engine import Finding, parse_suppressions
 from repro.lint.rules import RULES_BY_ID
+from repro.lint.sarif import SARIF_VERSION, findings_to_sarif, render_sarif
 
 REPO = Path(__file__).resolve().parent.parent
 
@@ -416,6 +422,486 @@ class TestR006:
 
 
 # ----------------------------------------------------------------------
+# R008 — seam-threading (cross-file via the ProjectIndex)
+# ----------------------------------------------------------------------
+class TestR008:
+    def test_dropped_seam_flagged(self):
+        found = findings_for(
+            """
+            class Child:
+                def __init__(self, size, tracer=None):
+                    self.tracer = tracer
+
+            class Parent:
+                def __init__(self, tracer=None):
+                    self.child = Child(4)
+            """
+        )
+        assert ids_of(found) == ["R008"]
+        assert "tracer" in found[0].message
+
+    def test_seam_passed_by_keyword_clean(self):
+        assert (
+            findings_for(
+                """
+                class Child:
+                    def __init__(self, size, tracer=None):
+                        self.tracer = tracer
+
+                class Parent:
+                    def __init__(self, tracer=None):
+                        self.child = Child(4, tracer=tracer)
+                """
+            )
+            == []
+        )
+
+    def test_explicit_null_is_a_visible_decision(self):
+        assert (
+            findings_for(
+                """
+                class Child:
+                    def __init__(self, tracer=None):
+                        self.tracer = tracer
+
+                class Parent:
+                    def __init__(self, tracer=None):
+                        self.child = Child(tracer=NULL_TRACER)
+                """
+            )
+            == []
+        )
+
+    def test_kwargs_splat_counts_as_passed(self):
+        assert (
+            findings_for(
+                """
+                class Child:
+                    def __init__(self, tracer=None):
+                        self.tracer = tracer
+
+                class Parent:
+                    def __init__(self, tracer=None, **kw):
+                        self.child = Child(**kw)
+                """
+            )
+            == []
+        )
+
+    def test_scope_without_seam_clean(self):
+        # A scope that never held the seam cannot drop it.
+        assert (
+            findings_for(
+                """
+                class Child:
+                    def __init__(self, tracer=None):
+                        self.tracer = tracer
+
+                def make():
+                    return Child()
+                """
+            )
+            == []
+        )
+
+    def test_method_inherits_class_seam(self):
+        found = findings_for(
+            """
+            class Child:
+                def __init__(self, tracer=None):
+                    self.tracer = tracer
+
+            class Parent:
+                def __init__(self, tracer=None):
+                    self.tracer = tracer
+
+                def spawn(self):
+                    return Child()
+            """
+        )
+        assert ids_of(found) == ["R008"]
+
+    def test_tests_exempt(self):
+        source = (
+            "class Child:\n"
+            "    def __init__(self, tracer=None):\n"
+            "        self.tracer = tracer\n"
+            "def test_make(tracer):\n"
+            "    return Child()\n"
+        )
+        assert findings_for(source, path=TST) == []
+
+
+# ----------------------------------------------------------------------
+# R009 — lock-release-paths (flow-sensitive, via the CFG lockset)
+# ----------------------------------------------------------------------
+class TestR009:
+    def test_early_return_leak_flagged(self):
+        found = findings_for(
+            """
+            class C:
+                def f(self, txn):
+                    self.glm.acquire(txn, 1, 2)
+                    if txn:
+                        return None
+                    self.glm.release(txn, 1)
+                    return txn
+            """
+        )
+        assert ids_of(found) == ["R009"]
+        assert "normal return path" in found[0].message
+
+    def test_raise_path_leak_flagged(self):
+        found = findings_for(
+            """
+            class C:
+                def f(self, txn):
+                    self.glm.acquire(txn, 1, 2)
+                    self._work(txn)
+                    self.glm.release(txn, 1)
+            """
+        )
+        assert ids_of(found) == ["R009"]
+        assert "escaping-exception path" in found[0].message
+
+    def test_try_finally_clean(self):
+        assert (
+            findings_for(
+                """
+                class C:
+                    def f(self, txn):
+                        self.glm.acquire(txn, 1, 2)
+                        try:
+                            return self._work(txn)
+                        finally:
+                            self.glm.release(txn, 1)
+                """
+            )
+            == []
+        )
+
+    def test_straight_line_pairing_clean(self):
+        # A trailing release must not manufacture a phantom raise path
+        # out of the lock protocol's own calls.
+        assert (
+            findings_for(
+                """
+                class C:
+                    def f(self, txn):
+                        self.glm.acquire(txn, 1, 2)
+                        self.glm.release(txn, 1)
+                """
+            )
+            == []
+        )
+
+    def test_release_all_clean(self):
+        assert (
+            findings_for(
+                """
+                class C:
+                    def f(self, txn):
+                        self.glm.acquire(txn, 1, 2)
+                        self.glm.release_all(txn)
+                """
+            )
+            == []
+        )
+
+    def test_acquire_without_any_release_is_r004_territory(self):
+        # Structural omission (no release anywhere) belongs to R004;
+        # R009 only judges path coverage when both halves exist.
+        found = findings_for(
+            """
+            class C:
+                def f(self, txn):
+                    self.glm.acquire(txn, 1, 2)
+            """,
+            rule="R009",
+        )
+        assert found == []
+
+    def test_tests_exempt(self):
+        source = (
+            "def test_leak(glm, txn):\n"
+            "    glm.acquire(txn, 1, 2)\n"
+            "    if txn:\n"
+            "        return\n"
+            "    glm.release(txn, 1)\n"
+        )
+        assert findings_for(source, path=TST) == []
+
+
+# ----------------------------------------------------------------------
+# R010 — shared-state-under-lock in thread workers
+# ----------------------------------------------------------------------
+class TestR010:
+    def test_unlocked_worker_mutation_flagged(self):
+        found = findings_for(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class C:
+                def run(self):
+                    self.pool.submit(self._work, 1)
+
+                def _work(self, part):
+                    self.results.append(part)
+            """
+        )
+        assert ids_of(found) == ["R010"]
+
+    def test_mutation_under_with_lock_clean(self):
+        assert (
+            findings_for(
+                """
+                from concurrent.futures import ThreadPoolExecutor
+
+                class C:
+                    def run(self):
+                        self.pool.submit(self._work, 1)
+
+                    def _work(self, part):
+                        with self._lock:
+                            self.results.append(part)
+                """
+            )
+            == []
+        )
+
+    def test_locally_created_state_clean(self):
+        assert (
+            findings_for(
+                """
+                from concurrent.futures import ThreadPoolExecutor
+
+                class C:
+                    def run(self):
+                        self.pool.submit(self._work, 1)
+
+                    def _work(self, part):
+                        out = []
+                        out.append(part)
+                        return out
+                """
+            )
+            == []
+        )
+
+    def test_non_worker_method_clean(self):
+        # Without a pool handing the method to another thread there is
+        # no data race to protect against.
+        assert (
+            findings_for(
+                """
+                class C:
+                    def _work(self, part):
+                        self.results.append(part)
+                """
+            )
+            == []
+        )
+
+    def test_transitive_worker_callee_flagged(self):
+        found = findings_for(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            class C:
+                def run(self):
+                    self.pool.submit(self._work, 1)
+
+                def _work(self, part):
+                    self._record(part)
+
+                def _record(self, part):
+                    self.results.append(part)
+            """
+        )
+        assert ids_of(found) == ["R010"]
+
+    def test_tests_exempt(self):
+        source = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "class C:\n"
+            "    def run(self):\n"
+            "        self.pool.submit(self._work, 1)\n"
+            "    def _work(self, part):\n"
+            "        self.results.append(part)\n"
+        )
+        assert findings_for(source, path=TST) == []
+
+
+# ----------------------------------------------------------------------
+# R011 — flow-sensitive WAL ordering (one unlogged branch is enough)
+# ----------------------------------------------------------------------
+class TestR011:
+    def test_unlogged_fast_path_flagged(self):
+        found = findings_for(
+            """
+            class C:
+                def f(self, page, rec, fast):
+                    if fast:
+                        page.update_record(0, rec)
+                        return
+                    page.update_record(0, rec)
+                    self.log.append(rec, page_lsn=page.page_lsn)
+            """,
+            rule="R011",
+        )
+        assert ids_of(found) == ["R011"]
+        assert found[0].line == 5  # the fast-path mutation
+
+    def test_all_paths_logged_clean(self):
+        assert (
+            findings_for(
+                """
+                class C:
+                    def f(self, page, rec, fast):
+                        page.update_record(0, rec)
+                        self.log.append(rec, page_lsn=page.page_lsn)
+                """,
+                rule="R011",
+            )
+            == []
+        )
+
+    def test_later_log_forgives_earlier_mutation(self):
+        # Mutate-then-log is the WAL protocol itself; the log records
+        # the mutation before any path can force the page.
+        assert (
+            findings_for(
+                """
+                class C:
+                    def f(self, page, rec, first, second):
+                        page.update_record(0, first)
+                        page.update_record(1, second)
+                        self.log.append(first, page_lsn=page.page_lsn)
+                """,
+                rule="R011",
+            )
+            == []
+        )
+
+    def test_function_without_logging_is_r001_territory(self):
+        # No logging call at all: the structural rule (R001) owns it.
+        found = findings_for(
+            """
+            class C:
+                def f(self, page, rec):
+                    page.update_record(0, rec)
+            """,
+            rule="R011",
+        )
+        assert found == []
+
+    def test_raise_path_not_flagged(self):
+        # An exception between mutate and log aborts the transaction;
+        # recovery undoes the mutation, so only the normal exit counts.
+        assert (
+            findings_for(
+                """
+                class C:
+                    def f(self, page, rec):
+                        page.update_record(0, rec)
+                        self._validate(rec)
+                        self.log.append(rec, page_lsn=page.page_lsn)
+                """,
+                rule="R011",
+            )
+            == []
+        )
+
+
+# ----------------------------------------------------------------------
+# R012 — determinism hygiene in trace-emitting functions
+# ----------------------------------------------------------------------
+class TestR012:
+    def test_set_iteration_flagged(self):
+        found = findings_for(
+            """
+            class C:
+                def f(self, pages):
+                    for p in set(pages):
+                        self.tracer.emit("touch", page=p)
+            """
+        )
+        assert ids_of(found) == ["R012"]
+
+    def test_sorted_iteration_clean(self):
+        assert (
+            findings_for(
+                """
+                class C:
+                    def f(self, pages):
+                        for p in sorted(set(pages)):
+                            self.tracer.emit("touch", page=p)
+                """
+            )
+            == []
+        )
+
+    def test_set_via_reaching_definition_flagged(self):
+        found = findings_for(
+            """
+            class C:
+                def f(self, pages):
+                    pending = set(pages)
+                    for p in pending:
+                        self.tracer.emit("touch", page=p)
+            """
+        )
+        assert ids_of(found) == ["R012"]
+
+    def test_id_call_flagged(self):
+        found = findings_for(
+            """
+            class C:
+                def f(self, page):
+                    self.tracer.emit("touch", key=id(page))
+            """
+        )
+        assert ids_of(found) == ["R012"]
+
+    def test_wall_seconds_flagged(self):
+        found = findings_for(
+            """
+            class C:
+                def f(self, page):
+                    t = wall_seconds()
+                    self.tracer.emit("touch", at=t)
+            """
+        )
+        assert ids_of(found) == ["R012"]
+
+    def test_non_emitting_function_clean(self):
+        # Iteration order only matters where it can reach the trace.
+        assert (
+            findings_for(
+                """
+                class C:
+                    def f(self, pages):
+                        total = 0
+                        for p in set(pages):
+                            total += p
+                        return total
+                """
+            )
+            == []
+        )
+
+    def test_applies_to_tests(self):
+        # Unlike the structural rules, R012 covers tests too: a test
+        # helper that emits in arbitrary order is a flaky trace test.
+        source = (
+            "def test_emit(tracer, pages):\n"
+            "    for p in set(pages):\n"
+            "        tracer.emit('touch', page=p)\n"
+        )
+        assert ids_of(findings_for(source, path=TST)) == ["R012"]
+
+
+# ----------------------------------------------------------------------
 # suppression comments
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -496,6 +982,11 @@ class TestEngine:
             "R005",
             "R006",
             "R007",
+            "R008",
+            "R009",
+            "R010",
+            "R011",
+            "R012",
         ]
         for rule in ALL_RULES:
             assert rule.description
@@ -530,8 +1021,8 @@ class TestEngine:
 
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006"):
-            assert rule_id in out
+        for rule in ALL_RULES:
+            assert rule.id in out
 
     def test_cli_unknown_rule_is_usage_error(self, capsys):
         import pytest
@@ -551,11 +1042,399 @@ class TestEngine:
 
 
 # ----------------------------------------------------------------------
+# the analysis engine: CFG construction
+# ----------------------------------------------------------------------
+def _cfg_for(source, **kwargs):
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return func, build_cfg(func, **kwargs)
+
+
+def _block_with(cfg, node_type):
+    """The first block whose payload includes a statement of node_type."""
+    for block in cfg.blocks:
+        for payload in block.stmts:
+            if isinstance(payload, node_type):
+                return block
+    raise AssertionError(f"no block holds a {node_type.__name__}")
+
+
+class TestCfg:
+    def test_straight_line_has_no_raise_path(self):
+        _, cfg = _cfg_for(
+            """
+            def f():
+                x = 1
+                return x
+            """
+        )
+        reached = reachable_blocks(cfg)
+        assert cfg.exit_id in reached
+        assert cfg.raise_id not in reached
+
+    def test_call_adds_exception_edge(self):
+        _, cfg = _cfg_for("def f():\n    g()\n")
+        reached = reachable_blocks(cfg)
+        assert cfg.exit_id in reached
+        assert cfg.raise_id in reached
+
+    def test_call_may_raise_predicate_narrows_edges(self):
+        _, cfg = _cfg_for(
+            "def f():\n    g()\n",
+            call_may_raise=lambda call: False,
+        )
+        assert cfg.raise_id not in reachable_blocks(cfg)
+
+    def test_branch_paths_both_reach_exit(self):
+        _, cfg = _cfg_for(
+            """
+            def f(p):
+                if p:
+                    return 1
+                return 2
+            """
+        )
+        returns = [
+            b for b in cfg.blocks
+            if any(isinstance(s, ast.Return) for s in b.stmts)
+        ]
+        assert len(returns) == 2
+        for block in returns:
+            assert cfg.exit_id in block.succs
+
+    def test_loop_header_has_back_edge(self):
+        _, cfg = _cfg_for(
+            """
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+            """
+        )
+        header = _block_with(cfg, ast.While)
+        preds = cfg.preds()[header.id]
+        assert len(preds) >= 2  # entry side plus the back edge
+
+    def test_finally_suite_duplicated_per_path(self):
+        # One copy runs on normal completion, one on the exception
+        # path — the same finally statement appears in two blocks.
+        func, cfg = _cfg_for(
+            """
+            def f():
+                try:
+                    g()
+                finally:
+                    x = 1
+            """
+        )
+        final_stmt = next(
+            n for n in ast.walk(func) if isinstance(n, ast.Assign)
+        )
+        copies = [b for b in cfg.blocks if final_stmt in b.stmts]
+        assert len(copies) >= 2
+
+    def test_with_produces_enter_and_both_exits(self):
+        _, cfg = _cfg_for(
+            """
+            def f(lock):
+                with lock:
+                    g()
+            """
+        )
+        enters = [
+            b for b in cfg.blocks
+            if any(isinstance(s, WithEnter) for s in b.stmts)
+        ]
+        exits = [
+            b for b in cfg.blocks
+            if any(isinstance(s, WithExit) for s in b.stmts)
+        ]
+        assert len(enters) == 1
+        assert len(exits) == 2  # normal __exit__ and exceptional __exit__
+
+    def test_exception_edge_carries_in_state(self):
+        # The raising statement's own effects must not be visible on
+        # its exception edge: the block reaches raise_id via exc_succs,
+        # never via succs.
+        _, cfg = _cfg_for("def f(self):\n    self.g()\n")
+        call_block = _block_with(cfg, ast.Expr)
+        assert cfg.raise_id in call_block.exc_succs
+        assert cfg.raise_id not in call_block.succs
+
+
+# ----------------------------------------------------------------------
+# the analysis engine: dataflow
+# ----------------------------------------------------------------------
+class TestDataflow:
+    def test_reaching_definitions_join_branches(self):
+        func, cfg = _cfg_for(
+            """
+            def f(flag):
+                x = set()
+                if flag:
+                    x = []
+                return x
+            """
+        )
+        defs = ReachingDefinitions(cfg, func)
+        return_block = _block_with(cfg, ast.Return)
+        values = defs.values_at(return_block.id, "x")
+        assert len(values) == 2  # both definitions reach the return
+        kinds = {type(v) for v in values}
+        assert kinds == {ast.Call, ast.List}
+
+    def test_parameters_reach_with_opaque_value(self):
+        func, cfg = _cfg_for("def f(flag):\n    return flag\n")
+        defs = ReachingDefinitions(cfg, func)
+        return_block = _block_with(cfg, ast.Return)
+        assert defs.values_at(return_block.id, "flag") == [None]
+
+    def test_redefinition_kills_previous(self):
+        func, cfg = _cfg_for(
+            """
+            def f():
+                x = set()
+                x = sorted(x)
+                return x
+            """
+        )
+        defs = ReachingDefinitions(cfg, func)
+        return_block = _block_with(cfg, ast.Return)
+        values = defs.values_at(return_block.id, "x")
+        assert len(values) == 1  # the sorted() def killed the set() def
+
+    def test_may_lockset_sees_leaking_path(self):
+        func, cfg = _cfg_for(
+            """
+            def f(self, txn):
+                self.glm.acquire(txn, 1, 2)
+                if txn:
+                    return None
+                self.glm.release(txn, 1)
+                return txn
+            """,
+            call_may_raise=lambda call: False,
+        )
+        lockset = LocksetAnalysis(cfg, lambda name: name == "glm")
+        held = lockset.held_at_exit()
+        assert held == {"self.glm": [cfg.exit_id]}
+
+    def test_balanced_protocol_holds_nothing_at_exit(self):
+        func, cfg = _cfg_for(
+            """
+            def f(self, txn):
+                self.glm.acquire(txn, 1, 2)
+                self.glm.release(txn, 1)
+            """,
+            call_may_raise=lambda call: False,
+        )
+        lockset = LocksetAnalysis(cfg, lambda name: name == "glm")
+        assert lockset.held_at_exit() == {}
+
+    def test_must_lockset_under_with(self):
+        func, cfg = _cfg_for(
+            """
+            def f(self, part):
+                with self._lock:
+                    self.results.append(part)
+            """
+        )
+        lockset = LocksetAnalysis(
+            cfg, lambda name: name is not None and "lock" in name.lower(),
+            must=True,
+        )
+        mutation = _block_with(cfg, ast.Expr)
+        assert "with:self._lock" in lockset.held_before(mutation.id)
+
+    def test_must_lockset_drops_unprotected_branch(self):
+        func, cfg = _cfg_for(
+            """
+            def f(self, txn, fast):
+                if not fast:
+                    self.lock.acquire(txn)
+                self.results.append(txn)
+            """,
+            call_may_raise=lambda call: False,
+        )
+        lockset = LocksetAnalysis(
+            cfg, lambda name: name is not None and "lock" in name.lower(),
+            must=True,
+        )
+        mutation = next(
+            b for b in cfg.blocks
+            if any(
+                isinstance(s, ast.Expr)
+                and isinstance(s.value, ast.Call)
+                and isinstance(s.value.func, ast.Attribute)
+                and s.value.func.attr == "append"
+                for s in b.stmts
+            )
+        )
+        assert lockset.held_before(mutation.id) == frozenset()
+
+
+# ----------------------------------------------------------------------
+# SARIF output
+# ----------------------------------------------------------------------
+class TestSarif:
+    def _one_finding(self):
+        return findings_for("def f(page):\n    page.page_lsn = 1\n")
+
+    def test_log_shape(self):
+        findings = self._one_finding()
+        log = findings_to_sarif(findings, ALL_RULES)
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == [
+            r.id for r in ALL_RULES
+        ]
+
+    def test_result_points_back_into_catalog(self):
+        findings = self._one_finding()
+        log = findings_to_sarif(findings, ALL_RULES)
+        run = log["runs"][0]
+        assert len(run["results"]) == 1
+        result = run["results"][0]
+        assert result["ruleId"] == "R001"
+        catalog = run["tool"]["driver"]["rules"]
+        assert catalog[result["ruleIndex"]]["id"] == result["ruleId"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == findings[0].line
+        assert region["startColumn"] == findings[0].col
+
+    def test_engine_pseudo_rule_appended(self):
+        findings = lint_source("def broken(:\n", path=SRC)
+        log = findings_to_sarif(findings, ALL_RULES)
+        run = log["runs"][0]
+        catalog = run["tool"]["driver"]["rules"]
+        assert len(catalog) == len(ALL_RULES) + 1
+        assert catalog[-1]["id"] == "E000"
+        assert run["results"][0]["ruleIndex"] == len(ALL_RULES)
+
+    def test_render_is_deterministic_json(self):
+        findings = self._one_finding()
+        first = render_sarif(findings, ALL_RULES)
+        second = render_sarif(findings, ALL_RULES)
+        assert first == second
+        assert json.loads(first)["version"] == "2.1.0"
+
+    def test_cli_sarif_file(self, tmp_path):
+        from repro.lint.__main__ import main
+
+        target = tmp_path / "module.py"
+        target.write_text("def f(page):\n    page.page_lsn = 1\n")
+        out = tmp_path / "log.sarif"
+        assert main(
+            ["--no-cache", "--sarif-file", str(out), "-q", str(target)]
+        ) == 1
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"][0]["ruleId"] == "R001"
+
+
+# ----------------------------------------------------------------------
+# the content-hash result cache
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_key_is_stable_and_content_sensitive(self, tmp_path):
+        target = tmp_path / "module.py"
+        target.write_text("x = 1\n")
+        first = result_cache.compute_key([str(target)], ALL_RULES)
+        again = result_cache.compute_key([str(target)], ALL_RULES)
+        assert first == again
+        target.write_text("x = 2\n")
+        assert result_cache.compute_key([str(target)], ALL_RULES) != first
+
+    def test_key_depends_on_rule_selection(self, tmp_path):
+        target = tmp_path / "module.py"
+        target.write_text("x = 1\n")
+        all_key = result_cache.compute_key([str(target)], ALL_RULES)
+        one_key = result_cache.compute_key([str(target)], ALL_RULES[:1])
+        assert all_key != one_key
+
+    def test_store_load_roundtrip(self, tmp_path):
+        cache_file = str(tmp_path / "cache.json")
+        findings = [
+            Finding(path="a.py", line=3, col=5, rule_id="R001",
+                    message="unlogged mutation"),
+        ]
+        result_cache.store(cache_file, "key1", findings)
+        assert result_cache.load(cache_file, "key1") == findings
+        assert result_cache.load(cache_file, "other") is None
+
+    def test_load_tolerates_corruption(self, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json")
+        assert result_cache.load(str(cache_file), "key") is None
+        cache_file.write_text('{"format": 999, "entries": {}}')
+        assert result_cache.load(str(cache_file), "key") is None
+
+    def test_mru_pruning(self, tmp_path):
+        cache_file = str(tmp_path / "cache.json")
+        for i in range(result_cache.MAX_ENTRIES + 4):
+            result_cache.store(cache_file, f"key{i}", [])
+        assert result_cache.load(cache_file, "key0") is None
+        newest = f"key{result_cache.MAX_ENTRIES + 3}"
+        assert result_cache.load(cache_file, newest) == []
+
+    def test_cli_second_run_is_cached(self, tmp_path, capsys):
+        from repro.lint.__main__ import main
+
+        target = tmp_path / "module.py"
+        target.write_text("def f(page):\n    page.page_lsn = 1\n")
+        cache_file = str(tmp_path / "cache.json")
+        assert main(["--cache-file", cache_file, str(target)]) == 1
+        assert "cached" not in capsys.readouterr().err
+        # Same tree, same rules: the replay must re-render and re-exit
+        # identically, from the cache.
+        assert main(["--cache-file", cache_file, str(target)]) == 1
+        captured = capsys.readouterr()
+        assert "cached" in captured.err
+        assert "R001" in captured.out
+
+    def test_cli_no_cache_bypasses(self, tmp_path, capsys):
+        from repro.lint.__main__ import main
+
+        target = tmp_path / "module.py"
+        target.write_text("x = 1\n")
+        cache_file = str(tmp_path / "cache.json")
+        assert main(["--cache-file", cache_file, str(target)]) == 0
+        capsys.readouterr()
+        args = ["--no-cache", "--cache-file", cache_file, str(target)]
+        assert main(args) == 0
+        assert "cached" not in capsys.readouterr().err
+
+    def test_edit_invalidates(self, tmp_path, capsys):
+        from repro.lint.__main__ import main
+
+        target = tmp_path / "module.py"
+        target.write_text("x = 1\n")
+        cache_file = str(tmp_path / "cache.json")
+        assert main(["--cache-file", cache_file, str(target)]) == 0
+        target.write_text("def f(page):\n    page.page_lsn = 1\n")
+        capsys.readouterr()
+        assert main(["--cache-file", cache_file, str(target)]) == 1
+        assert "cached" not in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
 # the tier-1 gate: the real tree stays clean, and stays *checkable*
 # ----------------------------------------------------------------------
 class TestRealTree:
-    def test_src_and_tests_are_clean(self):
-        findings = lint_paths([str(REPO / "src"), str(REPO / "tests")])
+    def test_whole_tree_is_clean(self):
+        findings = lint_paths(
+            [
+                str(REPO / "src"),
+                str(REPO / "tests"),
+                str(REPO / "benchmarks"),
+                str(REPO / "examples"),
+            ]
+        )
         assert findings == [], "\n".join(f.render() for f in findings)
 
     def test_each_rule_still_fires_on_seeded_violation(self):
@@ -576,14 +1455,62 @@ class TestRealTree:
                 "    def f(self):\n"
                 "        self.stats.incr('made.up.counter')\n"
             ),
+            "R007": (
+                "def f():\n"
+                "    raise FaultInjectedError('disk.write', 'crash')\n"
+            ),
+            "R008": (
+                "class Child:\n"
+                "    def __init__(self, size, tracer=None):\n"
+                "        self.tracer = tracer\n"
+                "class Parent:\n"
+                "    def __init__(self, tracer=None):\n"
+                "        self.child = Child(4)\n"
+            ),
+            "R009": (
+                "class C:\n"
+                "    def f(self, txn):\n"
+                "        self.glm.acquire(txn, 1, 2)\n"
+                "        if txn:\n"
+                "            return None\n"
+                "        self.glm.release(txn, 1)\n"
+                "        return txn\n"
+            ),
+            "R010": (
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "class C:\n"
+                "    def run(self):\n"
+                "        self.pool.submit(self._work, 1)\n"
+                "    def _work(self, part):\n"
+                "        self.results.append(part)\n"
+            ),
+            "R011": (
+                "class C:\n"
+                "    def f(self, page, rec, fast):\n"
+                "        if fast:\n"
+                "            page.update_record(0, rec)\n"
+                "            return\n"
+                "        page.update_record(0, rec)\n"
+                "        self.log.append(rec, page_lsn=page.page_lsn)\n"
+            ),
+            "R012": (
+                "class C:\n"
+                "    def f(self, pages):\n"
+                "        for p in set(pages):\n"
+                "            self.tracer.emit('touch', page=p)\n"
+            ),
         }
+        assert set(seeded) == {r.id for r in ALL_RULES}
         for rule_id, source in seeded.items():
             found = findings_for(source, rule=rule_id)
             assert ids_of(found) == [rule_id], (rule_id, found)
 
     def test_cli_end_to_end_on_repo(self):
         result = subprocess.run(
-            [sys.executable, "-m", "repro.lint", "src", "tests"],
+            [
+                sys.executable, "-m", "repro.lint", "--no-cache",
+                "src", "tests", "benchmarks", "examples",
+            ],
             cwd=str(REPO),
             capture_output=True,
             text=True,

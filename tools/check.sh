@@ -63,7 +63,8 @@ stage_lint() {
     else
         skip_step "ruff" "not installed; pip install -e .[lint]"
     fi
-    run_step "reprolint" python -m repro.lint src/ tests/
+    run_step "reprolint" \
+        python -m repro.lint src/ tests/ benchmarks/ examples/ tools/
 }
 
 stage_type() {
