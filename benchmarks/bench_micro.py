@@ -194,6 +194,30 @@ def test_disabled_injector_is_zero_cost():
     assert live_sd.stats.snapshot() == null_sd.stats.snapshot()
 
 
+def test_span_tracing_off_is_zero_drift():
+    """Acceptance gate for the span layer: running the chaos workload
+    untraced (the NULL_TRACER default) must leave the stats counters
+    identical to a traced run — the span seams are guarded by a single
+    ``enabled`` check and mint no counters of their own, so turning
+    tracing off cannot drift a benchmark."""
+    from repro.faults import scenarios
+    from repro.faults.injector import NULL_INJECTOR
+    from repro.obs import events as ev
+    from repro.sd.complex import SDComplex
+
+    traced_sd, tracer = scenarios.build_sd(NULL_INJECTOR, seed=0)
+    scenarios.run_sd_workload(traced_sd, 0)
+    assert any(e.kind == ev.SPAN_BEGIN for e in tracer.events())
+
+    untraced_sd = SDComplex(n_data_pages=64, injector=NULL_INJECTOR)
+    for system_id in (1, 2):
+        untraced_sd.add_instance(system_id)
+    scenarios.run_sd_workload(untraced_sd, 0)
+
+    assert untraced_sd.tracer.events() == []
+    assert untraced_sd.stats.snapshot() == traced_sd.stats.snapshot()
+
+
 def test_micro_injector_guard_overhead(benchmark):
     """The seam cost when faults are off: one attribute check per
     engine update/commit cycle (compare test_micro_engine_update_commit

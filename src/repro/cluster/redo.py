@@ -155,28 +155,32 @@ def replay_partitioned(
 
     # Post-join, single-threaded: deterministic trace emission (partition
     # order, then log order within each page), disk write-back of the
-    # modified images, and summary accounting.
+    # modified images, and summary accounting.  Each partition's buffered
+    # events land inside a redo_part span so the profiler can attribute
+    # the replay cost per partition.
     for part, out in zip(ordered, outcomes):
-        for was_redo, page_id, lsn, other in out.events:
-            if not tracer.enabled:
-                break
-            if was_redo:
-                tracer.emit(
-                    ev.RECOVERY_REDO, system=instance.system_id,
-                    page=page_id, lsn=lsn, page_lsn_prev=other,
-                )
-            else:
-                tracer.emit(
-                    ev.RECOVERY_SKIP, system=instance.system_id,
-                    page=page_id, lsn=lsn, page_lsn=other,
-                )
         if tracer.enabled:
-            tracer.emit(
-                ev.CLUSTER_REDO_PART, system=instance.system_id,
-                partition=part.index, pages=len(part.pages),
-                records=sum(len(r) for _, _, r in part.pages),
-                redone=out.redone, skipped=out.skipped,
-            )
+            with tracer.span(
+                ev.SPAN_REDO_PART, system=instance.system_id,
+                partition=part.index,
+            ):
+                for was_redo, page_id, lsn, other in out.events:
+                    if was_redo:
+                        tracer.emit(
+                            ev.RECOVERY_REDO, system=instance.system_id,
+                            page=page_id, lsn=lsn, page_lsn_prev=other,
+                        )
+                    else:
+                        tracer.emit(
+                            ev.RECOVERY_SKIP, system=instance.system_id,
+                            page=page_id, lsn=lsn, page_lsn=other,
+                        )
+                tracer.emit(
+                    ev.CLUSTER_REDO_PART, system=instance.system_id,
+                    partition=part.index, pages=len(part.pages),
+                    records=sum(len(r) for _, _, r in part.pages),
+                    redone=out.redone, skipped=out.skipped,
+                )
         summary.records_redone += out.redone
         summary.redo_skipped_by_lsn += out.skipped
     modified = {

@@ -128,6 +128,14 @@ class CsClient:
         never reached the server, and neither did any covered page —
         dirty pages always ship *with* the log records).
         """
+        if self.tracer.enabled:
+            with self.tracer.span(ev.SPAN_COMMIT, system=self.client_id,
+                                  txn=txn.txn_id, lazy=lazy):
+                self._commit(txn, lazy)
+        else:
+            self._commit(txn, lazy)
+
+    def _commit(self, txn: Transaction, lazy: bool) -> None:
         self._check_active(txn)
         commit = LogRecord(kind=RecordKind.COMMIT, txn_id=txn.txn_id,
                            prev_lsn=txn.last_lsn)

@@ -329,6 +329,16 @@ class CsServer:
         :class:`DegradedModeError` and its locks stay held), but every
         client can keep reading committed data.
         """
+        if self.tracer.enabled:
+            with self.tracer.span(
+                ev.SPAN_COMMIT_POINT, system=SERVER_ID,
+                client=client.client_id, txn=txn_id,
+            ):
+                self._commit_point(client, txn_id)
+        else:
+            self._commit_point(client, txn_id)
+
+    def _commit_point(self, client: "CsClient", txn_id: int) -> None:
         self._check_writable()
         if self.injector.enabled:
             self.injector.fire(fp.CS_COMMIT, system=client.client_id,
@@ -395,22 +405,28 @@ class CsServer:
         if not client.crashed:
             raise ReproError(f"client {client_id} is not down")
         summary = ClientRecoverySummary()
-        if self.tracer.enabled:
-            self.tracer.emit(ev.RECOVERY_BEGIN, system=SERVER_ID,
-                             mode="cs-client", client=client_id)
-        dpt, losers, index = self._client_analysis(client_id, summary)
-        summary.loser_transactions = len(losers)
-        self._client_redo(dpt, summary)
-        self._client_undo(losers, index, summary)
-        self.log.force()
-        if self.tracer.enabled:
-            self.tracer.emit(
-                ev.RECOVERY_END, system=SERVER_ID,
-                redone=summary.records_redone,
-                skipped=summary.redo_skipped_by_lsn,
-                losers=summary.loser_transactions,
-                clrs=summary.clrs_written,
-            )
+        with self.tracer.span(ev.SPAN_RECOVERY, system=SERVER_ID,
+                              mode="cs-client", client=client_id):
+            if self.tracer.enabled:
+                self.tracer.emit(ev.RECOVERY_BEGIN, system=SERVER_ID,
+                                 mode="cs-client", client=client_id)
+            with self.tracer.span(ev.SPAN_ANALYSIS, system=SERVER_ID):
+                dpt, losers, index = self._client_analysis(
+                    client_id, summary)
+            summary.loser_transactions = len(losers)
+            with self.tracer.span(ev.SPAN_REDO, system=SERVER_ID):
+                self._client_redo(dpt, summary)
+            with self.tracer.span(ev.SPAN_UNDO, system=SERVER_ID):
+                self._client_undo(losers, index, summary)
+            self.log.force()
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ev.RECOVERY_END, system=SERVER_ID,
+                    redone=summary.records_redone,
+                    skipped=summary.redo_skipped_by_lsn,
+                    losers=summary.loser_transactions,
+                    clrs=summary.clrs_written,
+                )
         # Retained resources are released only now.
         for txn_id in list(self._owned_txns(client_id)):
             self.glm.release_all(txn_id)
@@ -643,10 +659,12 @@ class CsServer:
         self.crashed = False
         # system_id attribute satisfies restart_recovery's duck type.
         self.system_id = SERVER_ID
-        summary = restart_recovery(
-            self, redo_parallelism=self.redo_parallelism)
-        self.pool.flush_all()
-        self.glm = self._build_glm()
+        with self.tracer.span(ev.SPAN_RESTART, system=SERVER_ID,
+                              target="server"):
+            summary = restart_recovery(
+                self, redo_parallelism=self.redo_parallelism)
+            self.pool.flush_all()
+            self.glm = self._build_glm()
         return summary
 
     # ------------------------------------------------------------------

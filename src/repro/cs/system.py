@@ -6,9 +6,10 @@ from typing import Dict, Optional
 
 from repro.common.stats import StatsRegistry
 from repro.cs.client import CsClient
-from repro.cs.server import ClientRecoverySummary, CsServer
+from repro.cs.server import SERVER_ID, ClientRecoverySummary, CsServer
 from repro.faults.injector import NULL_INJECTOR, NullFaultInjector
 from repro.net.network import Network
+from repro.obs import events as ev
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.recovery.commit_lsn import CommitLsnService
 
@@ -82,10 +83,11 @@ class CsSystem:
 
     def quiesce(self) -> None:
         """Ship every dirty page to the server and flush it to disk."""
-        for client in self.clients.values():
-            if not client.crashed:
-                client.flush_all()
-        self.server.pool.flush_all()
+        with self.tracer.span(ev.SPAN_QUIESCE, system=SERVER_ID):
+            for client in self.clients.values():
+                if not client.crashed:
+                    client.flush_all()
+            self.server.pool.flush_all()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"CsSystem(clients={sorted(self.clients)})"

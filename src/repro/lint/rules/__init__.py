@@ -2,7 +2,7 @@
 
 Rule IDs are stable and documented in ``docs/static_analysis.md``;
 suppression comments reference them, so never renumber.  R001–R007 are
-the original per-function pattern matchers; R008–R012 ride on the
+the original per-function pattern matchers; R008–R013 ride on the
 flow-aware layer (``cfg``/``dataflow``/``callgraph``).
 """
 
@@ -17,6 +17,7 @@ from repro.lint.rules.locks import LockPairingRule, LockReleasePathsRule
 from repro.lint.rules.lsn import LsnHygieneRule
 from repro.lint.rules.seams import SeamThreadingRule
 from repro.lint.rules.shared import SharedStateUnderLockRule
+from repro.lint.rules.spans import SpanDisciplineRule
 from repro.lint.rules.stats import StatsDisciplineRule
 from repro.lint.rules.wal import WalDisciplineRule, WalPathOrderRule
 
@@ -33,6 +34,7 @@ ALL_RULES: List[Rule] = [
     SharedStateUnderLockRule(),
     WalPathOrderRule(),
     DeterminismHygieneRule(),
+    SpanDisciplineRule(),
 ]
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -1,0 +1,185 @@
+"""R013 — span discipline: ``with`` usage and per-path span_end.
+
+Spans are the causal backbone of the trace (``repro.obs.spans``
+rebuilds the tree from paired ``span.begin``/``span.end`` events), and
+the invariant checker treats an unpaired bracket as a protocol
+violation.  The safe idiom is the context manager::
+
+    with self.tracer.span(ev.SPAN_COMMIT, system=sid, txn=txn_id):
+        ...
+
+which closes the span on the normal exit *and* on a raise.  Two ways
+to break the bracket statically:
+
+* calling ``tracer.span(...)`` without entering it — the handle is
+  created (and on a recording tracer the ``span.begin`` event is
+  emitted) but nothing ever emits the ``span.end``;
+* using the manual ``span_begin``/``span_end`` API with a path out of
+  the function (an early ``return``, or a may-raise call with no
+  ``try``/``finally``) on which the ``span_end`` never runs.
+
+The first check is syntactic; the second is a may-analysis on the PR 6
+CFG, exactly like R009's lockset-at-exit check: the set of receivers
+with an open manual span must be empty at the normal exit and at the
+escaping-exception exit.  The span protocol's own calls are modelled
+as non-raising so a bare trailing ``span_end()`` does not manufacture
+a phantom open-at-raise path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional
+
+from repro.lint.cfg import CFG, WithEnter, WithExit, block_calls, build_cfg
+from repro.lint.dataflow import solve_forward
+from repro.lint.engine import (
+    Finding,
+    LintContext,
+    Rule,
+    dotted,
+    function_calls,
+    terminal_name,
+    walk_functions,
+)
+
+_BEGIN = "span_begin"
+_END = "span_end"
+_SPAN_PROTOCOL = frozenset({"span", _BEGIN, _END})
+
+
+def _tracerish(name: Optional[str]) -> bool:
+    return name is not None and "tracer" in name.lower()
+
+
+def _is_span_protocol_call(call: ast.Call) -> bool:
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr in _SPAN_PROTOCOL
+        and _tracerish(terminal_name(call.func.value))
+    )
+
+
+class _OpenSpanAnalysis:
+    """May-analysis: receivers with a manually-begun, un-ended span."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.states = solve_forward(
+            cfg,
+            frozenset(),
+            frozenset(),
+            lambda a, b: a | b,
+            self._transfer,
+        )
+
+    def _transfer(
+        self, block_id: int, state: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        open_spans = set(state)
+        for payload in self.cfg.block(block_id).stmts:
+            if isinstance(payload, (WithEnter, WithExit)):
+                continue  # with-spans close themselves by construction
+            for call in block_calls(payload):
+                if not isinstance(call.func, ast.Attribute):
+                    continue
+                if not _tracerish(terminal_name(call.func.value)):
+                    continue
+                receiver = dotted(call.func.value)
+                if call.func.attr == _BEGIN:
+                    open_spans.add(receiver)
+                elif call.func.attr == _END:
+                    open_spans.discard(receiver)
+        return frozenset(open_spans)
+
+    def open_at_exit(self) -> Dict[str, List[int]]:
+        out: Dict[str, List[int]] = {}
+        for exit_id in self.cfg.exit_blocks():
+            in_state, _ = self.states[exit_id]
+            for key in sorted(in_state):
+                out.setdefault(key, []).append(exit_id)
+        return out
+
+
+class SpanDisciplineRule(Rule):
+    id = "R013"
+    name = "span-discipline"
+    description = (
+        "tracer.span(...) must be entered as a with context manager, "
+        "and a manual span_begin must reach a span_end on every normal "
+        "and raise exit path"
+    )
+    applies_to_tests = False  # tests build broken brackets on purpose
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for func in walk_functions(ctx.tree):
+            yield from self._check_with_usage(ctx, func)
+            yield from self._check_manual_pairing(ctx, func)
+
+    def _check_with_usage(
+        self, ctx: LintContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        entered = set()
+        returned = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    entered.add(id(item.context_expr))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                # ``return self.tracer.span(...)`` hands the bracket to
+                # the caller; the factory itself is not the leak.
+                returned.add(id(node.value))
+        for call in function_calls(func):
+            if not isinstance(call.func, ast.Attribute):
+                continue
+            if call.func.attr != "span":
+                continue
+            if not _tracerish(terminal_name(call.func.value)):
+                continue
+            if id(call) in entered or id(call) in returned:
+                continue
+            yield ctx.finding(
+                self.id,
+                call,
+                f"'{dotted(call.func.value)}.span(...)' is not entered "
+                "as a context manager — the span.begin is emitted but "
+                "nothing ever emits the span.end; write "
+                "'with tracer.span(...):'",
+            )
+
+    def _check_manual_pairing(
+        self, ctx: LintContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        begins: Dict[str, List[ast.Call]] = {}
+        for call in function_calls(func):
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == _BEGIN
+                and _tracerish(terminal_name(call.func.value))
+            ):
+                begins.setdefault(dotted(call.func.value), []).append(call)
+        if not begins:
+            return
+
+        cfg = build_cfg(
+            func, call_may_raise=lambda c: not _is_span_protocol_call(c)
+        )
+        analysis = _OpenSpanAnalysis(cfg)
+        for key, exit_ids in sorted(analysis.open_at_exit().items()):
+            calls = begins.get(key)
+            if not calls:
+                continue
+            paths = []
+            if cfg.exit_id in exit_ids:
+                paths.append("a normal return path")
+            if cfg.raise_id in exit_ids:
+                paths.append("an escaping-exception path")
+            where = " and ".join(paths)
+            for call in sorted(calls, key=lambda c: (c.lineno, c.col_offset)):
+                yield ctx.finding(
+                    self.id,
+                    call,
+                    f"'{key}.span_begin' has no span_end on {where} out "
+                    f"of '{getattr(func, 'name', '?')}'; guard it with "
+                    "try/finally or use 'with tracer.span(...)'",
+                )

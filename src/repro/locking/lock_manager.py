@@ -179,6 +179,27 @@ class LockManager:
         ``owner`` is chosen as the victim (the youngest, i.e. the one
         with the greatest owner key).
         """
+        if self.tracer.enabled:
+            # Guarded span: acquire is the lock hot path (PR 3 fast
+            # lane), so the attrs dict only materializes when tracing.
+            if self.shard is not None:
+                with self.tracer.span(
+                    ev.SPAN_LOCK_ACQUIRE, resource=resource,
+                    mode=mode.name, shard=self.shard,
+                ):
+                    return self._acquire(owner, resource, mode)
+            with self.tracer.span(
+                ev.SPAN_LOCK_ACQUIRE, resource=resource, mode=mode.name
+            ):
+                return self._acquire(owner, resource, mode)
+        return self._acquire(owner, resource, mode)
+
+    def _acquire(
+        self,
+        owner: Hashable,
+        resource: Hashable,
+        mode: LockMode,
+    ) -> LockStatus:
         self._requests.bump()
         head = self._table.get(resource)
         if head is None:

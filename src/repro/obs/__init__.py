@@ -20,13 +20,43 @@ transfers between instances.  ``repro.obs`` makes that order visible:
   replays a trace and asserts the paper's invariants.
 * :mod:`repro.obs.capture` — canned traced scenarios (the Section 1.5
   anomaly among them) for the CLI, docs and regression tests.
+* :mod:`repro.obs.spans` — causal span trees reconstructed from paired
+  ``span.begin``/``span.end`` events, with inclusive/exclusive tick
+  costs.
+* :mod:`repro.obs.profile` — the critical-path profiler over a span
+  tree (the chain of steps whose costs sum exactly to the root's
+  inclusive cost) and aggregate self-cost tables.
+* :mod:`repro.obs.export` — Chrome/Perfetto trace-event JSON and
+  Prometheus text exposition exporters.
+* :mod:`repro.obs.diff` — span-path tick deltas between two traces of
+  the same scenario.
 
 Inspect a trace with ``python -m repro.trace`` (see
 ``docs/observability.md``).
 """
 
+from repro.obs.diff import PathDelta, diff_traces, render_diff
+from repro.obs.export import (
+    dump_perfetto_json,
+    to_perfetto,
+    to_prometheus,
+    validate_perfetto,
+)
 from repro.obs.invariants import Violation, check_trace
 from repro.obs.metrics import DEFAULT_EDGES, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    PathStep,
+    critical_path,
+    path_cost,
+    select_root,
+    self_costs,
+)
+from repro.obs.spans import (
+    SpanNode,
+    build_span_forest,
+    render_span_tree,
+    spans_by_name,
+)
 from repro.obs.timeline import render_timeline, summarize_trace
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -42,11 +72,27 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PathDelta",
+    "PathStep",
+    "SpanNode",
     "TraceEvent",
     "Tracer",
     "Violation",
+    "build_span_forest",
     "check_trace",
+    "critical_path",
+    "diff_traces",
+    "dump_perfetto_json",
     "load_trace",
+    "path_cost",
+    "render_diff",
+    "render_span_tree",
     "render_timeline",
+    "select_root",
+    "self_costs",
+    "spans_by_name",
     "summarize_trace",
+    "to_perfetto",
+    "to_prometheus",
+    "validate_perfetto",
 ]

@@ -19,7 +19,7 @@ from repro.obs.tracer import Tracer
 from repro.sd.complex import SDComplex
 from repro.sd.instance import DbmsInstance
 
-SCENARIOS = ("e1-usn", "e1-naive")
+SCENARIOS = ("e1-usn", "e1-naive", "e7-restart")
 
 #: Default per-system clock skew, exaggerated so timelines visibly
 #: drift (offset seconds, rate multiplier) — the paper's Section 1
@@ -93,12 +93,70 @@ def capture_e1(
     return tracer, summary
 
 
+def capture_e7(
+    n_txns: int = 6,
+    redo_parallelism: int = 1,
+    skews: Optional[Dict[int, Tuple[float, float]]] = None,
+    injector=None,
+) -> Tuple[Tracer, Dict[str, object]]:
+    """Run a restart-heavy scenario (experiment E7) under a tracer.
+
+    One SD instance commits ``n_txns`` transactions, leaves one more
+    in flight and an unforced committed tail in the buffer pool, then
+    crashes and restarts — so the trace carries a full recovery span
+    tree (analysis/redo/undo with real redo and CLR work), the input
+    the critical-path profiler and the E7 time-to-recover experiment
+    reason about.  Returns the tracer and a summary dict.
+    """
+    clock_skews = skews if skews is not None else DEFAULT_SKEWS
+    tracer = Tracer()
+    complex_ = SDComplex(n_data_pages=128, tracer=tracer,
+                         injector=injector,
+                         redo_parallelism=redo_parallelism)
+    offset, rate = clock_skews.get(1, (0.0, 1.0))
+    s1 = complex_.add_instance(
+        1, lock_granularity="record",
+        clock=SkewedClock(offset=offset, rate=rate),
+    )
+    setup = s1.begin()
+    page_id = s1.allocate_page(setup)
+    slots = [
+        s1.insert(setup, page_id, f"row-{i}".encode())
+        for i in range(n_txns)
+    ]
+    s1.commit(setup)
+    # Committed work whose page images never reach disk before the
+    # crash: restart redo must replay it from the stable log.
+    for i, slot in enumerate(slots):
+        txn = s1.begin()
+        s1.update(txn, page_id, slot, f"committed-{i}".encode())
+        s1.commit(txn)
+    # One loser: in flight at the crash, so undo writes CLRs.
+    loser = s1.begin()
+    s1.update(loser, page_id, slots[0], b"uncommitted")
+    complex_.crash_instance(1)
+    summary_obj = complex_.restart_instance(1)
+    survivor = complex_.disk.read_page(page_id).read_record(slots[0])
+    summary: Dict[str, object] = {
+        "scheme": "usn",
+        "page": page_id,
+        "txns": n_txns,
+        "redo_parallelism": redo_parallelism,
+        "records_redone": summary_obj.records_redone,
+        "clrs_written": summary_obj.clrs_written,
+        "loser_rolled_back": survivor == b"committed-0",
+    }
+    return tracer, summary
+
+
 def capture(scenario: str) -> Tuple[Tracer, Dict[str, object]]:
     """Dispatch by CLI scenario name (see :data:`SCENARIOS`)."""
     if scenario == "e1-usn":
         return capture_e1("usn")
     if scenario == "e1-naive":
         return capture_e1("naive")
+    if scenario == "e7-restart":
+        return capture_e7()
     raise ValueError(
         f"unknown scenario {scenario!r}; choose from {', '.join(SCENARIOS)}"
     )

@@ -1,36 +1,87 @@
-"""``python -m repro.trace`` — render, check, and capture traces.
+"""``python -m repro.trace`` — render, check, profile, export traces.
 
-Usage:
+Subcommands (all operate on saved JSONL traces):
 
-* ``python -m repro.trace trace.jsonl`` — ASCII per-system timeline
-  plus summary tables;
-* ``python -m repro.trace trace.jsonl --check`` — additionally run the
-  invariant checker; exit status 1 if any invariant is violated;
+* ``summary TRACE [--json] [--check]`` — per-system timeline plus
+  summary tables; ``--json`` emits the metrics as JSON for scripting;
+* ``spans TRACE [--depth N]`` — the reconstructed span forest with
+  inclusive/exclusive tick costs;
+* ``critical-path TRACE [--root NAME] [--txn ID]`` — the most
+  expensive causal chain under the chosen root span, plus a top-N
+  self-cost table;
+* ``export TRACE --perfetto|--prom [-o FILE]`` — Chrome/Perfetto
+  trace-event JSON, or Prometheus text exposition of the trace's
+  summary metrics;
+* ``diff TRACE_A TRACE_B`` — span-path tick deltas between two runs.
+
+Legacy forms (kept for scripts and muscle memory):
+
+* ``python -m repro.trace trace.jsonl [--check]`` — same as
+  ``summary``;
 * ``python -m repro.trace --capture e1-usn -o trace.jsonl`` — run a
-  canned scenario (the Section 1.5 anomaly under USN or naive LSNs)
-  under a recording tracer and save the JSONL;
+  canned scenario under a recording tracer and save the JSONL;
 * ``python -m repro.trace --bench BENCH_E1.json`` — re-render the
   tables of a saved benchmark result without re-running it.
+
+A missing or empty trace file is a one-line diagnostic and exit
+status 2, never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
 from repro.harness.experiment import ExperimentResult
 from repro.obs.capture import SCENARIOS, capture
+from repro.obs.diff import diff_traces, render_diff
+from repro.obs.export import (
+    dump_perfetto_json,
+    to_perfetto,
+    to_prometheus,
+)
 from repro.obs.invariants import check_trace, render_violations
+from repro.obs.profile import (
+    critical_path,
+    render_critical_path,
+    render_self_costs,
+    select_root,
+    self_costs,
+)
+from repro.obs.spans import build_span_forest, render_span_tree
 from repro.obs.timeline import render_timeline, summarize_trace
-from repro.obs.tracer import load_trace
+from repro.obs.tracer import TraceEvent, load_trace
+
+_SUBCOMMANDS = ("summary", "spans", "critical-path", "export", "diff")
+
+
+def _load_trace_or_none(path: str) -> Optional[List[TraceEvent]]:
+    """Load a trace; on a missing or empty file, print a one-line
+    diagnostic to stderr and return None (callers exit 2)."""
+    if not os.path.exists(path):
+        print(f"repro.trace: no such trace file: {path}", file=sys.stderr)
+        return None
+    try:
+        events = load_trace(path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"repro.trace: cannot read trace {path}: {exc}",
+              file=sys.stderr)
+        return None
+    if not events:
+        print(f"repro.trace: trace file is empty: {path}", file=sys.stderr)
+        return None
+    return events
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.trace",
         description="Inspect repro trace files (JSONL) and bench results.",
+        epilog=f"subcommands: {', '.join(_SUBCOMMANDS)} "
+               "(python -m repro.trace <subcommand> --help)",
     )
     parser.add_argument("trace", nargs="?", default=None,
                         help="trace file (JSONL) to render")
@@ -49,6 +100,60 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_subparser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Inspect repro trace files (JSONL).",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    summary = subs.add_parser(
+        "summary", help="timeline + summary tables (add --json for JSON)")
+    summary.add_argument("trace")
+    summary.add_argument("--json", action="store_true",
+                         help="emit the summary metrics as JSON")
+    summary.add_argument("--check", action="store_true")
+    summary.add_argument("--max-rows", type=int, default=0)
+    summary.add_argument("--width", type=int, default=30)
+
+    spans = subs.add_parser(
+        "spans", help="reconstructed span forest with tick costs")
+    spans.add_argument("trace")
+    spans.add_argument("--depth", type=int, default=0,
+                       help="prune the tree below this depth (0 = all)")
+
+    crit = subs.add_parser(
+        "critical-path", help="most expensive causal chain + self costs")
+    crit.add_argument("trace")
+    crit.add_argument("--root", default=None, metavar="NAME",
+                      help="root span name to profile (default: costliest)")
+    crit.add_argument("--txn", type=int, default=None,
+                      help="filter roots by their txn attribute")
+    crit.add_argument("--top", type=int, default=10,
+                      help="rows in the self-cost table (0 = all)")
+
+    export = subs.add_parser(
+        "export", help="convert to Perfetto JSON or Prometheus text")
+    export.add_argument("trace")
+    fmt = export.add_mutually_exclusive_group(required=True)
+    fmt.add_argument("--perfetto", action="store_true",
+                     help="Chrome/Perfetto trace-event JSON")
+    fmt.add_argument("--prom", action="store_true",
+                     help="Prometheus text exposition of summary metrics")
+    export.add_argument("-o", "--output", default=None,
+                        help="write to a file instead of stdout")
+
+    diff = subs.add_parser(
+        "diff", help="span-path tick deltas between two traces")
+    diff.add_argument("trace_a")
+    diff.add_argument("trace_b")
+    diff.add_argument("--top", type=int, default=15,
+                      help="rows shown (0 = all)")
+    diff.add_argument("--all", action="store_true", dest="all_paths",
+                      help="include unchanged paths")
+    return parser
+
+
 def _render_bench(path: str) -> int:
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
@@ -63,7 +168,9 @@ def _render_bench(path: str) -> int:
 
 
 def _render_trace(path: str, check: bool, max_rows: int, width: int) -> int:
-    events = load_trace(path)
+    events = _load_trace_or_none(path)
+    if events is None:
+        return 2
     print(render_timeline(events, column_width=width, max_rows=max_rows))
     tables, _ = summarize_trace(events)
     for title, table in tables:
@@ -78,6 +185,96 @@ def _render_trace(path: str, check: bool, max_rows: int, width: int) -> int:
     return 0
 
 
+def _cmd_summary(args: argparse.Namespace) -> int:
+    events = _load_trace_or_none(args.trace)
+    if events is None:
+        return 2
+    if args.json:
+        tables, metrics = summarize_trace(events)
+        payload = {
+            "events": len(events),
+            "systems": sorted({e.system for e in events}),
+            "metrics": metrics.snapshot_all(),
+        }
+        if args.check:
+            violations = check_trace(events)
+            payload["violations"] = [
+                {"invariant": v.invariant, "seq": v.seq,
+                 "system": v.system, "message": v.message}
+                for v in violations
+            ]
+            print(json.dumps(payload, sort_keys=True, indent=2))
+            return 1 if violations else 0
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+    return _render_trace(args.trace, args.check, args.max_rows, args.width)
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    events = _load_trace_or_none(args.trace)
+    if events is None:
+        return 2
+    forest = build_span_forest(events)
+    print(render_span_tree(forest, max_depth=args.depth))
+    return 0
+
+
+def _cmd_critical_path(args: argparse.Namespace) -> int:
+    events = _load_trace_or_none(args.trace)
+    if events is None:
+        return 2
+    forest = build_span_forest(events)
+    root = select_root(forest, name=args.root, txn=args.txn)
+    if root is None:
+        wanted = args.root or "any"
+        print(f"repro.trace: no matching root span "
+              f"(name={wanted}, txn={args.txn})", file=sys.stderr)
+        return 1
+    print(render_critical_path(critical_path(root)))
+    print()
+    print(render_self_costs(self_costs([root]), top=args.top))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    events = _load_trace_or_none(args.trace)
+    if events is None:
+        return 2
+    if args.perfetto:
+        text = dump_perfetto_json(to_perfetto(events))
+    else:
+        _, metrics = summarize_trace(events)
+        text = to_prometheus(metrics)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(text)} bytes to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    events_a = _load_trace_or_none(args.trace_a)
+    if events_a is None:
+        return 2
+    events_b = _load_trace_or_none(args.trace_b)
+    if events_b is None:
+        return 2
+    deltas = diff_traces(events_a, events_b)
+    print(render_diff(deltas, top=args.top, all_paths=args.all_paths))
+    return 0
+
+
+_DISPATCH = {
+    "summary": _cmd_summary,
+    "spans": _cmd_spans,
+    "critical-path": _cmd_critical_path,
+    "export": _cmd_export,
+    "diff": _cmd_diff,
+}
+
+
 def run(argv: Optional[List[str]] = None) -> int:
     """``main`` plus CLI plumbing: tolerate the reader going away.
 
@@ -89,13 +286,16 @@ def run(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Re-point stdout at devnull so the interpreter's shutdown
         # flush does not raise a second time.
-        import os
-
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in _SUBCOMMANDS:
+        args = _build_subparser().parse_args(argv)
+        return _DISPATCH[args.command](args)
     args = _build_parser().parse_args(argv)
     if args.bench is not None:
         return _render_bench(args.bench)

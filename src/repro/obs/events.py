@@ -93,6 +93,37 @@ Cluster scale-out (system = the recovering instance; see
   ``redone``, ``skipped`` (one partition's replay, emitted in
   partition order after the pool joins)
 
+Causal spans (see ``docs/observability.md`` — paired brackets tying
+flat events into per-transaction / per-recovery causal trees; emitted
+by :meth:`~repro.obs.tracer.Tracer.span`):
+
+* ``SPAN_BEGIN``    — ``span``* (deterministic span id), ``name``*
+  (one of the ``SPAN_*`` names below), ``parent``* (enclosing span id,
+  ``None`` for a root), plus free-form attributes (``txn``, ...)
+* ``SPAN_END``      — ``span``*, ``name``*, plus ``error`` (exception
+  class name) when the spanned block raised
+
+Span names (the ``name`` field of span brackets; system = the system
+doing the work):
+
+* ``SPAN_COMMIT``        — a transaction commit (SD instance or CS
+  client), attribute ``txn``
+* ``SPAN_COMMIT_POINT``  — the CS server-side commit point, attributes
+  ``client``, ``txn``
+* ``SPAN_LOG_FORCE``     — one log force that actually advanced the
+  stable boundary
+* ``SPAN_LOCK_ACQUIRE``  — one blocking lock acquisition, attributes
+  ``resource``, ``mode``
+* ``SPAN_RECOVERY``      — a whole recovery run, attribute ``mode``
+  ("restart" | "fast" | "cs-client" | "media")
+* ``SPAN_ANALYSIS`` / ``SPAN_REDO`` / ``SPAN_UNDO`` — the recovery
+  passes inside a ``SPAN_RECOVERY``
+* ``SPAN_REDO_PART``     — one partition of the parallel partitioned
+  redo, attribute ``partition``
+* ``SPAN_RESTART``       — an instance/server/complex restart wrapper,
+  attribute ``target``
+* ``SPAN_QUIESCE``       — a CS quiesce checkpoint
+
 Locking events emitted by a sharded GLM additionally carry ``shard``
 (the emitting shard's index); the monolithic GLM omits the field so
 single-shard traces stay byte-identical to pre-sharding runs.
@@ -147,6 +178,24 @@ DEGRADED_EXIT = "degraded.exit"
 
 CLUSTER_REDO_PLAN = "cluster.redo_plan"
 CLUSTER_REDO_PART = "cluster.redo_part"
+
+SPAN_BEGIN = "span.begin"
+SPAN_END = "span.end"
+
+SPAN_COMMIT = "commit"
+SPAN_COMMIT_POINT = "commit_point"
+SPAN_LOG_FORCE = "log_force"
+SPAN_LOCK_ACQUIRE = "lock_acquire"
+SPAN_RECOVERY = "recovery"
+SPAN_ANALYSIS = "analysis"
+SPAN_REDO = "redo"
+SPAN_UNDO = "undo"
+SPAN_REDO_PART = "redo_part"
+SPAN_RESTART = "restart"
+SPAN_QUIESCE = "quiesce"
+
+#: The bracket kinds a span emits (for filters and the checker).
+SPAN_KINDS = frozenset({SPAN_BEGIN, SPAN_END})
 
 #: Event kinds that stamp a new page_LSN onto a page image; each must
 #: carry ``page``, ``lsn`` and ``page_lsn_prev``.

@@ -1,0 +1,214 @@
+"""Standard-format exporters: Chrome/Perfetto traces, Prometheus text.
+
+Two one-way bridges out of the deterministic toolchain:
+
+* :func:`to_perfetto` renders a trace as Chrome trace-event JSON (the
+  format ``chrome://tracing`` and https://ui.perfetto.dev load):
+  spans become ``"X"`` complete events with ``ts``/``dur`` in logical
+  ticks, every other trace event becomes an ``"i"`` instant, and
+  ``"M"`` metadata names the per-system tracks.  Logical ticks map
+  onto the viewer's microsecond axis 1:1 — the absolute scale is
+  meaningless, the causal shape is exact.
+* :func:`to_prometheus` renders a :class:`~repro.common.stats.
+  StatsRegistry` (or :class:`~repro.obs.metrics.MetricsRegistry`) in
+  the Prometheus text exposition format, mapping labeled counters to
+  label sets and histograms to cumulative ``_bucket``/``_sum``/
+  ``_count`` series.
+
+Both outputs are deterministic (sorted keys, stable ordering) so they
+diff cleanly across runs, like everything else in ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.common.stats import StatsRegistry
+from repro.obs import events as ev
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import build_span_forest
+from repro.obs.tracer import TraceEvent
+
+_PID = 0  # one simulated process; systems are its threads (tracks)
+
+#: Chrome trace-event phases this exporter emits.
+_PHASES = ("X", "i", "M")
+
+
+def to_perfetto(events: Iterable[TraceEvent]) -> Dict[str, Any]:
+    """Render a trace as a Chrome/Perfetto trace-event JSON object.
+
+    Returns the document as a dict; dump it with
+    :func:`dump_perfetto_json` (or ``json.dumps``) for a file Perfetto
+    loads directly.
+    """
+    events = list(events)
+    trace_events: List[Dict[str, Any]] = []
+    systems = sorted({e.system for e in events})
+    trace_events.append({
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": "repro simulation"},
+    })
+    for system in systems:
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": _PID, "tid": system,
+            "args": {"name": f"system {system}"},
+        })
+    open_spans: Dict[int, Tuple[TraceEvent, Dict[str, Any]]] = {}
+    for event in events:
+        if event.kind == ev.SPAN_BEGIN:
+            args = {
+                k: v for k, v in event.fields.items()
+                if k not in ("span", "name")
+            }
+            open_spans[event.fields["span"]] = (event, args)
+        elif event.kind == ev.SPAN_END:
+            begun = open_spans.pop(event.fields.get("span", -1), None)
+            if begun is None:
+                continue
+            begin, args = begun
+            error = event.fields.get("error")
+            if error is not None:
+                args = dict(args, error=error)
+            trace_events.append({
+                "name": begin.fields["name"], "cat": "span", "ph": "X",
+                "ts": begin.seq, "dur": event.seq - begin.seq,
+                "pid": _PID, "tid": begin.system, "args": args,
+            })
+        else:
+            trace_events.append({
+                "name": event.kind, "cat": "event", "ph": "i",
+                "ts": event.seq, "pid": _PID, "tid": event.system,
+                "s": "t", "args": dict(event.fields),
+            })
+    # Unclosed spans (crash mid-span): emit zero-duration markers so
+    # the viewer still shows where they opened.
+    for span_id in sorted(open_spans):
+        begin, args = open_spans[span_id]
+        trace_events.append({
+            "name": begin.fields["name"], "cat": "span", "ph": "X",
+            "ts": begin.seq, "dur": 0, "pid": _PID, "tid": begin.system,
+            "args": dict(args, unclosed=True),
+        })
+    trace_events.sort(key=lambda e: (e.get("ts", -1), e["tid"], e["name"]))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "logical ticks (trace seq)"},
+    }
+
+
+def dump_perfetto_json(doc: Dict[str, Any]) -> str:
+    """Serialize a trace-event document deterministically."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def validate_perfetto(doc: Any) -> None:
+    """Assert ``doc`` is structurally valid trace-event JSON.
+
+    Checks the subset of the Chrome trace-event spec this exporter
+    uses; raises ``ValueError`` on the first violation.  The schema
+    test in ``tests/test_export.py`` runs this over real captures.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("trace-event JSON must be an object "
+                         "with a 'traceEvents' array")
+    entries = doc["traceEvents"]
+    if not isinstance(entries, list):
+        raise ValueError("'traceEvents' must be an array")
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        phase = entry.get("ph")
+        if phase not in _PHASES:
+            raise ValueError(f"traceEvents[{i}]: unknown phase {phase!r}")
+        if not isinstance(entry.get("name"), str):
+            raise ValueError(f"traceEvents[{i}]: 'name' must be a string")
+        for key in ("pid", "tid"):
+            if not isinstance(entry.get(key), int):
+                raise ValueError(
+                    f"traceEvents[{i}]: {key!r} must be an integer")
+        if phase in ("X", "i"):
+            if not isinstance(entry.get("ts"), (int, float)):
+                raise ValueError(
+                    f"traceEvents[{i}]: 'ts' must be a number")
+        if phase == "X":
+            dur = entry.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"traceEvents[{i}]: 'dur' must be a number >= 0")
+        args = entry.get("args")
+        if args is not None and not isinstance(args, dict):
+            raise ValueError(f"traceEvents[{i}]: 'args' must be an object")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABELED = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$")
+
+
+def _metric_name(raw: str) -> str:
+    """Sanitize a counter name into a legal Prometheus metric name."""
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", raw)
+    if not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _label_str(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    quoted = ",".join(
+        f'{_metric_name(k)}="{v}"' for k, v in pairs
+    )
+    return "{" + quoted + "}"
+
+
+def _split_labeled(raw: str) -> Tuple[str, List[Tuple[str, str]]]:
+    """Split ``name{k=v,...}`` (the MetricsRegistry labeled form)."""
+    match = _LABELED.match(raw)
+    if match is None:
+        return raw, []
+    pairs: List[Tuple[str, str]] = []
+    for part in match.group("labels").split(","):
+        key, _, value = part.partition("=")
+        pairs.append((key.strip(), value.strip()))
+    return match.group("name"), pairs
+
+
+def to_prometheus(stats: StatsRegistry) -> str:
+    """Render counters (and histograms) as Prometheus text exposition.
+
+    Counter names are sanitized (``log.forces`` -> ``log_forces``);
+    labeled counters (``net.messages{kind=page}``) become label sets;
+    histograms become cumulative ``_bucket{le=...}`` series plus
+    ``_sum`` and ``_count``.  Output order is deterministic.
+    """
+    lines: List[str] = []
+    seen_types: set = set()
+    for raw in sorted(stats.snapshot()):
+        value = stats.get(raw)
+        base, labels = _split_labeled(raw)
+        name = _metric_name(base)
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}{_label_str(labels)} {value}")
+    if isinstance(stats, MetricsRegistry):
+        for raw in sorted(stats.histograms()):
+            hist = stats.histograms()[raw]
+            name = _metric_name(raw)
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for index, edge in enumerate(hist.edges):
+                cumulative += hist.counts[index]
+                lines.append(
+                    f'{name}_bucket{{le="{edge:g}"}} {cumulative}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {hist.total}')
+            lines.append(f"{name}_sum {hist.sum:g}")
+            lines.append(f"{name}_count {hist.total}")
+    return "\n".join(lines) + "\n"

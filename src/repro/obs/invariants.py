@@ -21,6 +21,17 @@ them:
 * **I4 lamport** — every ``lsn.observe`` merge must leave the local
   maximum at least ``max(before, remote)``: observing a remote
   Local_Max_LSN may never move logical time backwards.
+* **I5 cluster-redo** — every ``cluster.redo_part`` must fall between
+  its system's ``cluster.redo_plan`` and the enclosing
+  ``recovery.end``; by that end, the distinct partition ids must cover
+  the plan exactly (``partitions`` of them, no duplicates, none
+  missing).
+* **I6 span-pairing** — every ``span.begin`` has exactly one matching
+  ``span.end`` (same span id, later in logical time); no duplicate
+  begins, no orphan ends, nothing left open at end of trace.
+* **I7 span-nesting** — per system, spans close in LIFO order: the
+  causal tree reconstructed by :mod:`repro.obs.spans` is only
+  meaningful if brackets nest properly.
 
 The checker is deliberately event-sourced: it keeps page and lock state
 reconstructed *only from the trace*, so it can audit a saved JSONL file
@@ -94,6 +105,14 @@ def check_trace(events: Iterable[TraceEvent]) -> List[Violation]:
     # event's own page_lsn_prev field.
     locks = _LockTable()
     observed_max: Dict[int, int] = {}
+    # I5: system -> (expected partition count, partition ids seen so far)
+    redo_plans: Dict[int, Tuple[int, Set[int]]] = {}
+    # I6: span id -> begin event (still open); closed ids kept to catch
+    # duplicate ends.
+    open_spans: Dict[int, TraceEvent] = {}
+    closed_spans: Set[int] = set()
+    # I7: per-system stack of open span ids.
+    span_stacks: Dict[int, List[int]] = {}
 
     def flag(inv: str, event: TraceEvent, message: str) -> None:
         violations.append(
@@ -184,6 +203,101 @@ def check_trace(events: Iterable[TraceEvent]) -> List[Violation]:
                     )
                 observed_max[event.system] = after
 
+        if kind == ev.CLUSTER_REDO_PLAN:
+            if event.system in redo_plans:
+                flag(
+                    "cluster-redo",
+                    event,
+                    f"redo plan opened while a previous plan for system "
+                    f"{event.system} is still awaiting recovery.end",
+                )
+            redo_plans[event.system] = (f.get("partitions", 0), set())
+        elif kind == ev.CLUSTER_REDO_PART:
+            plan = redo_plans.get(event.system)
+            partition = f.get("partition")
+            if plan is None:
+                flag(
+                    "cluster-redo",
+                    event,
+                    f"redo_part partition={partition} outside any "
+                    f"redo_plan/recovery.end window",
+                )
+            elif partition in plan[1]:
+                flag(
+                    "cluster-redo",
+                    event,
+                    f"duplicate redo_part for partition {partition}",
+                )
+            else:
+                plan[1].add(partition)
+        elif kind == ev.RECOVERY_END:
+            plan = redo_plans.pop(event.system, None)
+            if plan is not None and len(plan[1]) != plan[0]:
+                flag(
+                    "cluster-redo",
+                    event,
+                    f"redo plan promised {plan[0]} partition(s) but "
+                    f"{len(plan[1])} replayed before recovery.end",
+                )
+
+        if kind == ev.SPAN_BEGIN:
+            span_id = f.get("span")
+            if span_id in open_spans or span_id in closed_spans:
+                flag(
+                    "span-pairing",
+                    event,
+                    f"duplicate span.begin for span id {span_id}",
+                )
+            else:
+                open_spans[span_id] = event
+                span_stacks.setdefault(event.system, []).append(span_id)
+        elif kind == ev.SPAN_END:
+            span_id = f.get("span")
+            begin = open_spans.pop(span_id, None)
+            if begin is None:
+                flag(
+                    "span-pairing",
+                    event,
+                    f"span.end for span id {span_id} without an open "
+                    f"span.begin",
+                )
+            else:
+                closed_spans.add(span_id)
+                if begin.system != event.system:
+                    flag(
+                        "span-pairing",
+                        event,
+                        f"span {span_id} began on system {begin.system} "
+                        f"but ended on system {event.system}",
+                    )
+                stack = span_stacks.get(event.system, [])
+                if stack and stack[-1] == span_id:
+                    stack.pop()
+                else:
+                    flag(
+                        "span-nesting",
+                        event,
+                        f"span {span_id} ({f.get('name')}) closed out of "
+                        f"LIFO order on system {event.system} "
+                        f"(open stack: {stack})",
+                    )
+                    if span_id in stack:
+                        stack.remove(span_id)
+
+    for span_id in sorted(open_spans):
+        begin = open_spans[span_id]
+        violations.append(
+            Violation(
+                invariant="span-pairing",
+                seq=begin.seq,
+                system=begin.system,
+                message=(
+                    f"span {span_id} ({begin.fields.get('name')}) never "
+                    f"closed (no span.end by end of trace)"
+                ),
+            )
+        )
+
     return violations
 
 
@@ -191,7 +305,8 @@ def render_violations(violations: List[Violation]) -> str:
     """Human-readable report (one line per violation, or an all-clear)."""
     if not violations:
         return "invariants: OK (page-lsn-monotonic, redo-screening, " \
-               "update-under-lock, lamport)"
+               "update-under-lock, lamport, cluster-redo, " \
+               "span-pairing, span-nesting)"
     lines = [f"invariants: {len(violations)} violation(s)"]
     lines.extend(f"  {v}" for v in violations)
     return "\n".join(lines)

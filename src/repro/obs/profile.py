@@ -1,0 +1,140 @@
+"""Critical-path profiling over reconstructed span trees.
+
+Costs are logical ticks (see :mod:`repro.obs.spans`).  Two views:
+
+* The **critical path** of a root span: the chain obtained by always
+  descending into the most expensive (max inclusive) child.  Each step
+  is charged ``inclusive(step) - inclusive(next step)`` — the ticks
+  that step spent *outside* the chain's continuation — and the leaf is
+  charged its full inclusive cost, so the step costs telescope:
+
+      sum(step costs) == root.inclusive
+
+  exactly.  That identity is the acceptance check for the whole span
+  layer (``tests/test_spans.py``), and it is what makes "where did the
+  restart's ticks go" answerable from a trace alone.
+* The **self-cost table**: every span's exclusive ticks (inclusive
+  minus all children, not just the chain), aggregated by span name —
+  the flat-profile complement to the path view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.spans import SpanNode
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One node on a critical path and the ticks charged to it."""
+
+    node: SpanNode
+    cost: int
+
+
+def critical_path(root: SpanNode) -> List[PathStep]:
+    """The most expensive causal chain under ``root``.
+
+    Descends into the max-inclusive child at every level (ties break
+    toward the earlier span).  Unclosed children (inclusive 0) can
+    never win over a closed sibling, and an unclosed root yields a
+    single zero-cost step.
+    """
+    steps: List[PathStep] = []
+    node = root
+    while True:
+        best: Optional[SpanNode] = None
+        for child in node.children:
+            if best is None or child.inclusive > best.inclusive:
+                best = child
+        if best is None:
+            steps.append(PathStep(node=node, cost=node.inclusive))
+            return steps
+        steps.append(
+            PathStep(node=node, cost=node.inclusive - best.inclusive))
+        node = best
+
+
+def path_cost(steps: Iterable[PathStep]) -> int:
+    """Total ticks along a critical path (== the root's inclusive)."""
+    return sum(step.cost for step in steps)
+
+
+def self_costs(
+    forest: Iterable[SpanNode],
+) -> List[Tuple[str, int, int]]:
+    """Aggregate exclusive ticks by span name.
+
+    Returns ``(name, spans, exclusive_ticks)`` rows sorted by ticks
+    descending (name ascending on ties, for deterministic output).
+    """
+    ticks: Dict[str, int] = {}
+    counts: Dict[str, int] = {}
+    for root in forest:
+        for node in root.walk():
+            ticks[node.name] = ticks.get(node.name, 0) + node.exclusive
+            counts[node.name] = counts.get(node.name, 0) + 1
+    return sorted(
+        ((name, counts[name], ticks[name]) for name in ticks),
+        key=lambda row: (-row[2], row[0]),
+    )
+
+
+def select_root(
+    forest: List[SpanNode],
+    name: Optional[str] = None,
+    txn: Optional[int] = None,
+) -> Optional[SpanNode]:
+    """Pick the root span to profile.
+
+    Filters the roots by span ``name`` and/or a ``txn`` attribute;
+    among the matches, returns the most expensive (ties toward the
+    earlier span).  With no filters, simply the most expensive root.
+    """
+    candidates = [
+        root for root in forest
+        if (name is None or root.name == name)
+        and (txn is None or root.attrs.get("txn") == txn)
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda r: (r.inclusive, -r.begin_seq))
+
+
+def render_critical_path(steps: List[PathStep]) -> str:
+    """ASCII table of a critical path with per-step charges."""
+    if not steps:
+        return "(no spans)"
+    total = path_cost(steps)
+    lines = [f"critical path: {total} ticks"]
+    for depth, step in enumerate(steps):
+        node = step.node
+        attrs = ""
+        if node.attrs:
+            attrs = " " + " ".join(
+                f"{k}={node.attrs[k]}" for k in sorted(node.attrs)
+            )
+        pct = 100.0 * step.cost / total if total else 0.0
+        lines.append(
+            f"  {'  ' * depth}{node.name} sys={node.system}"
+            f"{attrs}: {step.cost} ticks ({pct:.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def render_self_costs(
+    rows: List[Tuple[str, int, int]], top: int = 10
+) -> str:
+    """ASCII top-N table of exclusive ticks by span name."""
+    if not rows:
+        return "(no spans)"
+    shown = rows[:top] if top else rows
+    width = max(len(name) for name, _, _ in shown)
+    lines = [f"{'span':<{width}}  count  self-ticks"]
+    for name, count, ticks in shown:
+        lines.append(f"{name:<{width}}  {count:>5}  {ticks:>10}")
+    if top and len(rows) > top:
+        lines.append(f"... ({len(rows) - top} more span names)")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Span-tree reconstruction from a flat trace.
+
+A span is a pair of ``span.begin``/``span.end`` events sharing a
+``span`` id; the begin event carries the parent link (``parent``, -1
+for a root).  Because the simulation is single-threaded, the spans of
+one trace nest properly and the pairs reconstruct into a forest of
+:class:`SpanNode` trees — the causal skeleton the critical-path
+profiler (:mod:`repro.obs.profile`) and the exporters walk.
+
+Costs are **logical ticks**: a span's inclusive cost is the number of
+``seq`` steps between its begin and end events, i.e. how many trace
+events the simulation emitted while the span was open.  Deterministic
+by construction (rule R002: no wall clocks), so costs diff cleanly
+across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs import events as ev
+from repro.obs.tracer import TraceEvent
+
+#: Begin-event fields that are span plumbing, not user attributes.
+_STRUCTURAL_FIELDS = frozenset({"span", "name", "parent"})
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span and its children."""
+
+    span_id: int
+    name: str
+    system: int
+    parent_id: int
+    begin_seq: int
+    end_seq: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return self.end_seq is not None
+
+    @property
+    def inclusive(self) -> int:
+        """Logical ticks between begin and end (0 for unclosed spans)."""
+        if self.end_seq is None:
+            return 0
+        return self.end_seq - self.begin_seq
+
+    @property
+    def exclusive(self) -> int:
+        """Self cost: inclusive minus the children's inclusive ticks."""
+        return self.inclusive - sum(c.inclusive for c in self.children)
+
+    def walk(self) -> Iterable["SpanNode"]:
+        """This node and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SpanNode({self.name!r}, id={self.span_id}, "
+            f"sys={self.system}, inclusive={self.inclusive})"
+        )
+
+
+def build_span_forest(events: Iterable[TraceEvent]) -> List[SpanNode]:
+    """Reconstruct the span forest from a trace.
+
+    Returns the root spans in begin order.  Tolerates unclosed spans
+    (a crash mid-span leaves ``end_seq=None``; the invariant checker is
+    where unpaired brackets become findings, not here) and dangling
+    parent ids (the child is promoted to a root).
+    """
+    by_id: Dict[int, SpanNode] = {}
+    roots: List[SpanNode] = []
+    for event in events:
+        if event.kind == ev.SPAN_BEGIN:
+            fields = event.fields
+            node = SpanNode(
+                span_id=fields["span"],
+                name=fields["name"],
+                system=event.system,
+                parent_id=fields.get("parent", -1),
+                begin_seq=event.seq,
+                attrs={
+                    k: v for k, v in fields.items()
+                    if k not in _STRUCTURAL_FIELDS
+                },
+            )
+            by_id[node.span_id] = node
+            parent = by_id.get(node.parent_id)
+            if parent is None:
+                roots.append(node)
+            else:
+                parent.children.append(node)
+        elif event.kind == ev.SPAN_END:
+            node = by_id.get(event.fields.get("span", -1))
+            if node is not None:
+                node.end_seq = event.seq
+                error = event.fields.get("error")
+                if error is not None:
+                    node.error = error
+    return roots
+
+
+def spans_by_name(
+    forest: Iterable[SpanNode], name: str
+) -> List[SpanNode]:
+    """Every span named ``name`` anywhere in the forest, begin order."""
+    found = [
+        node
+        for root in forest
+        for node in root.walk()
+        if node.name == name
+    ]
+    found.sort(key=lambda n: n.begin_seq)
+    return found
+
+
+def render_span_tree(
+    forest: Iterable[SpanNode], max_depth: int = 0
+) -> str:
+    """ASCII rendering of the span forest with tick costs.
+
+    ``max_depth`` > 0 prunes deeper levels (0 = unlimited).
+    """
+    lines: List[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        indent = "  " * depth
+        attrs = ""
+        if node.attrs:
+            attrs = " " + " ".join(
+                f"{k}={node.attrs[k]}" for k in sorted(node.attrs)
+            )
+        status = ""
+        if not node.closed:
+            status = " [unclosed]"
+        elif node.error:
+            status = f" [error={node.error}]"
+        lines.append(
+            f"{indent}{node.name} sys={node.system} span={node.span_id} "
+            f"incl={node.inclusive} excl={node.exclusive}{attrs}{status}"
+        )
+        if max_depth and depth + 1 >= max_depth:
+            return
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in forest:
+        visit(root, 0)
+    if not lines:
+        return "(no spans)"
+    return "\n".join(lines)

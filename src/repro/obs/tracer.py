@@ -31,6 +31,7 @@ from typing import (
 )
 
 from repro.common.clock import SkewedClock
+from repro.obs.events import SPAN_BEGIN, SPAN_END
 
 
 def _jsonable(value: Any) -> Any:
@@ -90,6 +91,28 @@ class TraceEvent:
         )
 
 
+class _NullSpan:
+    """The no-op span handle: a reusable context manager.
+
+    Shared process-wide (it holds no state), so ``NullTracer.span()``
+    allocates nothing — tracing-off span sites cost one method call and
+    two no-op ``__enter__``/``__exit__`` calls.
+    """
+
+    #: Null spans have no identity; profile code treats -1 as "absent".
+    span_id: int = -1
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+#: Shared no-op span handle returned by :meth:`NullTracer.span`.
+NULL_SPAN = _NullSpan()
+
+
 class NullTracer:
     """The zero-cost default: swallows everything.
 
@@ -110,12 +133,73 @@ class NullTracer:
         named ``kind`` (e.g. a log record's kind on a page update).
         """
 
+    def span(
+        self,
+        name: str,
+        /,
+        system: int = 0,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ) -> "_NullSpan":
+        """Open a causal span (no-op): returns the shared null handle."""
+        return NULL_SPAN
+
+    def span_begin(
+        self,
+        name: str,
+        /,
+        system: int = 0,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ) -> "_NullSpan":
+        """Manually open a span (no-op).  Pair with :meth:`span_end`."""
+        return NULL_SPAN
+
+    def span_end(self, handle: "_NullSpan", **attrs: Any) -> None:
+        """Manually close a span opened by :meth:`span_begin` (no-op)."""
+
     def events(self) -> List[TraceEvent]:
         return []
 
 
 #: Shared process-wide null tracer; safe because it holds no state.
 NULL_TRACER = NullTracer()
+
+
+class SpanHandle(_NullSpan):
+    """An open span on a recording tracer.
+
+    Use as a context manager (``with tracer.span(...):``) — ``__exit__``
+    emits the paired ``span.end`` even when the block raises, tagging
+    the end event with ``error=<ExceptionName>`` so chaos traces keep
+    the pairing invariant.  Lint rule R013 enforces the ``with`` usage;
+    the manual :meth:`Tracer.span_begin`/:meth:`Tracer.span_end` escape
+    hatch exists for spans that outlive one lexical block.
+    """
+
+    __slots__ = ("tracer", "span_id", "name", "system", "_closed")
+
+    def __init__(
+        self, tracer: "Tracer", span_id: int, name: str, system: int
+    ) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.name = name
+        self.system = system
+        self._closed = False
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is not None:
+            self.tracer.span_end(self, error=exc_type.__name__)
+        else:
+            self.tracer.span_end(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else "open"
+        return f"SpanHandle({self.name!r}, id={self.span_id}, {state})"
 
 
 class Tracer(NullTracer):
@@ -134,6 +218,8 @@ class Tracer(NullTracer):
         self._events: List[TraceEvent] = []
         self._clocks: Dict[int, SkewedClock] = {}
         self._seq = 0
+        self._span_seq = 0
+        self._span_stack: List[SpanHandle] = []
 
     def register_clock(self, system_id: int, clock: SkewedClock) -> None:
         self._clocks[system_id] = clock
@@ -156,6 +242,71 @@ class Tracer(NullTracer):
                 clock=reading,
                 ticks=ticks,
             )
+        )
+
+    # -- spans ---------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        /,
+        system: int = 0,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ) -> SpanHandle:
+        """Open a causal span: emits ``span.begin`` now and the paired
+        ``span.end`` when the returned handle's ``with`` block exits.
+
+        Span ids come from a tracer-global counter, so they are as
+        deterministic as ``seq``.  The parent link is the innermost
+        still-open span (the simulation is single-threaded, so lexical
+        nesting *is* causal nesting); pass ``parent=`` to override —
+        an explicit ``parent=-1`` forces a root span.
+        """
+        return self.span_begin(name, system=system, parent=parent, **attrs)
+
+    def span_begin(
+        self,
+        name: str,
+        /,
+        system: int = 0,
+        parent: Optional[int] = None,
+        **attrs: Any,
+    ) -> SpanHandle:
+        """Open a span without a ``with`` block (see :meth:`span`).
+
+        Every begin must reach a :meth:`span_end` on all exit paths —
+        rule R013 checks this statically, the trace invariant checker
+        dynamically.
+        """
+        self._span_seq += 1
+        handle = SpanHandle(self, self._span_seq, name, system)
+        if parent is None:
+            parent_id = self._span_stack[-1].span_id if self._span_stack \
+                else -1
+        else:
+            parent_id = parent
+        self._span_stack.append(handle)
+        self.emit(
+            SPAN_BEGIN, system=system, span=handle.span_id, name=name,
+            parent=parent_id, **attrs,
+        )
+        return handle
+
+    def span_end(self, handle: _NullSpan, **attrs: Any) -> None:
+        """Close an open span, emitting the paired ``span.end``."""
+        if not isinstance(handle, SpanHandle) or handle._closed:
+            return
+        handle._closed = True
+        # LIFO in the common case; identity removal tolerates manual
+        # spans closed out of order (the nesting invariant will flag
+        # the trace, but the bracket stays paired).
+        for i in range(len(self._span_stack) - 1, -1, -1):
+            if self._span_stack[i] is handle:
+                del self._span_stack[i]
+                break
+        self.emit(
+            SPAN_END, system=handle.system, span=handle.span_id,
+            name=handle.name, **attrs,
         )
 
     # ------------------------------------------------------------------

@@ -85,28 +85,33 @@ def restart_recovery(instance, fix_page=None, unfix_page=None,
     """
     log = instance.log
     tracer = _tracer_of(instance)
+    system_id = instance.system_id
     summary = RestartSummary()
-    if tracer.enabled:
-        tracer.emit(ev.RECOVERY_BEGIN, system=instance.system_id,
-                    mode="restart")
-    # The Lamport clock must be re-seeded before any CLR is appended.
-    log.recover_local_max()
+    with tracer.span(ev.SPAN_RECOVERY, system=system_id, mode="restart"):
+        if tracer.enabled:
+            tracer.emit(ev.RECOVERY_BEGIN, system=system_id,
+                        mode="restart")
+        # The Lamport clock must be re-seeded before any CLR is appended.
+        log.recover_local_max()
 
-    dpt, losers = _analysis_pass(log, summary)
-    summary.dirty_pages_at_crash = len(dpt)
-    summary.loser_transactions = len(losers)
-    _redo_pass(instance, dpt, summary, parallelism=redo_parallelism)
-    _undo_pass(instance, losers, summary,
-               fix_page=fix_page, unfix_page=unfix_page)
-    log.force()
-    if tracer.enabled:
-        tracer.emit(
-            ev.RECOVERY_END, system=instance.system_id,
-            redone=summary.records_redone,
-            skipped=summary.redo_skipped_by_lsn,
-            losers=summary.loser_transactions,
-            clrs=summary.clrs_written,
-        )
+        with tracer.span(ev.SPAN_ANALYSIS, system=system_id):
+            dpt, losers = _analysis_pass(log, summary)
+        summary.dirty_pages_at_crash = len(dpt)
+        summary.loser_transactions = len(losers)
+        with tracer.span(ev.SPAN_REDO, system=system_id):
+            _redo_pass(instance, dpt, summary, parallelism=redo_parallelism)
+        with tracer.span(ev.SPAN_UNDO, system=system_id):
+            _undo_pass(instance, losers, summary,
+                       fix_page=fix_page, unfix_page=unfix_page)
+        log.force()
+        if tracer.enabled:
+            tracer.emit(
+                ev.RECOVERY_END, system=system_id,
+                redone=summary.records_redone,
+                skipped=summary.redo_skipped_by_lsn,
+                losers=summary.loser_transactions,
+                clrs=summary.clrs_written,
+            )
     return summary
 
 
@@ -233,71 +238,86 @@ def fast_restart_recovery(
     coherency-mediated), because a loser's page may by now live in
     another system's pool.
     """
+    log = instance.log
+    tracer = _tracer_of(instance)
+    system_id = instance.system_id
+    summary = RestartSummary()
+    with tracer.span(ev.SPAN_RECOVERY, system=system_id, mode="fast"):
+        if tracer.enabled:
+            tracer.emit(ev.RECOVERY_BEGIN, system=system_id, mode="fast")
+        log.recover_local_max()
+        with tracer.span(ev.SPAN_ANALYSIS, system=system_id):
+            dpt, losers = _analysis_pass(log, summary)
+        summary.dirty_pages_at_crash = len(dpt)
+        summary.loser_transactions = len(losers)
+
+        targets = (set(dpt) | set(candidate_pages)) - set(skip_page_ids)
+        with tracer.span(ev.SPAN_REDO, system=system_id):
+            if targets and redo_parallelism > 1:
+                from repro.cluster.redo import (
+                    collect_merged_redo,
+                    replay_partitioned,
+                )
+
+                per_page = collect_merged_redo(all_logs, targets)
+                replay_partitioned(
+                    instance, per_page, redo_parallelism, summary)
+            elif targets:
+                _merged_redo(instance, all_logs, targets, summary)
+        with tracer.span(ev.SPAN_UNDO, system=system_id):
+            _undo_pass(instance, losers, summary,
+                       fix_page=fix_page, unfix_page=unfix_page)
+        log.force()
+        if tracer.enabled:
+            tracer.emit(
+                ev.RECOVERY_END, system=system_id,
+                redone=summary.records_redone,
+                skipped=summary.redo_skipped_by_lsn,
+                losers=summary.loser_transactions,
+                clrs=summary.clrs_written,
+            )
+    return summary
+
+
+def _merged_redo(instance, all_logs, targets, summary: RestartSummary) -> None:
+    """Serial merged-log redo (fast scheme, ``redo_parallelism == 1``)."""
     from repro.wal.merge import merge_local_logs
 
     log = instance.log
     pool = instance.pool
     tracer = _tracer_of(instance)
-    summary = RestartSummary()
-    if tracer.enabled:
-        tracer.emit(ev.RECOVERY_BEGIN, system=instance.system_id,
-                    mode="fast")
-    log.recover_local_max()
-    dpt, losers = _analysis_pass(log, summary)
-    summary.dirty_pages_at_crash = len(dpt)
-    summary.loser_transactions = len(losers)
-
-    targets = (set(dpt) | set(candidate_pages)) - set(skip_page_ids)
-    if targets and redo_parallelism > 1:
-        from repro.cluster.redo import collect_merged_redo, replay_partitioned
-
-        per_page = collect_merged_redo(all_logs, targets)
-        replay_partitioned(instance, per_page, redo_parallelism, summary)
-    elif targets:
-        for _, record in merge_local_logs(all_logs):
-            if not record.is_page_oriented() or record.page_id not in targets:
-                continue
-            page = pool.fix(record.page_id)
-            try:
-                if record.lsn > page.page_lsn:
-                    page_lsn_prev = page.page_lsn
-                    apply_redo(page, record)
-                    # The covering records are in their writers' stable
-                    # logs; nothing to force locally before page writes.
-                    bcb = pool.bcb(record.page_id)
-                    if not bcb.dirty:
-                        bcb.dirty = True
-                        bcb.rec_lsn = record.lsn
-                        bcb.rec_addr = log.end_offset
-                    summary.records_redone += 1
-                    if tracer.enabled:
-                        tracer.emit(
-                            ev.RECOVERY_REDO, system=instance.system_id,
-                            page=record.page_id, lsn=int(record.lsn),
-                            page_lsn_prev=int(page_lsn_prev),
-                        )
-                else:
-                    summary.redo_skipped_by_lsn += 1
-                    if tracer.enabled:
-                        tracer.emit(
-                            ev.RECOVERY_SKIP, system=instance.system_id,
-                            page=record.page_id, lsn=int(record.lsn),
-                            page_lsn=int(page.page_lsn),
-                        )
-            finally:
-                pool.unfix(record.page_id)
-    _undo_pass(instance, losers, summary,
-               fix_page=fix_page, unfix_page=unfix_page)
-    log.force()
-    if tracer.enabled:
-        tracer.emit(
-            ev.RECOVERY_END, system=instance.system_id,
-            redone=summary.records_redone,
-            skipped=summary.redo_skipped_by_lsn,
-            losers=summary.loser_transactions,
-            clrs=summary.clrs_written,
-        )
-    return summary
+    for _, record in merge_local_logs(all_logs):
+        if not record.is_page_oriented() or record.page_id not in targets:
+            continue
+        page = pool.fix(record.page_id)
+        try:
+            if record.lsn > page.page_lsn:
+                page_lsn_prev = page.page_lsn
+                apply_redo(page, record)
+                # The covering records are in their writers' stable
+                # logs; nothing to force locally before page writes.
+                bcb = pool.bcb(record.page_id)
+                if not bcb.dirty:
+                    bcb.dirty = True
+                    bcb.rec_lsn = record.lsn
+                    bcb.rec_addr = log.end_offset
+                summary.records_redone += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        ev.RECOVERY_REDO, system=instance.system_id,
+                        page=record.page_id, lsn=int(record.lsn),
+                        page_lsn_prev=int(page_lsn_prev),
+                    )
+            else:
+                summary.redo_skipped_by_lsn += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        ev.RECOVERY_SKIP, system=instance.system_id,
+                        page=record.page_id, lsn=int(record.lsn),
+                        page_lsn=int(page.page_lsn),
+                    )
+        finally:
+            pool.unfix(record.page_id)
 
 
 # ----------------------------------------------------------------------

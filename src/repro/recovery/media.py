@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.common.stats import StatsRegistry
+from repro.obs import events as ev
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.recovery.apply import apply_redo
 from repro.storage.disk import SharedDisk
 from repro.storage.image_copy import ImageCopy
@@ -32,6 +34,7 @@ def recover_page_from_media(
     disk: Optional[SharedDisk] = None,
     stats: Optional[StatsRegistry] = None,
     use_dump_offsets: bool = True,
+    tracer: Optional[NullTracer] = None,
 ) -> Page:
     """Rebuild ``page_id`` from its image copy and the merged logs.
 
@@ -41,25 +44,28 @@ def recover_page_from_media(
     (``use_dump_offsets=False`` forces a full scan, e.g. for pages born
     after the dump).  Returns the page.
     """
-    from_offsets = None
-    if image_copy is not None and image_copy.has_page(page_id):
-        page = image_copy.restore_page(page_id)
-        if use_dump_offsets and image_copy.log_offsets:
-            from_offsets = image_copy.log_offsets
-    else:
-        # Page was born after the dump: recovery starts from a blank
-        # page and the page's FORMAT record will rebuild it, so the
-        # scan must cover the full logs.
-        page = Page()
-        page.format(page_id, PageType.FREE)
-    for _, record in merge_local_logs(logs, stats=stats,
-                                      from_offsets=from_offsets):
-        if record.page_id != page_id:
-            continue
-        if record.lsn > page.page_lsn:
-            apply_redo(page, record)
-    if disk is not None:
-        disk.write_page(page)
+    if tracer is None:
+        tracer = NULL_TRACER
+    with tracer.span(ev.SPAN_RECOVERY, mode="media", page=page_id):
+        from_offsets = None
+        if image_copy is not None and image_copy.has_page(page_id):
+            page = image_copy.restore_page(page_id)
+            if use_dump_offsets and image_copy.log_offsets:
+                from_offsets = image_copy.log_offsets
+        else:
+            # Page was born after the dump: recovery starts from a blank
+            # page and the page's FORMAT record will rebuild it, so the
+            # scan must cover the full logs.
+            page = Page()
+            page.format(page_id, PageType.FREE)
+        for _, record in merge_local_logs(logs, stats=stats,
+                                          from_offsets=from_offsets):
+            if record.page_id != page_id:
+                continue
+            if record.lsn > page.page_lsn:
+                apply_redo(page, record)
+        if disk is not None:
+            disk.write_page(page)
     return page
 
 
@@ -69,6 +75,7 @@ def recover_database_from_media(
     disk: SharedDisk,
     page_ids: Iterable[int],
     stats: Optional[StatsRegistry] = None,
+    tracer: Optional[NullTracer] = None,
 ) -> int:
     """Rebuild many pages in one merged-log pass; returns pages rebuilt.
 
@@ -76,19 +83,22 @@ def recover_database_from_media(
     shape a real media-recovery utility uses, and what experiment E9
     measures for merge cost.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     wanted = set(page_ids)
-    pages = {}
-    for page_id in wanted:
-        if image_copy is not None and image_copy.has_page(page_id):
-            pages[page_id] = image_copy.restore_page(page_id)
-        else:
-            blank = Page()
-            blank.format(page_id, PageType.FREE)
-            pages[page_id] = blank
-    for _, record in merge_local_logs(logs, stats=stats):
-        page = pages.get(record.page_id)
-        if page is not None and record.lsn > page.page_lsn:
-            apply_redo(page, record)
-    for page in pages.values():
-        disk.write_page(page)
+    with tracer.span(ev.SPAN_RECOVERY, mode="media", pages=len(wanted)):
+        pages = {}
+        for page_id in sorted(wanted):
+            if image_copy is not None and image_copy.has_page(page_id):
+                pages[page_id] = image_copy.restore_page(page_id)
+            else:
+                blank = Page()
+                blank.format(page_id, PageType.FREE)
+                pages[page_id] = blank
+        for _, record in merge_local_logs(logs, stats=stats):
+            page = pages.get(record.page_id)
+            if page is not None and record.lsn > page.page_lsn:
+                apply_redo(page, record)
+        for page_id in sorted(pages):
+            disk.write_page(pages[page_id])
     return len(pages)

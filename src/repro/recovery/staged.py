@@ -26,10 +26,12 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.common.errors import ReproError
 from repro.common.lsn import Lsn
+from repro.obs import events as ev
 from repro.recovery.aries import (
     RestartSummary,
     _analysis_pass,
     _redo_pass,
+    _tracer_of,
     _undo_pass,
 )
 
@@ -71,11 +73,14 @@ class StagedRestart:
         instance = self.instance
         instance.crashed = False
         log = instance.log
+        tracer = _tracer_of(instance)
         log.recover_local_max()
-        dpt, losers = _analysis_pass(log, self.summary)
+        with tracer.span(ev.SPAN_ANALYSIS, system=instance.system_id):
+            dpt, losers = _analysis_pass(log, self.summary)
         self.summary.dirty_pages_at_crash = len(dpt)
         self.summary.loser_transactions = len(losers)
-        _redo_pass(instance, dpt, self.summary)
+        with tracer.span(ev.SPAN_REDO, system=instance.system_id):
+            _redo_pass(instance, dpt, self.summary)
         instance.pool.flush_all()
         self.complex.coherency.note_recovered(instance.system_id)
         self._losers = losers
@@ -101,12 +106,14 @@ class StagedRestart:
         if self._finished:
             raise ReproError("undo already ran")
         instance = self.instance
+        tracer = _tracer_of(instance)
         # A loser's page may have moved to another system during the
         # open window; the fixer fetches the current version (with the
         # crashed-owner reconstruction fallback).
-        _undo_pass(instance, self._losers, self.summary,
-                   fix_page=self.complex.recovery_page_fixer(instance),
-                   unfix_page=instance.pool.unfix)
+        with tracer.span(ev.SPAN_UNDO, system=instance.system_id):
+            _undo_pass(instance, self._losers, self.summary,
+                       fix_page=self.complex.recovery_page_fixer(instance),
+                       unfix_page=instance.pool.unfix)
         instance.log.force()
         instance.pool.flush_all()
         self.complex.release_system_locks(instance.system_id)

@@ -29,6 +29,7 @@ from repro.faults.injector import NULL_INJECTOR, NullFaultInjector
 from repro.faults.policy import RetryPolicy
 from repro.locking.lock_manager import LockManager, LockMode, LockStatus
 from repro.net.network import Network
+from repro.obs import events as ev
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.recovery.commit_lsn import CommitLsnService
 from repro.sd.coherency import CoherencyController
@@ -210,12 +211,17 @@ class SDComplex:
         the fast scheme, redo replays the merged local logs for the
         pages the failed instance owned (Section 5 extension).
         """
-        from repro.recovery.aries import fast_restart_recovery, restart_recovery
-
         instance = self.instances[system_id]
         if not instance.crashed:
             raise ReproError(f"system {system_id} is not down")
         instance.crashed = False
+        with self.tracer.span(ev.SPAN_RESTART, system=system_id,
+                              target="instance"):
+            return self._restart_instance(system_id, instance)
+
+    def _restart_instance(self, system_id: int, instance: DbmsInstance):
+        from repro.recovery.aries import fast_restart_recovery, restart_recovery
+
         if self.transfer_scheme == "fast":
             candidates = self.coherency.pages_owned_by(system_id)
             skip = set()
@@ -321,9 +327,10 @@ class SDComplex:
         each instance's redo needs only its own log under the medium
         transfer scheme, and undo is per-transaction)."""
         summaries = {}
-        for system_id in sorted(self.instances):
-            if self.instances[system_id].crashed:
-                summaries[system_id] = self.restart_instance(system_id)
+        with self.tracer.span(ev.SPAN_RESTART, system=0, target="complex"):
+            for system_id in sorted(self.instances):
+                if self.instances[system_id].crashed:
+                    summaries[system_id] = self.restart_instance(system_id)
         return summaries
 
     # ------------------------------------------------------------------

@@ -142,6 +142,14 @@ class DbmsInstance:
         until synced: its locks stay held, and a crash before the sync
         rolls it back like any in-flight transaction.
         """
+        if self.tracer.enabled:
+            with self.tracer.span(ev.SPAN_COMMIT, system=self.system_id,
+                                  txn=txn.txn_id, lazy=lazy):
+                self._commit(txn, lazy)
+        else:
+            self._commit(txn, lazy)
+
+    def _commit(self, txn: Transaction, lazy: bool) -> None:
         self._check_writable()
         self._check_active(txn)
         commit = LogRecord(kind=RecordKind.COMMIT, txn_id=txn.txn_id,

@@ -234,19 +234,31 @@ class LogManager:
         """
         target = len(self._buffer) if up_to is None else min(up_to, len(self._buffer))
         if target > self._flushed_len:
-            if self._injector.enabled:
-                # Consulted only when a real device write would happen,
-                # and before the stable boundary moves: an injected
-                # log-device failure leaves the log exactly as it was.
-                self._injector.fire(
-                    fp.LOG_FORCE, system=self.system_id, up_to=target
-                )
-            self._flushed_len = target
-            self.stats.incr(LOG_FORCES)
             if self.tracer.enabled:
-                self.tracer.emit(
-                    ev.LOG_FORCE, system=self.system_id, up_to=target
-                )
+                # Guarded span: the kwargs dict and handle are only
+                # built when tracing — force is on the commit hot path.
+                with self.tracer.span(
+                    ev.SPAN_LOG_FORCE, system=self.system_id, up_to=target
+                ):
+                    self._advance_stable(target)
+            else:
+                self._advance_stable(target)
+
+    def _advance_stable(self, target: int) -> None:
+        """Advance the stable boundary to ``target`` (> current)."""
+        if self._injector.enabled:
+            # Consulted only when a real device write would happen,
+            # and before the stable boundary moves: an injected
+            # log-device failure leaves the log exactly as it was.
+            self._injector.fire(
+                fp.LOG_FORCE, system=self.system_id, up_to=target
+            )
+        self._flushed_len = target
+        self.stats.incr(LOG_FORCES)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                ev.LOG_FORCE, system=self.system_id, up_to=target
+            )
 
     def force_through(self, offsets: Iterable[int]) -> int:
         """Coalesce a set of force requests into one stable write.

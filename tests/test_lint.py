@@ -902,6 +902,117 @@ class TestR012:
 
 
 # ----------------------------------------------------------------------
+# R013 — span discipline (with usage; span_end on all exit paths)
+# ----------------------------------------------------------------------
+class TestR013:
+    def test_bare_span_call_flagged(self):
+        found = findings_for(
+            """
+            class C:
+                def f(self, txn):
+                    self.tracer.span("commit", txn=txn)
+                    return txn
+            """
+        )
+        assert ids_of(found) == ["R013"]
+
+    def test_with_span_clean(self):
+        assert (
+            findings_for(
+                """
+                class C:
+                    def f(self, txn):
+                        with self.tracer.span("commit", txn=txn):
+                            return self.apply(txn)
+                """
+            )
+            == []
+        )
+
+    def test_returned_span_clean(self):
+        # A factory handing the handle to its caller is not the leak.
+        assert (
+            findings_for(
+                """
+                class C:
+                    def open_span(self, txn):
+                        return self.tracer.span("commit", txn=txn)
+                """
+            )
+            == []
+        )
+
+    def test_manual_begin_without_end_flagged(self):
+        found = findings_for(
+            """
+            class C:
+                def f(self, txn):
+                    handle = self.tracer.span_begin("commit", txn=txn)
+                    return self.apply(txn)
+            """
+        )
+        assert ids_of(found) == ["R013"]
+
+    def test_manual_begin_early_return_flagged(self):
+        found = findings_for(
+            """
+            class C:
+                def f(self, txn):
+                    handle = self.tracer.span_begin("commit", txn=txn)
+                    if txn is None:
+                        return None
+                    self.tracer.span_end(handle)
+                    return txn
+            """
+        )
+        assert ids_of(found) == ["R013"]
+
+    def test_manual_begin_raise_path_flagged(self):
+        # apply() may raise between begin and end; no try/finally.
+        found = findings_for(
+            """
+            class C:
+                def f(self, txn):
+                    handle = self.tracer.span_begin("commit", txn=txn)
+                    result = self.apply(txn)
+                    self.tracer.span_end(handle)
+                    return result
+            """
+        )
+        assert ids_of(found) == ["R013"]
+        assert "escaping-exception" in found[0].message
+
+    def test_manual_begin_try_finally_clean(self):
+        assert (
+            findings_for(
+                """
+                class C:
+                    def f(self, txn):
+                        handle = self.tracer.span_begin("commit", txn=txn)
+                        try:
+                            return self.apply(txn)
+                        finally:
+                            self.tracer.span_end(handle)
+                """
+            )
+            == []
+        )
+
+    def test_non_tracer_receiver_ignored(self):
+        # .span() on something that is not a tracer is out of scope.
+        assert (
+            findings_for(
+                """
+                class C:
+                    def f(self, layout):
+                        return self.grid.span(3)
+                """
+            )
+            == []
+        )
+
+
+# ----------------------------------------------------------------------
 # suppression comments
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -987,6 +1098,7 @@ class TestEngine:
             "R010",
             "R011",
             "R012",
+            "R013",
         ]
         for rule in ALL_RULES:
             assert rule.description
@@ -1498,6 +1610,11 @@ class TestRealTree:
                 "    def f(self, pages):\n"
                 "        for p in set(pages):\n"
                 "            self.tracer.emit('touch', page=p)\n"
+            ),
+            "R013": (
+                "class C:\n"
+                "    def f(self, txn):\n"
+                "        self.tracer.span('commit', txn=txn)\n"
             ),
         }
         assert set(seeded) == {r.id for r in ALL_RULES}

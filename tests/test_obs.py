@@ -114,6 +114,27 @@ class TestTimeline:
     def test_empty_trace(self):
         assert render_timeline([]) == "(empty trace)"
 
+    def test_single_system_trace(self):
+        tracer = Tracer()
+        tracer.emit(ev.LOG_APPEND, system=3, lsn=1)
+        tracer.emit(ev.LOG_FORCE, system=3, up_to=1)
+        out = render_timeline(tracer.events())
+        header = out.splitlines()[0]
+        assert "sys3" in header and "sys1" not in header
+        assert len(out.splitlines()) == 4  # header, rule, two events
+
+    def test_width_clamps_labels_with_ellipsis(self):
+        out = render_timeline(self._trace(), column_width=12)
+        body = out.splitlines()[2:]
+        labels = [line.split("  ")[-1].strip() for line in body]
+        assert any(label.endswith("…") for label in labels)
+        assert all(len(label) <= 12 for label in labels)
+
+    def test_max_rows_zero_means_unlimited(self):
+        out = render_timeline(self._trace(), max_rows=0)
+        assert "more events" not in out
+        assert len(out.splitlines()) == 2 + len(self._trace())
+
     def test_summary_tables(self):
         tables, metrics = summarize_trace(self._trace())
         titles = [t for t, _ in tables]
@@ -324,6 +345,81 @@ class TestCli:
         out = capsys.readouterr().out
         assert "[EX] HOLDS: claim text" in out
         assert "demo" in out
+
+    def test_missing_trace_file_is_one_line_exit_2(self, capsys):
+        assert trace_cli(["/nonexistent/trace.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "no such trace file" in err
+
+    def test_empty_trace_file_is_one_line_exit_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert trace_cli(["summary", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "empty" in err
+
+    def _captured(self, tmp_path, capsys, scenario="e7-restart"):
+        out = tmp_path / f"{scenario}.jsonl"
+        assert trace_cli(["--capture", scenario, "-o", str(out)]) == 0
+        capsys.readouterr()
+        return str(out)
+
+    def test_summary_json(self, tmp_path, capsys):
+        path = self._captured(tmp_path, capsys)
+        assert trace_cli(["summary", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["systems"] == [0, 1]
+        assert payload["events"] > 0
+        counters = payload["metrics"]["counters"]
+        assert counters["trace.events{kind=span.begin}"] == \
+            counters["trace.events{kind=span.end}"]
+
+    def test_summary_json_check_reports_violations(self, tmp_path, capsys):
+        path = self._captured(tmp_path, capsys, scenario="e1-naive")
+        assert trace_cli(["summary", path, "--json", "--check"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        invariants = {v["invariant"] for v in payload["violations"]}
+        assert "page-lsn-monotonic" in invariants
+
+    def test_spans_subcommand(self, tmp_path, capsys):
+        path = self._captured(tmp_path, capsys)
+        assert trace_cli(["spans", path]) == 0
+        out = capsys.readouterr().out
+        assert "restart" in out and "incl=" in out
+
+    def test_critical_path_subcommand(self, tmp_path, capsys):
+        path = self._captured(tmp_path, capsys)
+        assert trace_cli(["critical-path", path, "--root", "restart"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("critical path:")
+        assert "self-ticks" in out
+
+    def test_critical_path_no_match_exits_one(self, tmp_path, capsys):
+        path = self._captured(tmp_path, capsys)
+        assert trace_cli(["critical-path", path, "--root", "nope"]) == 1
+        assert "no matching root span" in capsys.readouterr().err
+
+    def test_export_perfetto_subcommand(self, tmp_path, capsys):
+        from repro.obs.export import validate_perfetto
+
+        path = self._captured(tmp_path, capsys)
+        out_file = tmp_path / "trace.perfetto.json"
+        assert trace_cli(
+            ["export", path, "--perfetto", "-o", str(out_file)]) == 0
+        validate_perfetto(json.loads(out_file.read_text()))
+
+    def test_export_prom_subcommand(self, tmp_path, capsys):
+        path = self._captured(tmp_path, capsys)
+        assert trace_cli(["export", path, "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE trace_events counter" in out
+
+    def test_diff_subcommand(self, tmp_path, capsys):
+        path = self._captured(tmp_path, capsys)
+        assert trace_cli(["diff", path, path]) == 0
+        assert "(no span differences)" in capsys.readouterr().out
 
 
 # ----------------------------------------------------------------------

@@ -13,7 +13,8 @@
 #   lint    ruff (when installed) + reprolint (always required)
 #   type    mypy (when installed; skipped otherwise)
 #   test    tier-1 pytest suite
-#   bench   E1 bench smoke + bench-suite smoke (temp files, self-compare)
+#   bench   E1 bench smoke + bench-suite smoke + span-trace smoke
+#           (capture, critical-path, invariant check, Perfetto export)
 #   chaos   crash-point torture smoke (python -m repro.chaos --smoke)
 #
 # Every stage runs even after an earlier one fails; each step's result
@@ -104,9 +105,39 @@ bench_suite_smoke() {
     return "${status}"
 }
 
+# Span smoke: capture the E1 anomaly under a recording tracer, profile
+# the commit critical path, run the trace invariant checker, and export
+# Perfetto JSON.  With SPAN_TRACE_DIR set (CI does this) the trace and
+# the Perfetto export land there for artifact upload; otherwise a temp
+# dir is used and removed.
+span_trace_smoke() {
+    local dir cleanup=0 status=0
+    if [ -n "${SPAN_TRACE_DIR:-}" ]; then
+        dir="${SPAN_TRACE_DIR}"
+        mkdir -p "${dir}"
+    else
+        dir="$(mktemp -d -t span_trace.XXXXXX)"
+        cleanup=1
+    fi
+    python -m repro.trace --capture e1-usn -o "${dir}/e1-usn.jsonl" \
+            >/dev/null 2>&1 \
+        && python -m repro.trace critical-path "${dir}/e1-usn.jsonl" \
+            --root commit >/dev/null \
+        && python -m repro.trace summary "${dir}/e1-usn.jsonl" --check \
+            >/dev/null \
+        && python -m repro.trace export "${dir}/e1-usn.jsonl" --perfetto \
+            -o "${dir}/e1-usn.perfetto.json" >/dev/null \
+        || status=$?
+    if [ "${cleanup}" -eq 1 ]; then
+        rm -rf "${dir}"
+    fi
+    return "${status}"
+}
+
 stage_bench() {
     run_step "bench-e1 smoke" bench_e1_smoke
     run_step "bench-suite smoke" bench_suite_smoke
+    run_step "span-trace smoke" span_trace_smoke
 }
 
 # Chaos smoke: <= 10 crash-point kills across SD and CS, each followed
