@@ -42,9 +42,11 @@ from repro.common.clock import wall_seconds
 SCHEMA_VERSION = 1
 
 #: Trimmed suite for the pre-PR smoke gate: one standalone bench (E1,
-#: exercising the JSON harvest path), one fast pytest bench, and the
-#: micro bench whose fast-lane speedup assertions gate this PR.
-SMOKE_BENCHES = ("bench_e1_anomaly", "bench_a3_group_commit", "bench_micro")
+#: exercising the JSON harvest path), one fast pytest bench, the micro
+#: bench whose fast-lane speedup assertions gate PR 3's lanes, and the
+#: S2 TPS headline whose slab/bulk-driver gates cover PR 8's.
+SMOKE_BENCHES = ("bench_e1_anomaly", "bench_a3_group_commit",
+                 "bench_micro", "bench_s2_tps")
 
 _SUMMARY_RE = re.compile(r"(\d+) (passed|failed|skipped|error|errors)")
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.common.config import DEFAULT_BUFFER_POOL_PAGES
+from repro.common.config import DEFAULT_BUFFER_POOL_PAGES, NULL_LSN
 from repro.common.errors import BufferPoolFullError, WALViolationError
 from repro.common.lsn import Lsn
 from repro.common.stats import BUFFER_BATCH_FLUSHES
@@ -206,11 +206,16 @@ class BufferPool:
         every page image intact.  Returns the number of pages written.
         """
         ids = list(page_ids)
+        frames = self._frames
+        try:
+            bcbs = [frames[page_id] for page_id in ids]
+        except KeyError:
+            bcbs = [self._require(page_id) for page_id in ids]
         boundaries: List[int] = []
-        for page_id in ids:
-            bcb = self._require(page_id)
+        flushed = self.log.flushed_offset
+        for page_id, bcb in zip(ids, bcbs):
             if bcb.dirty and bcb.last_update_end:
-                if not self.log.is_stable(bcb.last_update_end):
+                if bcb.last_update_end > flushed:
                     if not self.enforce_wal:
                         raise WALViolationError(
                             f"page {page_id}: log not stable through "
@@ -220,8 +225,22 @@ class BufferPool:
                     boundaries.append(bcb.last_update_end)
         if boundaries:
             self.log.force_through(boundaries)
-        for page_id in ids:
-            self._write_stable(page_id, self._frames[page_id])
+        if ids and self.on_before_write is None \
+                and not self._injector.enabled and not self.tracer.enabled:
+            # Slab fast lane: no hook, no fault point, no per-page
+            # events to emit — the whole set rides one batched disk
+            # call (same stored bytes and counter totals as the loop).
+            self.disk.write_many([bcb.page for bcb in bcbs], page_ids=ids)
+            for bcb in bcbs:
+                # mark_clean(), inlined: the attribute stores are the
+                # whole body and this loop rides the flush hot path.
+                bcb.dirty = False
+                bcb.rec_lsn = NULL_LSN
+                bcb.rec_addr = None
+                bcb.last_update_end = 0
+        else:
+            for page_id, bcb in zip(ids, bcbs):
+                self._write_stable(page_id, bcb)
         if ids:
             self.log.stats.incr(BUFFER_BATCH_FLUSHES)
         return len(ids)

@@ -28,6 +28,9 @@ class ClusterConfig:
     n_data_pages: int = 512
     transfer_scheme: str = "medium"
     piggyback_enabled: bool = True
+    #: Storage-spine flavour; ``False`` selects the classic
+    #: dict-of-bytes disk (the slab-vs-classic equality sweeps).
+    slab: bool = True
 
     def __post_init__(self) -> None:
         if self.n_instances < 1:
@@ -52,6 +55,7 @@ def build_cluster(
         piggyback_enabled=config.piggyback_enabled,
         lock_shards=config.lock_shards,
         redo_parallelism=config.redo_parallelism,
+        slab=config.slab,
         stats=stats,
         tracer=tracer,
         injector=injector,

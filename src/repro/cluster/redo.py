@@ -132,8 +132,13 @@ def replay_partitioned(
         if part is None:
             part = _Partition(index=index)
             partitions[index] = part
-        # The parent reads the image; the worker owns it until the join.
-        page = disk.read_page(page_id)
+        # The parent reads the image; the worker owns it until the
+        # join.  A borrowed copy-on-write view suffices: workers whose
+        # records all screen out (``lsn <= page_lsn``) never copy the
+        # page at all, and the first ``apply_redo`` detaches a private
+        # image — partitions are page-disjoint, so no two workers
+        # touch the same window.
+        page = disk.read_page_view(page_id)
         part.pages.append((page_id, page, records))
     ordered = [partitions[i] for i in sorted(partitions)]
 

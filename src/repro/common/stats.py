@@ -138,6 +138,9 @@ LOCK_RETRY_TIMEOUTS = "lock.retry_timeouts"
 CLUSTER_REDO_PARTITIONS = "cluster.redo_partitions"
 CLUSTER_REDO_PARALLEL_RUNS = "cluster.redo_parallel_runs"
 CLUSTER_CROSS_SHARD_CHECKS = "cluster.cross_shard_checks"
+BULK_UPDATE_BATCHES = "bulk.update_batches"
+BULK_READ_BATCHES = "bulk.read_batches"
+BULK_OPS_APPLIED = "bulk.ops_applied"
 
 
 def message_kind_counter(kind: str) -> str:

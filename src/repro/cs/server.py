@@ -92,6 +92,7 @@ class CsServer:
         injector: Optional[NullFaultInjector] = None,
         lock_shards: int = 1,
         redo_parallelism: int = 1,
+        slab: bool = True,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -103,7 +104,7 @@ class CsServer:
         )
         self.disk = SharedDisk(capacity=data_start + n_data_pages + 64,
                                stats=self.stats, tracer=self.tracer,
-                               injector=self.injector)
+                               injector=self.injector, slab=slab)
         self.log = LogManager(SERVER_ID, stats=self.stats,
                               tracer=self.tracer, injector=self.injector)
         self.pool = BufferPool(self.disk, self.log, capacity=buffer_capacity,

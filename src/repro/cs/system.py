@@ -27,6 +27,7 @@ class CsSystem:
         injector: Optional[NullFaultInjector] = None,
         lock_shards: int = 1,
         redo_parallelism: int = 1,
+        slab: bool = True,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -39,7 +40,8 @@ class CsSystem:
                                network=self.network, tracer=self.tracer,
                                injector=self.injector,
                                lock_shards=lock_shards,
-                               redo_parallelism=redo_parallelism)
+                               redo_parallelism=redo_parallelism,
+                               slab=slab)
         self.clients: Dict[int, CsClient] = {}
         self.commit_lsn = CommitLsnService(stats=self.stats,
                                            tracer=self.tracer)

@@ -63,6 +63,7 @@ class SDComplex:
         net_retry: Optional[RetryPolicy] = None,
         lock_shards: int = 1,
         redo_parallelism: int = 1,
+        slab: bool = True,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -73,7 +74,8 @@ class SDComplex:
             self.injector.attach(stats=self.stats, tracer=self.tracer)
         capacity = disk_capacity or (data_start + n_data_pages + 64)
         self.disk = SharedDisk(capacity=capacity, stats=self.stats,
-                               tracer=self.tracer, injector=self.injector)
+                               tracer=self.tracer, injector=self.injector,
+                               slab=slab)
         self.network = Network(stats=self.stats,
                                piggyback_enabled=piggyback_enabled,
                                tracer=self.tracer,

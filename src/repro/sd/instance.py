@@ -14,7 +14,7 @@ the medium page-transfer scheme.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.buffer.buffer_pool import BufferPool
 from repro.common.clock import SkewedClock
@@ -27,6 +27,9 @@ from repro.common.errors import (
 )
 from repro.common.lsn import Lsn
 from repro.common.stats import (
+    BULK_OPS_APPLIED,
+    BULK_READ_BATCHES,
+    BULK_UPDATE_BATCHES,
     DEGRADED_ENTRIES,
     DEGRADED_REJECTIONS,
     LOCK_ESCALATIONS,
@@ -380,6 +383,182 @@ class DbmsInstance:
             if self.isolation == "cursor_stability":
                 for resource in releasable:
                     self.complex.release_lock(self, txn.txn_id, resource)
+
+    # ------------------------------------------------------------------
+    # vectorized record operations (the bulk-op fast lane)
+    # ------------------------------------------------------------------
+    def update_many(self, txn: Transaction,
+                    updates: Sequence[Tuple[int, int, bytes]]) -> None:
+        """Apply a batch of ``(page_id, slot, payload)`` updates in one
+        vectorized call — the write half of the bulk-op lane.
+
+        Semantics per op match :meth:`update` (same undo/redo payloads,
+        same USN LSN chain, same ``PAGE_UPDATE`` events), batched:
+
+        * **locks** — one page X lock per distinct page, acquired up
+          front via the escalation machinery (the page lock covers all
+          record locks, so later per-call ops on the page skip record
+          locking too).  Coarser than per-record locks, never weaker.
+          All locks are taken before any page is touched, so a
+          ``LockWouldBlock`` surfaces with nothing applied and the
+          whole batch can simply be retried.
+        * **fixes** — each distinct page is fixed once for the batch.
+        * **log** — one :meth:`LogManager.append_many
+          <repro.wal.log_manager.LogManager.append_many>` for the whole
+          batch.  LSNs are predicted with the USN rule
+          (``max(page_lsn, running) + 1``) while applying, so undo
+          chains (``prev_lsn``) and per-page LSN tracking are exact;
+          the prediction is verified against the stamped records and a
+          divergence is a hard error.
+
+        If an op fails mid-batch (empty slot, page full), the already
+        applied prefix is logged before the error surfaces — no page
+        mutation is ever left unlogged, so rollback stays correct.
+        """
+        self._check_writable()
+        self._check_active(txn)
+        if not updates:
+            return
+        page_order: List[int] = list(
+            dict.fromkeys(page_id for page_id, _, _ in updates))
+        for page_id in page_order:
+            if page_id not in txn.escalated_pages:
+                self._lock(txn, page_lock(page_id), LockMode.X)
+                txn.escalated_pages.add(page_id)
+        pages: Dict[int, Page] = {}
+        try:
+            for page_id in page_order:
+                pages[page_id] = self._access(page_id, for_update=True)
+            if self.injector.enabled:
+                for page_id, _, _ in updates:
+                    self.injector.fire(fp.INSTANCE_UPDATE,
+                                       system=self.system_id,
+                                       page=page_id, txn=txn.txn_id)
+            page_lsn_now: Dict[int, Lsn] = {
+                page_id: pages[page_id].page_lsn for page_id in page_order
+            }
+            records: List[LogRecord] = []
+            hints: List[Lsn] = []
+            predicted: List[Lsn] = []
+            prev = txn.last_lsn
+            running = self.log.local_max_lsn
+            try:
+                for page_id, slot, payload in updates:
+                    page = pages[page_id]
+                    old = page.read_record(slot)
+                    if old is None:
+                        raise ReproError(
+                            f"page {page_id} slot {slot} is empty")
+                    hint = page_lsn_now[page_id]
+                    lsn = (hint if hint > running else running) + 1
+                    record = make_update(
+                        txn_id=txn.txn_id, system_id=self.system_id,
+                        page_id=page_id, slot=slot,
+                        redo=encode_op(PageOp.SET, payload),
+                        undo=encode_op(PageOp.SET, old),
+                        prev_lsn=prev,
+                    )
+                    page.update_record(slot, payload)
+                    # Only a fully applied op joins the batch; see the
+                    # partial-failure contract in the docstring.
+                    records.append(record)
+                    hints.append(hint)
+                    predicted.append(lsn)
+                    page_lsn_now[page_id] = lsn
+                    running = lsn
+                    prev = lsn
+            except Exception:
+                self._log_bulk_updates(txn, pages, records, hints,
+                                          predicted)
+                raise
+            self._log_bulk_updates(txn, pages, records, hints, predicted)
+        finally:
+            for page_id in pages:
+                self.pool.unfix(page_id)
+
+    def _log_bulk_updates(
+        self,
+        txn: Transaction,
+        pages: Dict[int, Page],
+        records: List[LogRecord],
+        hints: List[Lsn],
+        predicted: List[Lsn],
+    ) -> None:
+        """Log an applied batch (or applied prefix) and do the per-op
+        USN bookkeeping :meth:`_log_update` would have done."""
+        if not records:
+            return
+        addrs = self.log.append_many(records, page_lsns=hints)
+        end_offset = self.log.end_offset
+        tracing = self.tracer.enabled
+        for record, addr, hint, lsn in zip(records, addrs, hints, predicted):
+            if record.lsn != lsn:
+                raise ReproError(
+                    "bulk update LSN prediction diverged from the log "
+                    f"(predicted {lsn}, stamped {record.lsn})"
+                )
+            page = pages[record.page_id]
+            stamp_page_lsn(page, record.lsn)
+            self.pool.note_update(record.page_id, record.lsn, addr.offset,
+                                  end_offset)
+            txn.note_logged(record.lsn, addr.offset, undoable=True)
+            if tracing:
+                self.tracer.emit(
+                    ev.PAGE_UPDATE, system=self.system_id,
+                    page=record.page_id, slot=record.slot, txn=txn.txn_id,
+                    lsn=int(record.lsn), page_lsn_prev=int(hint),
+                    kind=record.kind.name,
+                )
+        self.stats.incr(BULK_UPDATE_BATCHES)
+        self.stats.incr(BULK_OPS_APPLIED, len(records))
+
+    def read_many(self, txn: Transaction,
+                  reads: Sequence[Tuple[int, int]],
+                  use_commit_lsn: bool = False) -> List[Optional[bytes]]:
+        """Read a batch of ``(page_id, slot)`` records — the read half
+        of the bulk-op lane.
+
+        Each distinct page is fixed once and locked once with a page S
+        lock (coarser than the per-call IS + record-S pair, never
+        weaker); under cursor stability the page locks this call
+        introduced are released when it returns.  With
+        ``use_commit_lsn`` the Commit_LSN screen is applied per page —
+        a page whose LSN shows only committed data needs no lock at
+        all, exactly as in :meth:`read`.
+        """
+        self._check_active(txn)
+        if not reads:
+            return []
+        page_order: List[int] = list(
+            dict.fromkeys(page_id for page_id, _ in reads))
+        glm = self.complex.glm
+        pages: Dict[int, Page] = {}
+        releasable: List[Tuple] = []
+        try:
+            for page_id in page_order:
+                page = self._access(page_id, for_update=False)
+                pages[page_id] = page
+                if use_commit_lsn and \
+                        self.complex.commit_lsn.check(page.page_lsn):
+                    continue
+                if page_id in txn.escalated_pages:
+                    continue
+                resource = page_lock(page_id)
+                held_before = glm.holds(txn.txn_id, resource)
+                self._lock(txn, resource, LockMode.S)
+                if not held_before:
+                    releasable.append(resource)
+            results = [pages[page_id].read_record(slot)
+                       for page_id, slot in reads]
+        finally:
+            for page_id in pages:
+                self.pool.unfix(page_id)
+            if self.isolation == "cursor_stability":
+                for resource in releasable:
+                    self.complex.release_lock(self, txn.txn_id, resource)
+        self.stats.incr(BULK_READ_BATCHES)
+        self.stats.incr(BULK_OPS_APPLIED, len(reads))
+        return results
 
     # ------------------------------------------------------------------
     # page allocation / deallocation (Section 3.4)

@@ -13,12 +13,29 @@ and the plan-driven ``injector=`` seam (:mod:`repro.faults`) consulted
 at the ``disk.write`` / ``disk.read`` fault points — a torn write
 persists a half-old/half-new image whose checksum check fails on the
 next read, exactly how real torn writes are discovered.
+
+Storage comes in two byte-identical flavours:
+
+* **slab** (default) — pages live in large fixed-size ``bytearray``
+  extents; each stored page is addressed through cached ``memoryview``
+  windows (full image, checksum head, checksum tail).  A write is one
+  copy into the window plus an in-place ``pack_into`` of the streamed
+  CRC; a read verifies through the cached windows and hands out either
+  a private image (:meth:`read_page`) or a borrowed copy-on-write view
+  (:meth:`read_page_view`).  Extents are never resized — growing a
+  ``bytearray`` with live ``memoryview`` exports raises
+  ``BufferError`` — so the slab grows by appending extents.
+* **classic** (``slab=False``) — one immutable ``bytes`` image per
+  page in a dict, the original copy-per-operation spine.  Kept as the
+  equivalence baseline: stored images, counters and traces must match
+  the slab path byte for byte (``tests/test_slab.py``).
 """
 
 from __future__ import annotations
 
+import struct
 import zlib
-from typing import Dict, Iterator, Optional, Set
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.common.config import PAGE_SIZE
 from repro.common.errors import FaultInjectedError, MediaError, TornPageError
@@ -37,10 +54,54 @@ from repro.storage.page import Page, PageType
 # (header bytes 17..20, see the header layout in repro.storage.page).
 _CKSUM_OFFSET = 17
 _CKSUM_END = 21
+_CKSUM = struct.Struct("<I")
+
+#: Pages per slab extent.  Extents are fixed-size so the cached page
+#: windows exported over them stay valid for the disk's lifetime.
+EXTENT_PAGES = 64
+
+#: The cached windows of one stored page: (full image, bytes before the
+#: checksum field, bytes after it).  Head+tail are exactly the CRC's
+#: coverage, so a stamp is two ``zlib.crc32`` calls with no slicing.
+_Windows = Tuple[memoryview, memoryview, memoryview]
 
 
-def _compute_checksum(image: bytes) -> int:
-    return zlib.crc32(image[:_CKSUM_OFFSET] + image[_CKSUM_END:])
+def _compute_checksum(image: Union[bytes, bytearray, memoryview]) -> int:
+    """CRC32 of everything but the checksum field, streamed.
+
+    ``crc32(head)`` then ``crc32(tail, crc)`` over two zero-copy
+    memoryview windows — the old form concatenated the two slices into
+    a fresh page-sized ``bytes`` on *every* disk read and write.
+    """
+    view = memoryview(image)
+    return zlib.crc32(view[_CKSUM_END:], zlib.crc32(view[:_CKSUM_OFFSET]))
+
+
+class _SlabPages(Mapping[int, memoryview]):
+    """Read-only mapping facade over the slab's stored pages.
+
+    Keeps ``disk._pages`` introspection working in slab mode (tests
+    digest stored images through it); values are read-only windows that
+    alias live slab storage — callers needing a private copy go through
+    :meth:`SharedDisk.raw_image`.
+    """
+
+    __slots__ = ("_disk",)
+
+    def __init__(self, disk: "SharedDisk") -> None:
+        self._disk = disk
+
+    def __getitem__(self, page_id: int) -> memoryview:
+        return self._disk._views[page_id][0].toreadonly()
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._disk._views)
+
+    def __len__(self) -> int:
+        return len(self._disk._views)
+
+    def __contains__(self, page_id: object) -> bool:
+        return page_id in self._disk._views
 
 
 class SharedDisk:
@@ -48,7 +109,9 @@ class SharedDisk:
 
     Writes are atomic at page granularity (the classic WAL assumption).
     ``capacity`` bounds the page-id space; pages are materialised lazily
-    so sparse databases are cheap.
+    so sparse databases are cheap.  ``slab`` selects the zero-copy slab
+    spine (default) or the classic copy-per-operation dict — the two
+    are byte-identical in stored images, counters and traces.
     """
 
     def __init__(
@@ -57,6 +120,7 @@ class SharedDisk:
         stats: Optional[StatsRegistry] = None,
         tracer: Optional[NullTracer] = None,
         injector: Optional[NullFaultInjector] = None,
+        slab: bool = True,
     ) -> None:
         if capacity <= 0:
             raise ValueError("disk capacity must be positive")
@@ -64,8 +128,38 @@ class SharedDisk:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._injector = injector if injector is not None else NULL_INJECTOR
-        self._pages: Dict[int, bytes] = {}
+        self.slab = slab
+        self._classic: Dict[int, bytes] = {}
+        self._extents: List[bytearray] = []
+        # page_id -> cached windows; insertion order = first-write order,
+        # mirroring the classic dict's key order.
+        self._views: Dict[int, _Windows] = {}
+        self._pages: Mapping[int, Union[bytes, memoryview]] = (
+            _SlabPages(self) if slab else self._classic
+        )
         self._lost: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # slab geometry
+    # ------------------------------------------------------------------
+    def _slab_window(self, page_id: int) -> _Windows:
+        """The cached windows for ``page_id``, allocating its slot (and
+        a new extent when the current one is full) on first write."""
+        views = self._views.get(page_id)
+        if views is None:
+            slot = len(self._views)
+            extent_index, index = divmod(slot, EXTENT_PAGES)
+            if extent_index == len(self._extents):
+                self._extents.append(bytearray(EXTENT_PAGES * PAGE_SIZE))
+            base = memoryview(self._extents[extent_index])
+            start = index * PAGE_SIZE
+            views = (
+                base[start:start + PAGE_SIZE],
+                base[start:start + _CKSUM_OFFSET],
+                base[start + _CKSUM_END:start + PAGE_SIZE],
+            )
+            self._views[page_id] = views
+        return views
 
     # ------------------------------------------------------------------
     # I/O
@@ -80,20 +174,22 @@ class SharedDisk:
         """The page's byte image with a fresh checksum stamped in.
 
         Stamping happens on a copy so the caller's in-memory page is
-        not mutated by the act of writing it.
+        not mutated by the act of writing it.  One working buffer and
+        an in-place ``pack_into`` — the old path materialised four full
+        pages (``to_bytes``, a ``bytes`` round-trip for the checksum, a
+        probe :class:`Page`, and its ``to_bytes``).
         """
-        image = bytearray(page.to_bytes())
-        cksum = _compute_checksum(bytes(image))
-        probe = Page(image)
-        probe.set_checksum(cksum)
-        return probe.to_bytes()
+        image = bytearray(page.raw_buffer())
+        _CKSUM.pack_into(image, _CKSUM_OFFSET, _compute_checksum(image))
+        return bytes(image)
 
     def write_page(self, page: Page) -> None:
         """Persist ``page``, stamping a fresh checksum into the image."""
-        self._check_page_id(page.page_id)
+        page_id = page.page_id
+        self._check_page_id(page_id)
         if self._injector.enabled:
             try:
-                self._injector.fire(fp.DISK_WRITE, page=page.page_id)
+                self._injector.fire(fp.DISK_WRITE, page=page_id)
             except TornPageError:
                 # The device failed mid-write: keep a half-new/half-old
                 # image on disk, then let the tear surface to the
@@ -101,25 +197,83 @@ class SharedDisk:
                 # image, so the next read fails verification.
                 self._store_torn_image(page)
                 raise
-        self._pages[page.page_id] = self._stamped_image(page)
-        self._lost.discard(page.page_id)
+        if self.slab:
+            full, head, tail = self._slab_window(page_id)
+            full[:] = page.raw_buffer()
+            _CKSUM.pack_into(full, _CKSUM_OFFSET,
+                             zlib.crc32(tail, zlib.crc32(head)))
+        else:
+            self._classic[page_id] = self._stamped_image(page)
+        self._lost.discard(page_id)
         self.stats.incr(DISK_PAGE_WRITES)
         if self.tracer.enabled:
-            self.tracer.emit(ev.DISK_WRITE, page=page.page_id,
+            self.tracer.emit(ev.DISK_WRITE, page=page_id,
                              page_lsn=int(page.page_lsn))
 
+    def write_many(self, pages: Sequence[Page],
+                   page_ids: Optional[Sequence[int]] = None) -> int:
+        """Batch write — semantically identical to N :meth:`write_page`
+        calls (same stored bytes, same counter totals, same events).
+
+        The slab fast lane: with tracing and fault injection off (their
+        per-page semantics need the per-call path) the loop is nothing
+        but copy-into-window + streamed CRC + ``pack_into``, with the
+        lookups bound once and the write counter bumped once for the
+        whole batch.  ``page_ids``, when the caller already knows them
+        (the buffer pool indexes frames by page id), skips re-parsing
+        each page header.  Returns the number of pages written.
+        """
+        if not pages:
+            return 0
+        if page_ids is None:
+            page_ids = [page.page_id for page in pages]
+        if not self.slab or self._injector.enabled or self.tracer.enabled:
+            for page in pages:
+                self.write_page(page)
+            return len(pages)
+        crc = zlib.crc32
+        pack = _CKSUM.pack_into
+        views = self._views
+        discard = self._lost.discard
+        capacity = self.capacity
+        for page, page_id in zip(pages, page_ids):
+            if not 0 <= page_id < capacity:
+                self._check_page_id(page_id)
+            windows = views.get(page_id)
+            if windows is None:
+                windows = self._slab_window(page_id)
+            full, head, tail = windows
+            full[:] = page._buf
+            pack(full, _CKSUM_OFFSET, crc(tail, crc(head)))
+            discard(page_id)
+        self.stats.incr(DISK_PAGE_WRITES, len(pages))
+        return len(pages)
+
     def _store_torn_image(self, page: Page) -> None:
-        intended = self._stamped_image(page)
-        old = self._pages.get(page.page_id, bytes(PAGE_SIZE))
         half = PAGE_SIZE // 2
-        torn = intended[:half] + old[half:]
-        if torn == intended:
-            # Old and new agree on the back half; tear a byte anyway so
-            # the torn write is deterministically detectable.
-            mutated = bytearray(torn)
-            mutated[-1] ^= 0xFF
-            torn = bytes(mutated)
-        self._pages[page.page_id] = torn
+        if self.slab:
+            full, head, tail = self._slab_window(page.page_id)
+            # The only staging copy this path needs: the old back half,
+            # saved before the intended image lands in the window.
+            old_tail = bytes(full[half:])
+            full[:] = page.raw_buffer()
+            _CKSUM.pack_into(full, _CKSUM_OFFSET,
+                             zlib.crc32(tail, zlib.crc32(head)))
+            if full[half:] == old_tail:
+                # Old and new agree on the back half; tear a byte anyway
+                # so the torn write is deterministically detectable.
+                full[PAGE_SIZE - 1] ^= 0xFF
+            else:
+                full[half:] = old_tail
+        else:
+            intended = self._stamped_image(page)
+            old = self._classic.get(page.page_id, bytes(PAGE_SIZE))
+            torn = intended[:half] + old[half:]
+            if torn == intended:
+                mutated = bytearray(torn)
+                mutated[-1] ^= 0xFF
+                torn = bytes(mutated)
+            self._classic[page.page_id] = torn
         self._lost.discard(page.page_id)
         self.stats.incr(DISK_PAGE_WRITES)
 
@@ -127,8 +281,25 @@ class SharedDisk:
         """Read a page; raises :class:`MediaError` for lost/corrupt pages.
 
         Reading a never-written page returns a zeroed (FREE) page, like
-        a freshly formatted volume.
+        a freshly formatted volume.  The returned page owns a private
+        image — mutating it never touches the disk.
         """
+        return self._read(page_id, borrowed=False)
+
+    def read_page_view(self, page_id: int) -> Page:
+        """Like :meth:`read_page`, but zero-copy: the returned page is
+        a borrowed copy-on-write view of the stored image.
+
+        Reads go straight through the stored bytes; the first mutation
+        detaches the page onto a private copy (so disk state can never
+        be altered behind the checksum's back).  The view aliases live
+        storage: a later ``write_page`` of the same page *is* visible
+        through a still-borrowed view, so callers wanting a stable
+        snapshot must copy (or use :meth:`read_page`).
+        """
+        return self._read(page_id, borrowed=True)
+
+    def _read(self, page_id: int, borrowed: bool) -> Page:
         self._check_page_id(page_id)
         if self._injector.enabled:
             try:
@@ -144,36 +315,71 @@ class SharedDisk:
         self.stats.incr(DISK_PAGE_READS)
         if page_id in self._lost:
             raise MediaError(f"page {page_id} unreadable (media failure)")
-        image = self._pages.get(page_id)
-        if image is None:
-            blank = Page()
-            blank.format(page_id, PageType.FREE)
-            if self.tracer.enabled:
-                self.tracer.emit(ev.DISK_READ, page=page_id)
-            return blank
-        page = Page.from_bytes(image)
-        if _compute_checksum(image) != page.checksum:
-            raise MediaError(
-                f"page {page_id} failed checksum verification"
-            )
+        if self.slab:
+            views = self._views.get(page_id)
+            if views is None:
+                return self._blank_page(page_id)
+            full, head, tail = views
+            if zlib.crc32(tail, zlib.crc32(head)) != \
+                    _CKSUM.unpack_from(full, _CKSUM_OFFSET)[0]:
+                raise MediaError(
+                    f"page {page_id} failed checksum verification"
+                )
+            page = Page(full.toreadonly()) if borrowed \
+                else Page(bytearray(full))
+        else:
+            image = self._classic.get(page_id)
+            if image is None:
+                return self._blank_page(page_id)
+            page = Page.view(image) if borrowed else Page.from_bytes(image)
+            if _compute_checksum(image) != page.checksum:
+                raise MediaError(
+                    f"page {page_id} failed checksum verification"
+                )
         if self.tracer.enabled:
             self.tracer.emit(ev.DISK_READ, page=page_id)
         return page
+
+    def _blank_page(self, page_id: int) -> Page:
+        blank = Page()
+        blank.format(page_id, PageType.FREE)
+        if self.tracer.enabled:
+            self.tracer.emit(ev.DISK_READ, page=page_id)
+        return blank
 
     def page_exists(self, page_id: int) -> bool:
         """True if the page has ever been written (and not lost)."""
         return page_id in self._pages and page_id not in self._lost
 
+    def raw_image(self, page_id: int) -> bytes:
+        """A private copy of the stored image, checksum included.
+
+        The escape hatch for callers that must *own* the bytes — e.g.
+        the archive dump (:meth:`ImageCopy.take
+        <repro.storage.image_copy.ImageCopy.take>`): a slab window
+        aliases live storage and would see every later write.
+        """
+        if self.slab:
+            return bytes(self._views[page_id][0])
+        return self._classic[page_id]
+
     def page_lsn_on_disk(self, page_id: int) -> Optional[int]:
         """page_LSN of the disk version without counting an I/O.
 
         Test/verification helper: lets invariant checks inspect the disk
-        state non-invasively.
+        state non-invasively (zero-copy: reads through a borrowed view).
         """
-        image = self._pages.get(page_id)
-        if image is None or page_id in self._lost:
+        if page_id in self._lost:
             return None
-        return Page.from_bytes(image).page_lsn
+        if self.slab:
+            views = self._views.get(page_id)
+            if views is None:
+                return None
+            return Page(views[0].toreadonly()).page_lsn
+        image = self._classic.get(page_id)
+        if image is None:
+            return None
+        return Page.view(image).page_lsn
 
     def written_page_ids(self) -> Iterator[int]:
         """All page ids with a disk version, in ascending order."""
@@ -191,20 +397,22 @@ class SharedDisk:
 
     def corrupt_page(self, page_id: int, byte_offset: int = 100) -> None:
         """Flip a byte in the stored image (checksum will catch it)."""
-        image = self._pages.get(page_id)
-        if image is None:
+        if page_id not in self._pages:
             raise ValueError(f"page {page_id} has no disk version to corrupt")
         if not 0 <= byte_offset < PAGE_SIZE:
             raise ValueError("byte offset outside the page")
-        mutated = bytearray(image)
-        mutated[byte_offset] ^= 0xFF
-        self._pages[page_id] = bytes(mutated)
+        if self.slab:
+            self._views[page_id][0][byte_offset] ^= 0xFF
+        else:
+            mutated = bytearray(self._classic[page_id])
+            mutated[byte_offset] ^= 0xFF
+            self._classic[page_id] = bytes(mutated)
         if self.tracer.enabled:
             self.tracer.emit(ev.DISK_CORRUPT, page=page_id,
                              offset=byte_offset)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"SharedDisk(capacity={self.capacity}, "
+            f"SharedDisk(capacity={self.capacity}, slab={self.slab}, "
             f"pages={len(self._pages)}, lost={len(self._lost)})"
         )

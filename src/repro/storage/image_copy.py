@@ -52,8 +52,10 @@ class ImageCopy:
         )
         for page_id in ids:
             if disk.page_exists(page_id):
-                # Use the raw stored image so checksums stay valid.
-                copy._images[page_id] = disk._pages[page_id]
+                # A private copy of the raw stored image (checksum
+                # intact): a slab window would alias live storage and
+                # the dump must be a point-in-time snapshot.
+                copy._images[page_id] = disk.raw_image(page_id)
         if logs is not None:
             copy.log_offsets = {
                 log.system_id: log.end_offset for log in logs

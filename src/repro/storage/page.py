@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 import struct
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.common.config import (
     NULL_LSN,
@@ -44,6 +44,12 @@ assert _HEADER.size == PAGE_HEADER_SIZE
 
 _SLOT = struct.Struct("<HH")
 SLOT_SIZE = _SLOT.size
+
+#: A page buffer is either privately owned (``bytearray``) or borrowed
+#: (``memoryview`` over storage someone else owns — a disk slab window,
+#: a classic stored image).  Borrowed pages are copy-on-write: the
+#: first mutation detaches them onto a private ``bytearray``.
+PageBuffer = Union[bytearray, memoryview]
 
 
 class PageType(enum.IntEnum):
@@ -61,11 +67,18 @@ class Page:
 
     The same object is used in buffer pools on every system and, via
     :meth:`to_bytes` / :meth:`from_bytes`, as the disk representation.
+
+    A page constructed over a ``memoryview`` (see :meth:`view`) is
+    **borrowed**: reads go straight through the view (zero-copy), and
+    the first mutation detaches the page onto a private ``bytearray``
+    copy — so a borrowed page can never write through to the buffer it
+    was viewing.  Pages over a ``bytearray`` are owned and mutate in
+    place, exactly as before.
     """
 
-    __slots__ = ("_buf",)
+    __slots__ = ("_buf", "_owned")
 
-    def __init__(self, buf: Optional[bytearray] = None) -> None:
+    def __init__(self, buf: Optional[PageBuffer] = None) -> None:
         if buf is None:
             buf = bytearray(PAGE_SIZE)
         if len(buf) != PAGE_SIZE:
@@ -73,6 +86,35 @@ class Page:
                 f"page buffer must be {PAGE_SIZE} bytes, got {len(buf)}"
             )
         self._buf = buf
+        self._owned = not isinstance(buf, memoryview)
+
+    @classmethod
+    def view(cls, buf: PageBuffer) -> "Page":
+        """A borrowed (copy-on-write) page over ``buf`` — zero-copy.
+
+        ``buf`` may be any PAGE_SIZE buffer (``bytes``, ``bytearray``,
+        ``memoryview``); the page never writes through it.
+        """
+        return cls(memoryview(buf))
+
+    @property
+    def is_borrowed(self) -> bool:
+        """True while the page reads through a view it does not own."""
+        return not self._owned
+
+    def _ensure_owned(self) -> None:
+        """Copy-on-write detach: first mutation of a borrowed page."""
+        if not self._owned:
+            self._buf = bytearray(self._buf)
+            self._owned = True
+
+    def raw_buffer(self) -> PageBuffer:
+        """The backing buffer, zero-copy (storage-layer use only).
+
+        Callers must treat the buffer as read-only; mutating it would
+        bypass the copy-on-write discipline.
+        """
+        return self._buf
 
     # ------------------------------------------------------------------
     # header accessors
@@ -107,6 +149,7 @@ class Page:
     def page_lsn(self, value: Lsn) -> None:
         if value < 0:
             raise ValueError("page_lsn cannot be negative")
+        self._ensure_owned()
         h = list(self._header())
         h[1] = value
         self._set_header(*h)
@@ -128,6 +171,7 @@ class Page:
         return self._header()[5]
 
     def set_checksum(self, value: int) -> None:
+        self._ensure_owned()
         h = list(self._header())
         h[5] = value
         self._set_header(*h)
@@ -145,6 +189,7 @@ class Page:
         in that case the caller must supply a ``page_lsn`` derived from
         the covering space map page (paper, Section 3.4).
         """
+        self._ensure_owned()
         self._buf[:] = bytes(PAGE_SIZE)
         self._set_header(page_id, page_lsn, int(page_type),
                          0, PAGE_HEADER_SIZE, 0)
@@ -179,6 +224,7 @@ class Page:
         """
         if not payload:
             raise ValueError("records must be non-empty")
+        self._ensure_owned()
         slot = self._find_tombstone()
         extra = 0 if slot is not None else SLOT_SIZE
         if len(payload) + extra > self.free_space():
@@ -209,6 +255,7 @@ class Page:
         """
         if not payload:
             raise ValueError("records must be non-empty")
+        self._ensure_owned()
         if slot < self.slot_count and self._read_slot(slot)[1] != 0:
             raise CorruptPageError(
                 f"slot {slot} on page {self.page_id} already occupied"
@@ -246,6 +293,7 @@ class Page:
         """Replace the payload in ``slot`` (record must exist)."""
         if not payload:
             raise ValueError("records must be non-empty")
+        self._ensure_owned()
         offset, length = self._read_slot(slot)
         if length == 0:
             raise CorruptPageError(
@@ -273,6 +321,7 @@ class Page:
 
     def delete_record(self, slot: int) -> None:
         """Tombstone ``slot``; its space is reclaimed on compaction."""
+        self._ensure_owned()
         offset, length = self._read_slot(slot)
         if length == 0:
             raise CorruptPageError(
@@ -303,6 +352,7 @@ class Page:
 
     def _compact(self) -> None:
         """Rewrite the record area densely, preserving slot numbers."""
+        self._ensure_owned()
         live: List[Tuple[int, bytes]] = []
         for slot in range(self.slot_count):
             offset, length = self._read_slot(slot)
@@ -332,6 +382,7 @@ class Page:
         """Write raw bytes into the data area (payload coordinates)."""
         if offset < 0 or offset + len(data) > PAGE_DATA_SIZE:
             raise IndexError("payload write out of range")
+        self._ensure_owned()
         start = PAGE_HEADER_SIZE + offset
         self._buf[start:start + len(data)] = data
 

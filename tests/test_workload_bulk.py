@@ -1,0 +1,239 @@
+"""The vectorized bulk-op lane: ``update_many`` / ``read_many`` and the
+:mod:`repro.workload.bulk` driver.
+
+The lane's contract is "same semantics, fewer round trips": a bulk call
+must leave byte-identical log contents, identical trace events and the
+same recoverable state as the per-call loop it replaces — while taking
+one page lock, one fix and one log append per batch instead of one per
+op.  Partial failure must never leave an applied-but-unlogged mutation
+(rollback depends on it).
+"""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.common.stats import (
+    BULK_OPS_APPLIED,
+    BULK_READ_BATCHES,
+    BULK_UPDATE_BATCHES,
+    LOCK_REQUESTS,
+    LOG_FORCES,
+)
+from repro.obs import events as ev
+from repro.obs.tracer import Tracer
+from repro.sd.complex import SDComplex
+from repro.workload.bulk import (
+    BulkConfig,
+    TxnBatch,
+    build_batches,
+    run_bulk,
+    run_per_call,
+)
+from repro.workload.generator import populate_pages
+
+N_PAGES = 4
+RECORDS_PER_PAGE = 4
+
+
+def build_engine(tracer=None, isolation="cursor_stability"):
+    sd = SDComplex(n_data_pages=64, tracer=tracer)
+    engine = sd.add_instance(1, isolation=isolation)
+    handles = populate_pages(engine, N_PAGES, RECORDS_PER_PAGE)
+    return sd, engine, handles
+
+
+def payloads(engine, handles):
+    txn = engine.begin()
+    values = [engine.read(txn, page_id, slot) for page_id, slot in handles]
+    engine.commit(txn)
+    return values
+
+
+UPDATE_PLAN = [  # two distinct pages, repeated hits on one of them
+    (0, 0, b"aaa"), (0, 1, b"bbb"), (1, 0, b"ccc"), (0, 0, b"ddd"),
+]
+
+
+def plan_for(handles):
+    return [(handles[p * RECORDS_PER_PAGE + s][0],
+             handles[p * RECORDS_PER_PAGE + s][1], v)
+            for p, s, v in UPDATE_PLAN]
+
+
+class TestUpdateMany:
+    def test_log_bytes_identical_to_per_call_updates(self):
+        """The lane's core contract: one ``update_many`` appends the
+        exact bytes N ``update`` calls would (same LSNs via the USN
+        rule, same undo chains, same payloads)."""
+        _, per_call, handles_a = build_engine()
+        txn = per_call.begin()
+        for page_id, slot, value in plan_for(handles_a):
+            per_call.update(txn, page_id, slot, value)
+        per_call.commit(txn)
+
+        _, bulk, handles_b = build_engine()
+        txn = bulk.begin()
+        bulk.update_many(txn, plan_for(handles_b))
+        bulk.commit(txn)
+
+        assert bytes(bulk.log._buffer) == bytes(per_call.log._buffer)
+
+    def test_trace_events_identical_to_per_call_updates(self):
+        def trace(drive):
+            tracer = Tracer()
+            _, engine, handles = build_engine(tracer=tracer)
+            txn = engine.begin()
+            drive(engine, txn, plan_for(handles))
+            engine.commit(txn)
+            return [e for e in tracer.events() if e.kind == ev.PAGE_UPDATE]
+
+        def per_call(engine, txn, plan):
+            for page_id, slot, value in plan:
+                engine.update(txn, page_id, slot, value)
+
+        bulk_events = trace(lambda e, t, p: e.update_many(t, p))
+        per_events = trace(per_call)
+        assert [e.fields for e in bulk_events] == \
+            [e.fields for e in per_events]
+
+    def test_one_page_lock_per_distinct_page(self):
+        sd, engine, handles = build_engine()
+        before = sd.stats.get(LOCK_REQUESTS)
+        txn = engine.begin()
+        engine.update_many(txn, plan_for(handles))
+        assert sd.stats.get(LOCK_REQUESTS) - before == 2  # pages 0 and 1
+        assert sd.stats.get(BULK_UPDATE_BATCHES) == 1
+        assert sd.stats.get(BULK_OPS_APPLIED) == len(UPDATE_PLAN)
+        engine.commit(txn)
+
+    def test_rollback_restores_every_record(self):
+        _, engine, handles = build_engine()
+        before = payloads(engine, handles)
+        txn = engine.begin()
+        engine.update_many(txn, plan_for(handles))
+        engine.rollback(txn)
+        assert payloads(engine, handles) == before
+
+    def test_mid_batch_failure_logs_applied_prefix(self):
+        """An op that fails mid-batch surfaces its error, but the
+        already applied prefix is logged (and therefore undoable)."""
+        _, engine, handles = build_engine()
+        page_id, slot = handles[0]
+        before = payloads(engine, handles)
+        txn = engine.begin()
+        bad = [(page_id, slot, b"prefix"), (page_id, 99, b"never")]
+        with pytest.raises(IndexError):
+            engine.update_many(txn, bad)
+        # The prefix was applied and logged...
+        probe = engine.begin()  # escalated page lock is still held
+        assert engine.log.scan is not None
+        logged = [r for _, r in engine.log.scan()
+                  if r.txn_id == txn.txn_id]
+        assert len(logged) == 1
+        engine.rollback(probe)
+        # ...so rollback can restore it.
+        engine.rollback(txn)
+        assert payloads(engine, handles) == before
+
+    def test_empty_slot_is_a_repro_error(self):
+        _, engine, handles = build_engine()
+        page_id, slot = handles[0]
+        txn = engine.begin()
+        engine.delete(txn, page_id, slot)
+        with pytest.raises(ReproError):
+            engine.update_many(txn, [(page_id, slot, b"x")])
+        engine.rollback(txn)
+
+    def test_empty_batch_is_a_no_op(self):
+        sd, engine, _ = build_engine()
+        txn = engine.begin()
+        engine.update_many(txn, [])
+        engine.commit(txn)
+        assert sd.stats.get(BULK_UPDATE_BATCHES) == 0
+
+
+class TestReadMany:
+    def test_values_match_per_call_reads(self):
+        _, engine, handles = build_engine()
+        txn = engine.begin()
+        expected = [engine.read(txn, page_id, slot)
+                    for page_id, slot in handles]
+        assert engine.read_many(txn, handles) == expected
+        engine.commit(txn)
+
+    def test_one_s_lock_per_distinct_page(self):
+        sd, engine, handles = build_engine()
+        txn = engine.begin()
+        before = sd.stats.get(LOCK_REQUESTS)
+        engine.read_many(txn, handles)  # N_PAGES distinct pages
+        assert sd.stats.get(LOCK_REQUESTS) - before == N_PAGES
+        assert sd.stats.get(BULK_READ_BATCHES) == 1
+        engine.commit(txn)
+
+    def test_sees_own_uncommitted_bulk_updates(self):
+        _, engine, handles = build_engine()
+        txn = engine.begin()
+        engine.update_many(txn, plan_for(handles))
+        plan = plan_for(handles)
+        # Last write per (page, slot) wins.
+        expected = {(p, s): v for p, s, v in plan}
+        got = engine.read_many(txn, [(p, s) for p, s, _ in plan])
+        assert got == [expected[(p, s)] for p, s, _ in plan]
+        engine.rollback(txn)
+
+
+class TestBulkDriver:
+    CONFIG = BulkConfig(n_transactions=12, ops_per_txn=16, seed=5)
+
+    def test_bulk_and_per_call_drivers_converge(self):
+        _, per_engine, per_handles = build_engine()
+        per_run = run_per_call(
+            per_engine, build_batches(self.CONFIG, per_handles))
+
+        bulk_sd, bulk_engine, bulk_handles = build_engine()
+        bulk_run = run_bulk(
+            bulk_engine, build_batches(self.CONFIG, bulk_handles))
+
+        assert (per_run.committed, per_run.reads, per_run.updates) == \
+            (bulk_run.committed, bulk_run.reads, bulk_run.updates)
+        assert payloads(per_engine, per_handles) == \
+            payloads(bulk_engine, bulk_handles)
+        assert bulk_run.syncs >= 1
+        assert bulk_sd.stats.get(BULK_UPDATE_BATCHES) == \
+            self.CONFIG.n_transactions
+
+    def test_group_commit_forces_less_than_eager_commit(self):
+        """With low page contention across consecutive transactions the
+        lazy commits actually group (a pending group's held page locks
+        force an early sync, so the batches here round-robin disjoint
+        pages)."""
+        def round_robin(handles):
+            batches = []
+            for i in range(12):
+                page_id, slot = handles[(i % N_PAGES) * RECORDS_PER_PAGE]
+                batches.append(TxnBatch(
+                    updates=[(page_id, slot, b"txn %02d" % i)]))
+            return batches
+
+        per_sd, per_engine, per_handles = build_engine()
+        run_per_call(per_engine, round_robin(per_handles))
+
+        bulk_sd, bulk_engine, bulk_handles = build_engine()
+        run = run_bulk(bulk_engine, round_robin(bulk_handles),
+                       group_commit_every=4)
+
+        assert run.committed == 12
+        assert bulk_sd.stats.get(LOG_FORCES) < per_sd.stats.get(LOG_FORCES)
+        assert payloads(per_engine, per_handles) == \
+            payloads(bulk_engine, bulk_handles)
+
+    def test_repeatable_read_holds_read_locks_to_sync(self):
+        sd, engine, handles = build_engine(isolation="repeatable_read")
+        run = run_bulk(engine, build_batches(self.CONFIG, handles))
+        assert run.committed == self.CONFIG.n_transactions
+        assert payloads(engine, handles)  # engine is still usable
+
+    def test_rejects_nonpositive_group(self):
+        _, engine, handles = build_engine()
+        with pytest.raises(ValueError):
+            run_bulk(engine, [], group_commit_every=0)

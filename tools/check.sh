@@ -105,6 +105,18 @@ bench_suite_smoke() {
     return "${status}"
 }
 
+# TPS smoke: run the S2 headline bench standalone (slab spine + bulk
+# driver vs the per-call baseline) and require its claim to hold —
+# equivalence plus the >= 2x speedup gates at batch 64/256.
+bench_tps_smoke() {
+    local tmp
+    tmp="$(mktemp -t bench_s2.XXXXXX.json)"
+    python benchmarks/bench_s2_tps.py --json "${tmp}" >/dev/null
+    local status=$?
+    rm -f "${tmp}"
+    return "${status}"
+}
+
 # Span smoke: capture the E1 anomaly under a recording tracer, profile
 # the commit critical path, run the trace invariant checker, and export
 # Perfetto JSON.  With SPAN_TRACE_DIR set (CI does this) the trace and
@@ -136,6 +148,7 @@ span_trace_smoke() {
 
 stage_bench() {
     run_step "bench-e1 smoke" bench_e1_smoke
+    run_step "bench-tps smoke" bench_tps_smoke
     run_step "bench-suite smoke" bench_suite_smoke
     run_step "span-trace smoke" span_trace_smoke
 }
