@@ -43,10 +43,11 @@ SCHEMA_VERSION = 1
 
 #: Trimmed suite for the pre-PR smoke gate: one standalone bench (E1,
 #: exercising the JSON harvest path), one fast pytest bench, the micro
-#: bench whose fast-lane speedup assertions gate PR 3's lanes, and the
-#: S2 TPS headline whose slab/bulk-driver gates cover PR 8's.
+#: bench whose fast-lane speedup assertions gate PR 3's lanes, the
+#: S2 TPS headline whose slab/bulk-driver gates cover PR 8's, and the
+#: S3 replication bench whose lag/ack gates cover PR 9's.
 SMOKE_BENCHES = ("bench_e1_anomaly", "bench_a3_group_commit",
-                 "bench_micro", "bench_s2_tps")
+                 "bench_micro", "bench_s2_tps", "bench_s3_repl")
 
 _SUMMARY_RE = re.compile(r"(\d+) (passed|failed|skipped|error|errors)")
 

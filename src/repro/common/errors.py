@@ -54,6 +54,23 @@ class TornPageError(FaultInjectedError):
     """
 
 
+class RetryExhaustedError(ReproError):
+    """A bounded retry loop spent its whole attempt budget.
+
+    Raised by :func:`repro.faults.policy.run_with_retry` when every
+    attempt (including the first) failed with a retryable error.  The
+    ``faults.retry.exhausted`` counter is bumped at the raise site, so
+    experiments can count exhaustion events without catching this.
+    """
+
+    def __init__(self, operation: str, attempts: int) -> None:
+        super().__init__(
+            f"{operation} failed after {attempts} attempt(s)"
+        )
+        self.operation = operation
+        self.attempts = attempts
+
+
 class DegradedModeError(ReproError):
     """An update was rejected because the system is running degraded.
 

@@ -141,6 +141,18 @@ CLUSTER_CROSS_SHARD_CHECKS = "cluster.cross_shard_checks"
 BULK_UPDATE_BATCHES = "bulk.update_batches"
 BULK_READ_BATCHES = "bulk.read_batches"
 BULK_OPS_APPLIED = "bulk.ops_applied"
+RETRY_EXHAUSTED = "faults.retry.exhausted"
+NET_PARKED_DRAINED = "net.parked_drained"
+NET_PARKED_FAILED = "net.parked_failed"
+REPL_RECORDS_SHIPPED = "repl.records_shipped"
+REPL_BATCHES_SHIPPED = "repl.batches_shipped"
+REPL_ACKS = "repl.acks"
+REPL_SHIP_RETRIES = "repl.ship_retries"
+REPL_RECORDS_APPLIED = "repl.records_applied"
+REPL_APPLY_SKIPPED = "repl.apply_skipped"
+REPL_DEGRADED_ENTRIES = "repl.degraded_entries"
+REPL_COMMITS_ACKED = "repl.commits_acked"
+REPL_PROMOTIONS = "repl.promotions"
 
 
 def message_kind_counter(kind: str) -> str:

@@ -84,8 +84,14 @@ class CsSystem:
         self.network.broadcast_max_lsns()
 
     def quiesce(self) -> None:
-        """Ship every dirty page to the server and flush it to disk."""
+        """Ship every dirty page to the server and flush it to disk.
+
+        Also drains any injected-delay messages still parked on the
+        fabric: a quiesced system must have no in-flight traffic, or a
+        later run would observe deliveries this one never completed.
+        """
         with self.tracer.span(ev.SPAN_QUIESCE, system=SERVER_ID):
+            self.network.drain_parked()
             for client in self.clients.values():
                 if not client.crashed:
                     client.flush_all()

@@ -321,6 +321,10 @@ def _recover_sd(sd: "SDComplex", spec: CrashSpec,
     if spec.action == CRASH_COMPLEX or fault.system not in sd.instances:
         sd.crash_complex()
         scope = "complex"
+        # Messages parked by injected delays die with the complex —
+        # delivering them to the recovered incarnation would replay
+        # traffic from before the crash.
+        sd.network.fail_parked()
     else:
         sd.crash_instance(fault.system)
         scope = f"instance:{fault.system}"
@@ -340,6 +344,7 @@ def _recover_cs(cs: "CsSystem", spec: CrashSpec,
     if spec.action == CRASH_COMPLEX or fault.system not in cs.clients:
         cs.crash_server()
         scope = "server"
+        cs.network.fail_parked()
     else:
         cs.crash_client(fault.system)
         scope = f"client:{fault.system}"
@@ -445,6 +450,331 @@ def run_campaign(arch: str, seed: int = 0, smoke: bool = False) -> CampaignRepor
     report = CampaignReport(arch=arch, seed=seed, smoke=smoke, survey=survey)
     for spec in enumerate_specs(survey, smoke=smoke):
         report.results.append(run_spec(spec, seed))
+    return report
+
+
+# ----------------------------------------------------------------------
+# failover drill
+# ----------------------------------------------------------------------
+#: Smoke-mode drill points: the replication seams plus the commit
+#: point, the three places a primary death interacts with shipping.
+DRILL_SMOKE_POINTS = (
+    fpoints.COMMIT_POST_FORCE,
+    fpoints.REPL_SHIP,
+    fpoints.REPL_APPLY,
+)
+
+
+@dataclass(frozen=True)
+class DrillSpec:
+    """One failover rehearsal: run the replicated workload at write-ack
+    level ``ack``, kill the whole primary at the ``hit``-th crossing of
+    ``point``, promote the best standby, and audit the loss."""
+
+    point: str
+    hit: int
+    ack: str
+
+    @property
+    def label(self) -> str:
+        return f"failover:{self.point}@{self.hit}:{self.ack}"
+
+
+def run_drill_survey(ack: str, seed: int) -> SurveyResult:
+    """Un-faulted hit counts for the replicated workload at ``ack``.
+
+    Replication adds crossings everywhere (standby disk writes, ship
+    and ack rounds), so the plain-campaign survey cannot be reused —
+    the drill takes its own census per ack level.
+    """
+    injector = FaultInjector(FaultPlan(seed=seed))
+    sd, _ = scenarios.build_replicated_sd(injector, seed, ack)
+    build_hits = dict(injector.hit_counts())
+    scenarios.run_sd_workload(sd, seed)
+    return SurveyResult(
+        arch=ARCH_SD, seed=seed, build_hits=build_hits,
+        total_hits=dict(injector.hit_counts()),
+        disk_write_pages=(), data_pages=frozenset(),
+    )
+
+
+def enumerate_drill_specs(survey: SurveyResult, ack: str,
+                          smoke: bool = False) -> List[DrillSpec]:
+    """Every fault point the replicated workload crosses, mid-hit.
+
+    Smoke mode keeps only :data:`DRILL_SMOKE_POINTS`; full mode covers
+    all of :data:`~repro.faults.points.ALL_POINTS` the workload hits.
+    """
+    points = DRILL_SMOKE_POINTS if smoke else fpoints.ALL_POINTS
+    specs: List[DrillSpec] = []
+    for point in points:
+        first, last = survey.workload_hits(point)
+        if not last:
+            continue
+        mid = first + (last - first) // 2
+        specs.append(DrillSpec(point=point, hit=mid, ack=ack))
+    return specs
+
+
+@dataclass
+class DrillResult:
+    """Outcome of one failover rehearsal."""
+
+    spec: DrillSpec
+    fired: bool = False
+    fault_system: int = -1
+    promoted_system: int = -1
+    acked_commits: int = 0
+    lost_commits: int = 0
+    loss_bounded: bool = False
+    image_match: bool = False
+    writable: bool = False
+    invariant_violations: Tuple[str, ...] = ()
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return (self.fired and self.loss_bounded and self.image_match
+                and self.writable and not self.invariant_violations)
+
+    @property
+    def status(self) -> str:
+        if self.ok:
+            return "ok"
+        if not self.fired:
+            return "no-fire"
+        if self.detail:
+            return "error"
+        if not self.loss_bounded:
+            return "loss"
+        if not self.image_match:
+            return "image-mismatch"
+        if not self.writable:
+            return "not-writable"
+        return "invariant-fail"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.label,
+            "fired": self.fired,
+            "fault_system": self.fault_system,
+            "promoted_system": self.promoted_system,
+            "acked_commits": self.acked_commits,
+            "lost_commits": self.lost_commits,
+            "loss_bounded": self.loss_bounded,
+            "image_match": self.image_match,
+            "writable": self.writable,
+            "invariant_violations": list(self.invariant_violations),
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+
+def _disk_digest(disk: "SharedDisk") -> str:
+    """SHA-256 over the written page images, in page-id order."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for page_id in sorted(disk.written_page_ids()):
+        digest.update(page_id.to_bytes(8, "little"))
+        digest.update(bytes(disk.raw_image(page_id)))
+    return digest.hexdigest()
+
+
+def _reference_failover_digest(system_id: int, sd: "SDComplex",
+                               snapshot: Dict[int, bytes]) -> str:
+    """Recover the promoted standby's replica stream from scratch.
+
+    A fresh, silent standby (own stats, no tracer, no injector) is fed
+    the *identical* shipped records in merged LSN order and promoted;
+    its disk digest is the reference the live standby must match.  The
+    merge re-sort matters: per-page redo is only correct in ascending
+    LSN order, and the per-source snapshot blobs alone are not globally
+    ordered.
+    """
+    from repro.common.stats import StatsRegistry
+    from repro.faults.injector import NULL_INJECTOR
+    from repro.obs.tracer import NULL_TRACER
+    from repro.replication.standby import StandbyComplex
+    from repro.wal.records import LogRecord
+
+    entries: List[Tuple[int, int, bytes]] = []
+    for source_id in sorted(snapshot):
+        for _, record in LogRecord.parse_stream(snapshot[source_id]):
+            entries.append((int(record.lsn), source_id, record.to_bytes()))
+    entries.sort(key=lambda entry: (entry[0], entry[1]))
+    reference = StandbyComplex(system_id, sd, stats=StatsRegistry(),
+                               tracer=NULL_TRACER, injector=NULL_INJECTOR)
+    reference.receive((source_id, data) for _, source_id, data in entries)
+    reference.promote()
+    return _disk_digest(reference.disk)
+
+
+def run_drill_spec(spec: DrillSpec, seed: int) -> DrillResult:
+    """One rehearsal: kill the primary, promote, audit, verify."""
+    plan = FaultPlan(seed=seed)
+    plan.add(FaultRule(point=spec.point, action=CRASH_COMPLEX,
+                       nth=spec.hit))
+    injector = FaultInjector(plan)
+    result = DrillResult(spec=spec)
+    sd, tracer = scenarios.build_replicated_sd(injector, seed, spec.ack)
+    fault: Optional[FaultInjectedError] = None
+    try:
+        scenarios.run_sd_workload(sd, seed)
+    except FaultInjectedError as exc:
+        fault = exc
+    if fault is None:
+        result.detail = "armed rule never fired (hit count drifted?)"
+        return result
+    result.fired = True
+    result.fault_system = fault.system
+    # The primary site is gone: every instance dies, parked messages
+    # die with it.  (No log salvage — this drill models losing the
+    # machine, the case the ack levels exist to bound.)
+    sd.crash_complex()
+    sd.network.fail_parked()
+    try:
+        result = _promote_and_audit(result, sd, tracer)
+    except ReproError as exc:
+        result.detail = f"failover failed: {type(exc).__name__}: {exc}"
+        return result
+    return result
+
+
+def _promote_and_audit(result: DrillResult, sd: "SDComplex",
+                       tracer) -> DrillResult:
+    from repro.wal.records import LogRecord, RecordKind
+
+    spec = result.spec
+    # Elect the standby holding the longest prefix of the shipped
+    # stream.  Every standby receives the same batch sequence, so
+    # (applied LSN, records held) orders prefixes by containment and
+    # the winner holds a superset of every acked standby's stream.
+    standbys = sd.replication.standbys()
+    snapshots = {sid: standby.replica_snapshot()
+                 for sid, standby in standbys.items()}
+    record_counts = {
+        sid: sum(1 for blob in snapshot.values()
+                 for _ in LogRecord.parse_stream(blob))
+        for sid, snapshot in snapshots.items()
+    }
+    promoted_id = max(
+        standbys,
+        key=lambda sid: (int(standbys[sid].applied_max_lsn),
+                         record_counts[sid], -sid),
+    )
+    standby = standbys[promoted_id]
+    snapshot = snapshots[promoted_id]
+    result.promoted_system = promoted_id
+    # Loss audit against the pre-promotion snapshot (promotion appends
+    # CLRs; the audit must see exactly what was shipped).
+    survivors = set()
+    for source_id, blob in snapshot.items():
+        for _, record in LogRecord.parse_stream(blob):
+            if record.kind == RecordKind.COMMIT:
+                survivors.add((source_id, record.txn_id))
+    acked = [ack for ack in sd.replication.commit_acks if ack.satisfied]
+    lost = [ack for ack in acked
+            if (ack.system, ack.txn) not in survivors]
+    result.acked_commits = len(acked)
+    result.lost_commits = len(lost)
+    if spec.ack == "local":
+        # Async shipping bounds the unshipped tail — and with it the
+        # lost commits — by the in-flight window.
+        result.loss_bounded = (
+            len(lost) <= scenarios.REPL_WINDOW_RECORDS)
+    else:
+        # quorum / all: an acknowledged commit must never be lost.
+        result.loss_bounded = not lost
+    promoted = standby.promote()
+    result.image_match = (
+        _disk_digest(promoted.disk)
+        == _reference_failover_digest(promoted_id, sd, snapshot))
+    # The promoted complex must take new work: one smoke transaction
+    # (after the digest — it changes the disk).
+    instance = promoted.instances[promoted_id]
+    txn = instance.begin()
+    page_id = instance.allocate_page(txn)
+    instance.insert(txn, page_id, b"post-failover write")
+    instance.commit(txn)
+    result.writable = True
+    result.invariant_violations = tuple(
+        _render_violation(v) for v in check_trace(tracer.events()))
+    return result
+
+
+@dataclass
+class DrillReport:
+    """Everything one failover drill produced."""
+
+    seed: int
+    smoke: bool
+    results: List[DrillResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.results) and all(r.ok for r in self.results)
+
+    @property
+    def failed(self) -> List[DrillResult]:
+        return [r for r in self.results if not r.ok]
+
+    def table(self) -> str:
+        """Fixed-width summary, one row per rehearsal."""
+        header = (f"{'#':>3} {'point':<17} {'hit':>5} {'ack':<7} "
+                  f"{'promoted':>8} {'acked':>5} {'lost':>4} "
+                  f"{'status':<14}")
+        lines = [
+            f"-- failover drill: seed={self.seed} "
+            f"mode={'smoke' if self.smoke else 'full'} "
+            f"rehearsals={len(self.results)} --",
+            header,
+            "-" * len(header),
+        ]
+        for index, result in enumerate(self.results, start=1):
+            spec = result.spec
+            lines.append(
+                f"{index:>3} {spec.point:<17} {spec.hit:>5} "
+                f"{spec.ack:<7} {result.promoted_system:>8} "
+                f"{result.acked_commits:>5} {result.lost_commits:>4} "
+                f"{result.status:<14}")
+            if not result.ok:
+                for violation in result.invariant_violations[:3]:
+                    lines.append(f"      ! {violation}")
+                if result.detail:
+                    lines.append(f"      ! {result.detail}")
+        passed = sum(1 for r in self.results if r.ok)
+        lines.append(f"-- {passed}/{len(self.results)} failovers "
+                     f"clean --")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "smoke": self.smoke,
+            "results": [r.to_dict() for r in self.results],
+            "ok": self.ok,
+        }
+
+
+def run_failover_drill(seed: int = 0, smoke: bool = False) -> DrillReport:
+    """Survey and rehearse failover at every ack level.
+
+    Kills the primary complex at every reachable fault point (mid-hit)
+    per write-ack level, promotes the best standby, and checks: the
+    promoted disk image equals a from-scratch reference recovery of
+    the shipped stream; ``quorum``/``all``-acked commits are never
+    lost; ``local`` loss stays within the in-flight window; the
+    promoted complex accepts new transactions; the whole trace passes
+    the invariant checker.
+    """
+    from repro.replication import ACK_LEVELS
+
+    report = DrillReport(seed=seed, smoke=smoke)
+    for ack in ACK_LEVELS:
+        survey = run_drill_survey(ack, seed)
+        for spec in enumerate_drill_specs(survey, ack, smoke=smoke):
+            report.results.append(run_drill_spec(spec, seed))
     return report
 
 

@@ -11,6 +11,10 @@ Usage:
   under a different workload seed;
 * ``python -m repro.chaos --list`` — survey only: print per-point hit
   counts without crashing anything;
+* ``python -m repro.chaos --drill failover`` — failover rehearsals:
+  replicated primary killed at every fault point per write-ack level,
+  best standby promoted, loss audited against the ack guarantees
+  (``--smoke`` narrows to the replication seams + commit point);
 * ``python -m repro.chaos --sabotage redo-screening`` — deliberately
   break restart redo's page_LSN test first; the campaign must go red
   (used to prove the alarm itself works).
@@ -28,12 +32,14 @@ from typing import List, Optional
 from repro.faults.campaign import (
     ARCHES,
     run_campaign,
+    run_failover_drill,
     run_survey,
     sabotage_redo_screening,
 )
 from repro.faults.points import ALL_POINTS
 
 SABOTAGES = ("redo-screening",)
+DRILLS = ("failover",)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -51,7 +57,22 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="survey only: print fault-point hit counts")
     parser.add_argument("--sabotage", choices=SABOTAGES, default=None,
                         help="break recovery on purpose to test the alarm")
+    parser.add_argument("--drill", choices=DRILLS, default=None,
+                        help="run a named drill instead of the campaign")
     return parser
+
+
+def _run_drill(seed: int, smoke: bool) -> int:
+    report = run_failover_drill(seed=seed, smoke=smoke)
+    print(report.table())
+    total, failed = len(report.results), len(report.failed)
+    if failed or not total:
+        print(f"DRILL: FAIL — {failed}/{total} failovers lost acked "
+              f"commits or diverged from reference recovery")
+        return 1
+    print(f"DRILL: OK — {total} failovers, loss within ack guarantees, "
+          f"images match reference recovery")
+    return 0
 
 
 def _list_points(arches: List[str], seed: int) -> int:
@@ -71,6 +92,8 @@ def _list_points(arches: List[str], seed: int) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     arches = list(ARCHES) if args.arch == "both" else [args.arch]
+    if args.drill == "failover":
+        return _run_drill(args.seed, args.smoke)
     if args.list_points:
         return _list_points(arches, args.seed)
     guard = (sabotage_redo_screening() if args.sabotage == "redo-screening"

@@ -41,6 +41,16 @@ consulted; what happens there is decided by the matching
   request is routed to its shard; the ``shard`` context field names the
   target shard, so a fault plan can kill exactly one GLM shard (the
   monolithic single-shard GLM never consults this point).
+* ``REPL_SHIP``    — :meth:`ReplicationManager._ship_to`, before a
+  merged-log batch leaves the primary for one standby (hit attributed
+  to the standby; ``fail`` is answered with bounded retry/backoff,
+  exhaustion disconnects the standby).
+* ``REPL_ACK``     — before the standby's cumulative ack is recorded on
+  the primary; ``fail`` models a lost ack (the shipped batch survives,
+  the ack LSN simply does not advance until the next round trip).
+* ``REPL_APPLY``   — :meth:`StandbyComplex.receive`, before a shipped
+  batch enters the standby's continuous-redo loop (hit attributed to
+  the standby).
 """
 
 from __future__ import annotations
@@ -58,6 +68,9 @@ COMMIT_POST_FORCE = "commit.post_force"
 CS_SHIP = "cs.ship"
 CS_COMMIT = "cs.commit"
 GLM_ACQUIRE = "glm.acquire"
+REPL_SHIP = "repl.ship"
+REPL_ACK = "repl.ack"
+REPL_APPLY = "repl.apply"
 
 #: Every injection point, in the order campaign tables list them.
 ALL_POINTS: Tuple[str, ...] = (
@@ -72,4 +85,7 @@ ALL_POINTS: Tuple[str, ...] = (
     CS_SHIP,
     CS_COMMIT,
     GLM_ACQUIRE,
+    REPL_SHIP,
+    REPL_ACK,
+    REPL_APPLY,
 )

@@ -20,12 +20,22 @@ Two consumers:
 
 from __future__ import annotations
 
-from typing import Callable, Optional, TypeVar
+from typing import Callable, Optional, Type, TypeVar
 
 from repro.common.clock import SkewedClock
-from repro.common.errors import LockTimeoutError, LockWouldBlock
+from repro.common.errors import (
+    LockTimeoutError,
+    LockWouldBlock,
+    ReproError,
+    RetryExhaustedError,
+)
+from repro.common.stats import RETRY_EXHAUSTED, StatsRegistry
 
 T = TypeVar("T")
+
+# Knuth's multiplicative-hash constant: mixes (seed, attempt) into a
+# well-spread jitter value without pulling in the random module.
+_JITTER_MIX = 2654435761
 
 
 class RetryPolicy:
@@ -37,6 +47,13 @@ class RetryPolicy:
     ``max_backoff_ticks`` — advanced on the supplied
     :class:`SkewedClock` (or silently skipped without one; the tick
     count is still returned for accounting).
+
+    With ``jitter_seed`` set, each backoff additionally waits a
+    *seeded* jitter of ``0 .. backoff-1`` extra ticks, derived purely
+    from ``(jitter_seed, attempt)`` — the decorrelation real systems
+    get from randomness, without giving up byte-reproducibility (rule
+    R002: same seed, same ticks, every run).  ``jitter_seed=None``
+    (the default) keeps the historical no-jitter schedule.
     """
 
     def __init__(
@@ -45,6 +62,7 @@ class RetryPolicy:
         base_ticks: int = 1,
         max_backoff_ticks: int = 64,
         clock: Optional[SkewedClock] = None,
+        jitter_seed: Optional[int] = None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -56,12 +74,28 @@ class RetryPolicy:
         self.base_ticks = base_ticks
         self.max_backoff_ticks = max_backoff_ticks
         self.clock = clock
+        self.jitter_seed = jitter_seed
+
+    def jitter_ticks(self, attempt: int) -> int:
+        """Seeded jitter added to the ``attempt``-th backoff.
+
+        A pure function of ``(jitter_seed, attempt)`` in the range
+        ``0 .. capped_backoff - 1``; always 0 without a seed.
+        """
+        if attempt < 1:
+            raise ValueError("attempts are 1-based")
+        if self.jitter_seed is None:
+            return 0
+        span = min(self.base_ticks << (attempt - 1), self.max_backoff_ticks)
+        mixed = (self.jitter_seed * _JITTER_MIX + attempt * 0x9E3779B9)
+        return (mixed & 0xFFFFFFFF) % span
 
     def backoff_ticks(self, attempt: int) -> int:
         """The (deterministic) backoff after the ``attempt``-th try."""
         if attempt < 1:
             raise ValueError("attempts are 1-based")
-        return min(self.base_ticks << (attempt - 1), self.max_backoff_ticks)
+        base = min(self.base_ticks << (attempt - 1), self.max_backoff_ticks)
+        return base + self.jitter_ticks(attempt)
 
     def backoff(self, attempt: int) -> int:
         """Advance the clock by the attempt's backoff; returns the ticks."""
@@ -104,6 +138,45 @@ def run_with_lock_retry(
                     f"lock wait for {exc.resource!r} exceeded "
                     f"{policy.max_attempts} attempts"
                 ) from exc
+            policy.backoff(attempts)
+            if on_retry is not None:
+                on_retry(attempts)
+
+
+def run_with_retry(
+    policy: RetryPolicy,
+    attempt: Callable[[], T],
+    retryable: Type[ReproError] = ReproError,
+    stats: Optional[StatsRegistry] = None,
+    on_retry: Optional[Callable[[int], None]] = None,
+    label: str = "operation",
+    should_retry: Optional[Callable[[ReproError], bool]] = None,
+) -> T:
+    """Run ``attempt`` until it succeeds or the budget is spent.
+
+    The generic sibling of :func:`run_with_lock_retry`: any raise of
+    ``retryable`` triggers deterministic backoff and another attempt;
+    after ``policy.max_attempts`` failures the loop gives up, bumps
+    ``faults.retry.exhausted`` on ``stats`` (when given) and raises
+    :class:`RetryExhaustedError` from the last failure.  ``on_retry``
+    is called with the 1-based attempt number before each retry.
+    Exceptions outside ``retryable`` — or for which ``should_retry``
+    returns False (e.g. an injected CRASH that must take the process
+    down, not be retried away) — propagate immediately, attempt
+    budget untouched.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return attempt()
+        except retryable as exc:
+            if should_retry is not None and not should_retry(exc):
+                raise
+            if attempts >= policy.max_attempts:
+                if stats is not None:
+                    stats.incr(RETRY_EXHAUSTED)
+                raise RetryExhaustedError(label, attempts) from exc
             policy.backoff(attempts)
             if on_retry is not None:
                 on_retry(attempts)

@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 from repro.cs.system import CsSystem
 from repro.faults.injector import NullFaultInjector
 from repro.obs.tracer import Tracer
+from repro.replication import ReplicationConfig
 from repro.sd.complex import SDComplex
 from repro.workload.generator import (
     WorkloadConfig,
@@ -43,6 +44,14 @@ N_TRANSACTIONS = 12
 OPS_PER_TXN = 4
 #: Flush one (alternating) pool every FLUSH_PERIOD committed txns.
 FLUSH_PERIOD = 2
+#: Failover-drill replication shape: two standbys so ``quorum`` (2 of
+#: 3 votes) and ``all`` (both standbys) are genuinely different levels,
+#: and a small window/batch so the async ``local`` mode actually leaves
+#: an unshipped tail for the drill's loss bound to bite on.
+STANDBY_BASE_ID = 9
+N_STANDBYS = 2
+REPL_WINDOW_RECORDS = 8
+REPL_BATCH_RECORDS = 4
 
 
 def _workload_config(seed: int) -> WorkloadConfig:
@@ -93,6 +102,30 @@ def run_sd_workload(sd: SDComplex, seed: int) -> List[Tuple[int, int]]:
 
     run_interleaved_sd(instances, scripts, between_txns=flusher)
     return handles
+
+
+def build_replicated_sd(injector: NullFaultInjector, seed: int,
+                        ack: str) -> Tuple[SDComplex, Tracer]:
+    """The failover-drill stack: :func:`build_sd` plus log shipping.
+
+    Same two-instance primary as :func:`build_sd`, with replication at
+    the requested write-ack level and :data:`N_STANDBYS` hot standbys
+    attached before the workload starts.
+    """
+    tracer = Tracer()
+    sd = SDComplex(
+        n_data_pages=64, tracer=tracer, injector=injector,
+        replicate=ReplicationConfig(
+            ack=ack,
+            window_records=REPL_WINDOW_RECORDS,
+            batch_records=REPL_BATCH_RECORDS,
+        ),
+    )
+    for system_id in (1, 2):
+        sd.add_instance(system_id)
+    for index in range(N_STANDBYS):
+        sd.replication.add_standby(STANDBY_BASE_ID + index)
+    return sd, tracer
 
 
 def build_cs(injector: NullFaultInjector, seed: int,

@@ -40,6 +40,8 @@ from repro.common.stats import (
     NET_DROPS_INJECTED,
     NET_DUP_DROPPED,
     NET_MAX_LSN_BROADCAST,
+    NET_PARKED_DRAINED,
+    NET_PARKED_FAILED,
     NET_RETRANSMITS,
     StatsRegistry,
     message_kind_counter,
@@ -159,6 +161,37 @@ class Network:
         while self._delayed:
             src_id, dst_id, kind, nbytes, seq = self._delayed.pop(0)
             self._deliver(src_id, dst_id, kind, nbytes, seq=seq)
+
+    def parked_count(self) -> int:
+        """How many injected-DELAY messages are still parked."""
+        return len(self._delayed)
+
+    def drain_parked(self) -> int:
+        """Deliver every parked message now; returns how many.
+
+        The graceful half of quiesce/shutdown hygiene: a drill or a
+        checkpoint that stops the fabric must not leave in-flight state
+        behind, or the next run would observe deliveries it never sent.
+        Counted as ``net.parked_drained``.
+        """
+        count = len(self._delayed)
+        if count:
+            self._flush_delayed()
+            self.stats.incr(NET_PARKED_DRAINED, count)
+        return count
+
+    def fail_parked(self) -> int:
+        """Discard every parked message; returns how many.
+
+        The crash half: messages parked when a complex dies are lost,
+        never delivered to a survivor later.  Counted as
+        ``net.parked_failed``.
+        """
+        count = len(self._delayed)
+        if count:
+            self._delayed.clear()
+            self.stats.incr(NET_PARKED_FAILED, count)
+        return count
 
     def _deliver(
         self,

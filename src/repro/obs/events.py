@@ -84,6 +84,21 @@ Faults and degradation (see :mod:`repro.faults` and
   system read-only)
 * ``DEGRADED_EXIT`` — (restart repaired the log device)
 
+Replication (see :mod:`repro.replication` and ``docs/replication.md``;
+system = the primary complex's shipper (system 0) unless noted):
+
+* ``REPL_SHIP``     — ``standby``, ``records``, ``nbytes``, ``max_lsn``
+  (one merged-log batch shipped to one standby)
+* ``REPL_ACK``      — ``standby``, ``lsn`` (cumulative applied-LSN ack
+  recorded on the primary)
+* ``REPL_COMMIT_ACK`` — ``txn``, ``lsn``, ``level``, ``satisfied``
+  (system = the committing instance; the commit-point ack decision)
+* ``REPL_DEGRADED_ENTER`` — ``reason``, ``standby`` (primary stops
+  waiting for this standby's acks instead of stalling)
+* ``REPL_DEGRADED_EXIT``  — ``standby`` (acks caught back up)
+* ``REPL_PROMOTE``  — ``applied_max_lsn``, ``sources`` (system = the
+  promoted standby)
+
 Cluster scale-out (system = the recovering instance; see
 ``docs/scaleout.md``):
 
@@ -123,6 +138,8 @@ doing the work):
 * ``SPAN_RESTART``       — an instance/server/complex restart wrapper,
   attribute ``target``
 * ``SPAN_QUIESCE``       — a CS quiesce checkpoint
+* ``SPAN_PROMOTE``       — a standby promotion (final catch-up +
+  restart recovery + flip writable), attribute ``standby``
 
 Locking events emitted by a sharded GLM additionally carry ``shard``
 (the emitting shard's index); the monolithic GLM omits the field so
@@ -179,6 +196,13 @@ DEGRADED_EXIT = "degraded.exit"
 CLUSTER_REDO_PLAN = "cluster.redo_plan"
 CLUSTER_REDO_PART = "cluster.redo_part"
 
+REPL_SHIP = "repl.ship"
+REPL_ACK = "repl.ack"
+REPL_COMMIT_ACK = "repl.commit_ack"
+REPL_DEGRADED_ENTER = "repl.degraded.enter"
+REPL_DEGRADED_EXIT = "repl.degraded.exit"
+REPL_PROMOTE = "repl.promote"
+
 SPAN_BEGIN = "span.begin"
 SPAN_END = "span.end"
 
@@ -193,6 +217,7 @@ SPAN_UNDO = "undo"
 SPAN_REDO_PART = "redo_part"
 SPAN_RESTART = "restart"
 SPAN_QUIESCE = "quiesce"
+SPAN_PROMOTE = "promote"
 
 #: The bracket kinds a span emits (for filters and the checker).
 SPAN_KINDS = frozenset({SPAN_BEGIN, SPAN_END})

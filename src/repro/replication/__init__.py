@@ -1,0 +1,39 @@
+"""Log-shipping replication: hot standby over the merged USN stream.
+
+The paper's USN scheme makes log shipping uniquely cheap: every local
+log is LSN-sorted, so the primary complex's logs k-way merge by
+comparing LSNs alone (Section 3.2.2) and a standby can run one
+continuous redo stream against its own disk — Sauer/Härder's REDO-only
+recovery as a steady state.  :class:`ReplicationManager` ships the
+merged stable stream over the ``net`` seam with configurable write-ack
+levels (``local`` / ``quorum`` / ``all``, the RethinkDB-style
+durability knob); :class:`StandbyComplex` applies it and, on
+:meth:`~StandbyComplex.promote`, runs restart recovery over its
+replica logs and flips writable.  See ``docs/replication.md``.
+"""
+
+from repro.replication.shipper import (
+    ACK_ALL,
+    ACK_LEVELS,
+    ACK_LOCAL,
+    ACK_QUORUM,
+    CommitAck,
+    NULL_REPLICATION,
+    NullReplication,
+    ReplicationConfig,
+    ReplicationManager,
+)
+from repro.replication.standby import StandbyComplex
+
+__all__ = [
+    "ACK_ALL",
+    "ACK_LEVELS",
+    "ACK_LOCAL",
+    "ACK_QUORUM",
+    "CommitAck",
+    "NULL_REPLICATION",
+    "NullReplication",
+    "ReplicationConfig",
+    "ReplicationManager",
+    "StandbyComplex",
+]

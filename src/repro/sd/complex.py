@@ -32,6 +32,11 @@ from repro.net.network import Network
 from repro.obs import events as ev
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.recovery.commit_lsn import CommitLsnService
+from repro.replication.shipper import (
+    NULL_REPLICATION,
+    ReplicationConfig,
+    ReplicationManager,
+)
 from repro.sd.coherency import CoherencyController
 from repro.sd.instance import DbmsInstance
 from repro.storage.disk import SharedDisk
@@ -64,6 +69,8 @@ class SDComplex:
         lock_shards: int = 1,
         redo_parallelism: int = 1,
         slab: bool = True,
+        replicate: Optional["ReplicationConfig"] = None,
+        disk: Optional[SharedDisk] = None,
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -72,10 +79,15 @@ class SDComplex:
             # A campaign-made injector reports into the same registries
             # the stack under test uses.
             self.injector.attach(stats=self.stats, tracer=self.tracer)
-        capacity = disk_capacity or (data_start + n_data_pages + 64)
-        self.disk = SharedDisk(capacity=capacity, stats=self.stats,
-                               tracer=self.tracer, injector=self.injector,
-                               slab=slab)
+        if disk is not None:
+            # Promotion path: adopt an already-populated disk (e.g. a
+            # standby's replica image) instead of formatting a fresh one.
+            self.disk = disk
+        else:
+            capacity = disk_capacity or (data_start + n_data_pages + 64)
+            self.disk = SharedDisk(capacity=capacity, stats=self.stats,
+                                   tracer=self.tracer,
+                                   injector=self.injector, slab=slab)
         self.network = Network(stats=self.stats,
                                piggyback_enabled=piggyback_enabled,
                                tracer=self.tracer,
@@ -103,7 +115,13 @@ class SDComplex:
         self.instances: Dict[int, DbmsInstance] = {}
         self.lock_value_blocks = lock_value_blocks
         self._lock_values: Dict[Hashable, Lsn] = {}
-        self._initialize_database()
+        if disk is None:
+            self._initialize_database()
+        # The replication seam follows the NULL-object discipline: with
+        # ``replicate=None`` the manager is NULL_REPLICATION
+        # (enabled=False) and every call site stays byte-identical.
+        self.replication = (ReplicationManager(self, replicate)
+                            if replicate is not None else NULL_REPLICATION)
 
     def _initialize_database(self) -> None:
         """Format the space map pages (volume initialisation utility)."""

@@ -172,6 +172,13 @@ class DbmsInstance:
         if self.injector.enabled:
             self.injector.fire(fp.COMMIT_POST_FORCE, system=self.system_id,
                                txn=txn.txn_id)
+        if self.complex.replication.enabled:
+            # The commit point of the configured write-ack level: ship
+            # the stable stream and wait for standby acks before the
+            # commit is acknowledged.  The local force above already
+            # made it locally durable, so a missed ack degrades rather
+            # than rolls back.
+            self._replicate_acks([txn] + list(self._pending_commits))
         self._finish_commit(txn)
         self._finish_pending()
 
@@ -182,7 +189,15 @@ class DbmsInstance:
         if not self._pending_commits:
             return 0
         self._force_or_degrade()
+        if self.complex.replication.enabled:
+            self._replicate_acks(list(self._pending_commits))
         return self._finish_pending()
+
+    def _replicate_acks(self, txns: List[Transaction]) -> None:
+        """Run the replication commit point for each newly-forced txn."""
+        for txn in txns:
+            self.complex.replication.on_commit(
+                self.system_id, txn.txn_id, txn.last_lsn)
 
     def _force_or_degrade(self) -> None:
         """Force the log; a log-device failure degrades the instance.

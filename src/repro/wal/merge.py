@@ -73,13 +73,16 @@ MergedEntry = Tuple[LogAddress, LogRecord]
 def _log_streams(
     logs: Iterable[LogManager],
     from_offsets: Optional[Dict[int, int]] = None,
+    stable_only: bool = False,
 ) -> List[Iterator[MergedEntry]]:
     streams: List[Iterator[MergedEntry]] = []
     for log in logs:
         start = 0
         if from_offsets is not None:
             start = from_offsets.get(log.system_id, 0)
-        streams.append(log.scan(from_offset=start))
+        streams.append(
+            log.scan(from_offset=start, include_unflushed=not stable_only)
+        )
     return streams
 
 
@@ -87,16 +90,22 @@ def merge_local_logs(
     logs: Iterable[LogManager],
     stats: Optional[StatsRegistry] = None,
     from_offsets: Optional[Dict[int, int]] = None,
+    stable_only: bool = False,
 ) -> Iterator[MergedEntry]:
     """k-way merge of USN local logs by LSN alone.
 
     Yields ``(address, record)`` in globally non-decreasing LSN order.
     ``from_offsets`` optionally maps system_id -> starting byte offset
-    (e.g. the image-copy boundary) to shorten the scan.
+    (e.g. the image-copy boundary) to shorten the scan.  With
+    ``stable_only`` each scan stops at its log's flushed boundary —
+    the log shipper's mode: only forced records may leave the primary,
+    otherwise a standby could hold records the primary loses in a
+    crash.
     """
     stats = stats if stats is not None else StatsRegistry()
     heap: List[Tuple[_LsnKey, int, MergedEntry, Iterator[MergedEntry]]] = []
-    for tiebreak, stream in enumerate(_log_streams(logs, from_offsets)):
+    streams = _log_streams(logs, from_offsets, stable_only=stable_only)
+    for tiebreak, stream in enumerate(streams):
         entry = next(stream, None)
         if entry is not None:
             heapq.heappush(

@@ -18,6 +18,7 @@ from repro.common.errors import (
     LockTimeoutError,
     LockWouldBlock,
     MediaError,
+    RetryExhaustedError,
     TornPageError,
 )
 from repro.common.stats import (
@@ -28,14 +29,20 @@ from repro.common.stats import (
     NET_DROPS_INJECTED,
     NET_DUP_DROPPED,
     NET_RETRANSMITS,
+    RETRY_EXHAUSTED,
+    StatsRegistry,
 )
 from repro.cs.system import CsSystem
 from repro.faults import points as fp
 from repro.faults import scenarios
 from repro.faults.campaign import (
     CrashSpec,
+    enumerate_drill_specs,
     enumerate_specs,
     run_campaign,
+    run_drill_spec,
+    run_drill_survey,
+    run_failover_drill,
     run_spec,
     run_survey,
     sabotage_redo_screening,
@@ -48,7 +55,11 @@ from repro.faults.injector import (
     FaultInjector,
     FaultPlan,
 )
-from repro.faults.policy import RetryPolicy, run_with_lock_retry
+from repro.faults.policy import (
+    RetryPolicy,
+    run_with_lock_retry,
+    run_with_retry,
+)
 from repro.lint import lint_source
 from repro.lint.rules import RULES_BY_ID
 from repro.obs import events as ev
@@ -183,6 +194,117 @@ class TestRetryPolicy:
         with pytest.raises(LockTimeoutError):
             run_with_lock_retry(policy, attempt)
         assert calls["n"] == 3
+
+    def test_no_jitter_seed_keeps_historical_schedule(self):
+        plain = RetryPolicy(max_attempts=6, base_ticks=2,
+                            max_backoff_ticks=9)
+        assert all(plain.jitter_ticks(a) == 0 for a in range(1, 6))
+        assert [plain.backoff_ticks(a) for a in range(1, 6)] == [
+            2, 4, 8, 9, 9]
+
+    def test_jitter_is_deterministic_per_seed(self):
+        one = RetryPolicy(base_ticks=4, max_backoff_ticks=64,
+                          jitter_seed=7)
+        two = RetryPolicy(base_ticks=4, max_backoff_ticks=64,
+                          jitter_seed=7)
+        other = RetryPolicy(base_ticks=4, max_backoff_ticks=64,
+                            jitter_seed=8)
+        schedule = [one.backoff_ticks(a) for a in range(1, 8)]
+        assert schedule == [two.backoff_ticks(a) for a in range(1, 8)]
+        assert schedule != [other.backoff_ticks(a) for a in range(1, 8)]
+
+    def test_jitter_bounded_by_capped_backoff(self):
+        policy = RetryPolicy(base_ticks=2, max_backoff_ticks=16,
+                             jitter_seed=123)
+        for attempt in range(1, 10):
+            base = min(2 << (attempt - 1), 16)
+            jitter = policy.jitter_ticks(attempt)
+            assert 0 <= jitter < base
+            assert policy.backoff_ticks(attempt) == base + jitter
+
+    def test_attempts_are_one_based(self):
+        policy = RetryPolicy(jitter_seed=1)
+        with pytest.raises(ValueError):
+            policy.jitter_ticks(0)
+        with pytest.raises(ValueError):
+            policy.backoff_ticks(0)
+
+
+class TestRunWithRetry:
+    def test_retries_transient_then_succeeds(self):
+        clock = SkewedClock()
+        policy = RetryPolicy(max_attempts=4, base_ticks=1, clock=clock)
+        plan = FaultPlan(seed=0)
+        plan.at(fp.NET_MSG).on_hit(1).fail()
+        plan.at(fp.NET_MSG).on_hit(2).fail()
+        injector = FaultInjector(plan)
+        state = {"attempts": 0}
+
+        def attempt():
+            state["attempts"] += 1
+            injector.fire(fp.NET_MSG, system=1)
+            return "delivered"
+
+        assert run_with_retry(policy, attempt,
+                              retryable=FaultInjectedError) == "delivered"
+        assert state["attempts"] == 3
+        assert clock.ticks > 0
+
+    def test_exhaustion_counts_and_raises_typed_error(self):
+        policy = RetryPolicy(max_attempts=3, base_ticks=1,
+                             clock=SkewedClock())
+        stats = StatsRegistry()
+        calls = {"n": 0}
+        retries = []
+
+        plan = FaultPlan(seed=0)
+        plan.at(fp.REPL_SHIP).every_hit(1).fail()
+        injector = FaultInjector(plan)
+
+        def attempt():
+            calls["n"] += 1
+            injector.fire(fp.REPL_SHIP, system=9)
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            run_with_retry(policy, attempt, retryable=FaultInjectedError,
+                           stats=stats, on_retry=retries.append,
+                           label="repl.ship->9")
+        assert calls["n"] == 3
+        assert retries == [1, 2]
+        assert stats.get(RETRY_EXHAUSTED) == 1
+        assert excinfo.value.attempts == 3
+        assert excinfo.value.operation == "repl.ship->9"
+        assert isinstance(excinfo.value.__cause__, FaultInjectedError)
+
+    def test_should_retry_veto_propagates_immediately(self):
+        """A crash-flavoured fault must not be retried away."""
+        policy = RetryPolicy(max_attempts=5, clock=SkewedClock())
+        stats = StatsRegistry()
+        calls = {"n": 0}
+
+        plan = FaultPlan(seed=0)
+        plan.at(fp.DISK_WRITE).every_hit(1).crash()
+        injector = FaultInjector(plan)
+
+        def attempt():
+            calls["n"] += 1
+            injector.fire(fp.DISK_WRITE, system=1)
+
+        with pytest.raises(FaultInjectedError):
+            run_with_retry(
+                policy, attempt, retryable=FaultInjectedError, stats=stats,
+                should_retry=lambda exc: exc.action != CRASH)
+        assert calls["n"] == 1
+        assert stats.get(RETRY_EXHAUSTED) == 0
+
+    def test_non_retryable_exception_propagates(self):
+        policy = RetryPolicy(max_attempts=5, clock=SkewedClock())
+
+        def attempt():
+            raise ValueError("not a repro error")
+
+        with pytest.raises(ValueError):
+            run_with_retry(policy, attempt, retryable=FaultInjectedError)
 
 
 # ----------------------------------------------------------------------
@@ -351,6 +473,45 @@ class TestCampaignMatrix:
         first = run_campaign("sd", seed=11, smoke=True)
         again = run_campaign("sd", seed=11, smoke=True)
         assert first.to_dict() == again.to_dict()
+
+
+class TestFailoverDrill:
+    def test_smoke_drill_is_green(self):
+        report = run_failover_drill(seed=0, smoke=True)
+        assert report.results, "smoke drill produced no rehearsals"
+        assert report.ok, report.table()
+        acks = {result.spec.ack for result in report.results}
+        assert acks == {"local", "quorum", "all"}
+
+    def test_acked_commits_never_lost_under_quorum_and_all(self):
+        report = run_failover_drill(seed=0, smoke=True)
+        for result in report.results:
+            if result.spec.ack in ("quorum", "all"):
+                assert result.lost_commits == 0, result.to_dict()
+            else:
+                assert result.lost_commits <= \
+                    scenarios.REPL_WINDOW_RECORDS, result.to_dict()
+
+    def test_single_rehearsal_kills_and_promotes(self):
+        survey = run_drill_survey("quorum", seed=0)
+        specs = enumerate_drill_specs(survey, "quorum", smoke=True)
+        assert specs
+        result = run_drill_spec(specs[0], seed=0)
+        assert result.fired, result.to_dict()
+        assert result.ok, result.to_dict()
+        assert result.promoted_system >= scenarios.STANDBY_BASE_ID
+        assert result.image_match and result.writable
+
+    def test_same_seed_same_drill(self):
+        first = run_failover_drill(seed=5, smoke=True)
+        again = run_failover_drill(seed=5, smoke=True)
+        assert first.to_dict() == again.to_dict()
+
+    def test_drill_cli_exit_code(self, capsys):
+        from repro.chaos import main
+
+        assert main(["--drill", "failover", "--smoke"]) == 0
+        assert "DRILL: OK" in capsys.readouterr().out
 
 
 class TestSabotage:

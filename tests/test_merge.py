@@ -165,3 +165,82 @@ def test_property_lomet_merge_preserves_per_page_runs(per_log):
         seen_runs.setdefault((addr.system_id, record.page_id),
                              []).append(record.lsn)
     assert seen_runs == expected_runs
+
+
+class TestIncrementalMerge:
+    """Generator-driven consumption: the merge is the log shipper's
+    steady-state input, so it must stream lazily, resume from byte
+    cursors, and honour the stable (forced) boundary."""
+
+    def test_merge_is_lazy(self):
+        """Consuming one entry must not exhaust the source scans."""
+        logs = usn_logs({1: [(10, 0)] * 100, 2: [(11, 0)] * 100})
+        stats = StatsRegistry()
+        stream = merge_local_logs(logs, stats=stats)
+        next(stream)
+        partial = stats.get(MERGE_COMPARISONS)
+        list(stream)
+        assert partial < stats.get(MERGE_COMPARISONS)
+
+    def test_cursor_resume_covers_later_appends(self):
+        """The shipper pattern: merge, remember end offsets, append
+        more, merge again from the cursors — the two passes together
+        see every record exactly once."""
+        logs = usn_logs({1: [(10, 0)] * 3, 2: [(11, 0)] * 2})
+        first_pass = list(merge_local_logs(logs))
+        cursors = {log.system_id: log.end_offset for log in logs}
+        logs[0].append(make_update(1, 1, 12, 0, b"r", b"u"))
+        logs[1].append(make_update(2, 2, 13, 0, b"r", b"u"))
+        second_pass = list(merge_local_logs(logs, from_offsets=cursors))
+        assert len(first_pass) == 5
+        # System 2's new record carries the lower LSN (3 vs 4), so the
+        # resumed merge yields page 13 first.
+        assert [r.page_id for _, r in second_pass] == [13, 12]
+        seen = [(a.system_id, a.offset) for a, _ in first_pass + second_pass]
+        assert len(seen) == len(set(seen))
+
+    def test_stable_only_stops_at_flushed_boundary(self):
+        log = LogManager(1)
+        log.append(make_update(1, 1, 10, 0, b"r", b"u"))
+        log.force()
+        log.append(make_update(1, 1, 11, 0, b"r", b"u"))  # volatile tail
+        stable = [r.page_id for _, r in
+                  merge_local_logs([log], stable_only=True)]
+        everything = [r.page_id for _, r in merge_local_logs([log])]
+        assert stable == [10]
+        assert everything == [10, 11]
+        log.force()
+        assert [r.page_id for _, r in
+                merge_local_logs([log], stable_only=True)] == [10, 11]
+
+    def test_equal_lsn_tie_emits_both_exactly_once(self):
+        """Ties across logs (same LSN, necessarily different pages) are
+        both emitted, in non-decreasing LSN order, whatever tiebreak
+        the heap picks."""
+        a = LogManager(1)
+        b = LogManager(2)
+        for _ in range(3):
+            a.append(make_update(1, 1, 10, 0, b"r", b"u"))
+            b.append(make_update(2, 2, 11, 0, b"r", b"u"))
+        merged = list(merge_local_logs([a, b]))
+        lsns = [r.lsn for _, r in merged]
+        assert lsns == sorted(lsns) == [1, 1, 2, 2, 3, 3]
+        by_page = {}
+        for _, record in merged:
+            by_page.setdefault(record.page_id, []).append(record.lsn)
+        assert by_page == {10: [1, 2, 3], 11: [1, 2, 3]}
+
+    def test_equal_lsn_tie_stable_per_source_order(self):
+        """Within one source the merge must preserve log order even
+        through ties (the heap's tiebreak index guarantees it)."""
+        a = LogManager(1)
+        b = LogManager(2)
+        a.append(make_update(1, 1, 10, 0, b"r", b"u"))    # LSN 1
+        b.append(make_update(2, 2, 11, 0, b"r", b"u"))    # LSN 1
+        b.append(make_update(2, 2, 12, 0, b"r", b"u"))    # LSN 2
+        a.append(make_update(1, 1, 13, 0, b"r", b"u"))    # LSN 2
+        merged = [(addr.system_id, record.lsn)
+                  for addr, record in merge_local_logs([a, b])]
+        for system_id in (1, 2):
+            own = [lsn for sid, lsn in merged if sid == system_id]
+            assert own == sorted(own)

@@ -94,3 +94,64 @@ class TestCounters:
         a.append(rec())
         net.message(1, 2, "x")  # counted but no piggyback target
         assert b.local_max_lsn == 0
+
+
+class TestParkedMessages:
+    """Quiesce/shutdown hygiene for injected-DELAY parking (the park
+    bench must be empty after either drain or fail — no in-flight
+    state may leak into a later run)."""
+
+    def parked_setup(self):
+        from repro.common.stats import NET_PARKED_DRAINED, NET_PARKED_FAILED
+        from repro.faults import points as fp
+        from repro.faults.injector import FaultInjector, FaultPlan
+
+        stats = StatsRegistry()
+        plan = FaultPlan(seed=0)
+        plan.at(fp.NET_MSG).on_hit(1).delay()
+        net = Network(stats=stats, injector=FaultInjector(plan))
+        a = LogManager(1, stats=stats)
+        b = LogManager(2, stats=stats)
+        net.register(1, a)
+        net.register(2, b)
+        a.append(rec())
+        net.message(1, 2, "page_transfer")  # parked by the delay rule
+        assert net.parked_count() == 1
+        return net, a, b, stats, NET_PARKED_DRAINED, NET_PARKED_FAILED
+
+    def test_drain_delivers_and_counts(self):
+        net, a, b, stats, DRAINED, FAILED = self.parked_setup()
+        assert net.drain_parked() == 1
+        assert net.parked_count() == 0
+        assert b.local_max_lsn == a.local_max_lsn  # piggyback arrived
+        assert stats.get(DRAINED) == 1
+        assert stats.get(FAILED) == 0
+        assert stats.get(MESSAGES_SENT) == 1
+
+    def test_fail_discards_and_counts(self):
+        net, a, b, stats, DRAINED, FAILED = self.parked_setup()
+        assert net.fail_parked() == 1
+        assert net.parked_count() == 0
+        assert b.local_max_lsn == 0  # the message really died
+        assert stats.get(FAILED) == 1
+        assert stats.get(DRAINED) == 0
+        assert stats.get(MESSAGES_SENT) == 0
+
+    def test_empty_park_bench_is_free(self):
+        net, _, _, stats = setup()
+        assert net.drain_parked() == 0
+        assert net.fail_parked() == 0
+        from repro.common.stats import NET_PARKED_DRAINED, NET_PARKED_FAILED
+
+        assert stats.get(NET_PARKED_DRAINED) == 0
+        assert stats.get(NET_PARKED_FAILED) == 0
+
+    def test_failed_message_never_resurfaces(self):
+        """After fail_parked, later traffic must not deliver the dead
+        message (regression: _flush_delayed on the next message used to
+        be the only drain path)."""
+        net, a, b, stats, _, _ = self.parked_setup()
+        net.fail_parked()
+        a.append(rec())
+        net.message(1, 2, "page_transfer")
+        assert stats.get(MESSAGES_SENT) == 1  # only the new message

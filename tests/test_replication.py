@@ -1,0 +1,265 @@
+"""Tests for log-shipping replication: shipper, standby, promotion."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.common.stats import (
+    RETRY_EXHAUSTED,
+    REPL_DEGRADED_ENTRIES,
+    REPL_RECORDS_SHIPPED,
+    StatsRegistry,
+)
+from repro.faults import points as fp
+from repro.faults.injector import FaultInjector, FaultPlan
+from repro.faults.policy import RetryPolicy
+from repro.obs.tracer import Tracer
+from repro.replication import (
+    ACK_ALL,
+    ACK_LOCAL,
+    ACK_QUORUM,
+    NULL_REPLICATION,
+    ReplicationConfig,
+    StandbyComplex,
+)
+from repro.sd.complex import SDComplex
+from repro.wal.records import RecordKind
+
+
+def build(ack=ACK_QUORUM, n_standbys=2, window=4, batch=2, injector=None,
+          tracer=None, retry=None):
+    sd = SDComplex(
+        n_data_pages=64, tracer=tracer, injector=injector,
+        replicate=ReplicationConfig(ack=ack, window_records=window,
+                                    batch_records=batch, retry=retry),
+    )
+    for system_id in (1, 2):
+        sd.add_instance(system_id)
+    standbys = [sd.replication.add_standby(9 + i) for i in range(n_standbys)]
+    return sd, standbys
+
+
+def commit_one(instance, payload=b"payload"):
+    txn = instance.begin()
+    page_id = instance.allocate_page(txn)
+    instance.insert(txn, page_id, payload)
+    instance.commit(txn)
+    return page_id
+
+
+class TestNullReplication:
+    def test_default_complex_has_null_replication(self):
+        sd = SDComplex(n_data_pages=64)
+        assert sd.replication is NULL_REPLICATION
+        assert not sd.replication.enabled
+
+    def test_null_rejects_standbys(self):
+        sd = SDComplex(n_data_pages=64)
+        with pytest.raises(ReproError):
+            sd.replication.add_standby(9)
+
+    def test_explicit_none_kwargs_trace_identical(self):
+        """``replicate=None, disk=None`` must be inert: same seed, same
+        trace as a construction without the new keywords at all."""
+        def run(**kwargs):
+            tracer = Tracer()
+            sd = SDComplex(n_data_pages=64, tracer=tracer, **kwargs)
+            instance = sd.add_instance(1)
+            commit_one(instance)
+            return [(e.kind, tuple(sorted(e.fields.items())))
+                    for e in tracer.events()]
+
+        assert run() == run(replicate=None, disk=None)
+
+
+class TestShipping:
+    def test_quorum_ships_everything_at_commit(self):
+        sd, standbys = build(ack=ACK_QUORUM)
+        commit_one(sd.instances[1])
+        assert sd.replication.pending_records() == 0
+        commit_lsn = sd.replication.commit_acks[-1].lsn
+        for standby in standbys:
+            # Everything stable at the commit point is on the standby;
+            # only the post-commit END record (appended after the ack
+            # round, still volatile) may trail.
+            assert int(standby.applied_max_lsn) >= commit_lsn
+
+    def test_acks_are_cumulative_per_standby(self):
+        sd, standbys = build(ack=ACK_ALL)
+        commit_one(sd.instances[1])
+        commit_one(sd.instances[2])
+        for standby in standbys:
+            assert sd.replication.acked_lsn(standby.system_id) == \
+                int(standby.applied_max_lsn)
+
+    def test_local_mode_bounds_unshipped_tail_by_window(self):
+        sd, _ = build(ack=ACK_LOCAL, window=4)
+        for _ in range(5):
+            commit_one(sd.instances[1])
+        assert sd.replication.pending_records() <= 4
+
+    def test_drain_ships_the_local_tail(self):
+        sd, standbys = build(ack=ACK_LOCAL, window=4)
+        commit_one(sd.instances[1])
+        sd.instances[1].log.force()
+        sd.replication.drain()
+        assert sd.replication.pending_records() == 0
+        for standby in standbys:
+            assert standby.applied_max_lsn == \
+                sd.instances[1].log.local_max_lsn
+
+    def test_standby_disk_mirrors_committed_page(self):
+        sd, standbys = build(ack=ACK_ALL)
+        page_id = commit_one(sd.instances[1], b"mirrored row")
+        sd.instances[1].pool.flush_all()
+        primary_lsn = sd.disk.page_lsn_on_disk(page_id)
+        for standby in standbys:
+            assert standby.disk.page_lsn_on_disk(page_id) == primary_lsn
+            assert bytes(standby.disk.raw_image(page_id)) == \
+                bytes(sd.disk.raw_image(page_id))
+
+    def test_only_stable_records_ship(self):
+        """The volatile log tail never leaves the primary: a lazy
+        (unforced) commit is invisible to the standbys."""
+        sd, standbys = build(ack=ACK_QUORUM)
+        instance = sd.instances[1]
+        txn = instance.begin()
+        page_id = instance.allocate_page(txn)
+        instance.insert(txn, page_id, b"lazy")
+        instance.commit(txn, lazy=True)
+        sd.replication.drain()
+        shipped_max = max((s.applied_max_lsn for s in standbys), default=0)
+        assert shipped_max < instance.log.local_max_lsn
+        instance.sync_commits()
+        instance.log.force()
+        sd.replication.drain()
+        assert all(s.applied_max_lsn == instance.log.local_max_lsn
+                   for s in standbys)
+
+
+class TestStandbyApply:
+    def test_duplicate_reship_is_screened(self):
+        sd, standbys = build(ack=ACK_ALL)
+        commit_one(sd.instances[1])
+        standby = standbys[0]
+        snapshot = standby.replica_snapshot()
+        before = standby.applied_max_lsn
+        applied = standby.receive(sorted(snapshot.items()))
+        assert applied == 0
+        assert standby.applied_max_lsn == before
+
+    def test_quorum_vs_all_differ_with_lost_standby(self):
+        """One unreachable standby of two: quorum (2 of 3 votes with
+        the primary's own force) still satisfied, ``all`` is not — and
+        neither stalls the commit."""
+        for ack, expect in ((ACK_QUORUM, True), (ACK_ALL, False)):
+            sd, _ = build(ack=ack)
+            sd.replication._links[10].connected = False
+            commit_one(sd.instances[1])
+            last = sd.replication.commit_acks[-1]
+            assert last.satisfied is expect
+            assert sd.replication.ack_degraded
+
+    def test_ship_retry_exhaustion_degrades_not_stalls(self):
+        plan = FaultPlan(seed=0)
+        plan.at(fp.REPL_SHIP).every_hit(1).fail()
+        injector = FaultInjector(plan)
+        stats = StatsRegistry()
+        sd = SDComplex(
+            n_data_pages=64, stats=stats, injector=injector,
+            replicate=ReplicationConfig(
+                ack=ACK_ALL, retry=RetryPolicy(max_attempts=2)),
+        )
+        instance = sd.add_instance(1)
+        sd.replication.add_standby(9)
+        commit_one(instance)  # must not raise: degrade, never stall
+        assert not sd.replication.connected(9)
+        assert sd.replication.ack_degraded
+        assert not sd.replication.commit_acks[-1].satisfied
+        assert stats.get(RETRY_EXHAUSTED) > 0
+        assert stats.get(REPL_DEGRADED_ENTRIES) > 0
+        assert stats.get(REPL_RECORDS_SHIPPED) == 0
+
+
+class TestPromotion:
+    def test_promoted_complex_accepts_new_work(self):
+        sd, standbys = build(ack=ACK_QUORUM)
+        commit_one(sd.instances[1])
+        sd.crash_complex()
+        promoted = standbys[0].promote()
+        instance = promoted.instances[9]
+        before = int(standbys[0].applied_max_lsn)
+        commit_one(instance, b"after failover")
+        assert int(instance.log.local_max_lsn) > before
+
+    def test_promotion_rolls_back_inflight_primary_txns(self):
+        """A transaction mid-flight at the crash (updates shipped, no
+        commit record) must be undone on the promoted standby."""
+        sd, standbys = build(ack=ACK_QUORUM)
+        instance = sd.instances[1]
+        committed_page = commit_one(instance, b"keep me")
+        txn = instance.begin()
+        loser_page = instance.allocate_page(txn)
+        instance.insert(txn, loser_page, b"lose me")
+        instance.log.force()          # updates reach stable storage...
+        sd.replication.drain()        # ...and ship to the standbys
+        sd.crash_complex()
+        standby = standbys[0]
+        promoted = standby.promote()
+        clr_kinds = {record.kind
+                     for log in standby.replica_logs()
+                     for _, record in log.scan()}
+        assert RecordKind.CLR in clr_kinds
+        reader = promoted.instances[9]
+        read_txn = reader.begin()
+        assert reader.read(read_txn, committed_page, 0) == b"keep me"
+        reader.commit(read_txn)
+
+    def test_salvaged_logs_close_the_lag(self):
+        """Shared-disk salvage: promoting with the dead primary's
+        stable logs loses nothing, even in async local mode."""
+        sd, standbys = build(ack=ACK_LOCAL, window=16)
+        for _ in range(4):
+            commit_one(sd.instances[1])
+        assert sd.replication.pending_records() > 0  # real lag
+        sd.crash_complex()
+        standby = standbys[0]
+        standby.promote(salvaged_logs=sd.local_logs())
+        stable_commits = {
+            (log.system_id, record.txn_id)
+            for log in sd.local_logs()
+            for _, record in log.scan(include_unflushed=False)
+            if record.kind == RecordKind.COMMIT
+        }
+        replica_commits = {
+            (log.system_id, record.txn_id)
+            for log in standby.replica_logs()
+            for _, record in log.scan()
+            if record.kind == RecordKind.COMMIT
+        }
+        assert stable_commits <= replica_commits
+
+    def test_promote_seeds_lsn_clock_above_applied(self):
+        sd, standbys = build(ack=ACK_ALL)
+        commit_one(sd.instances[1])
+        sd.crash_complex()
+        standby = standbys[0]
+        promoted = standby.promote()
+        assert promoted.instances[9].log.local_max_lsn >= \
+            standby.applied_max_lsn
+
+
+class TestStandbyGuards:
+    def test_rejects_duplicate_standby(self):
+        sd, _ = build()
+        with pytest.raises(ReproError):
+            sd.replication.add_standby(9)
+
+    def test_rejects_primary_instance_id(self):
+        sd, _ = build()
+        with pytest.raises(ReproError):
+            sd.replication.add_standby(1)
+
+    def test_standby_formats_space_maps(self):
+        sd, standbys = build()
+        for smp_page_id in sd.space_map.smp_page_ids():
+            assert smp_page_id in standbys[0].disk.written_page_ids()

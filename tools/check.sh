@@ -155,10 +155,16 @@ stage_bench() {
 
 # Chaos smoke: <= 10 crash-point kills across SD and CS, each followed
 # by restart recovery, the harness verifier and the trace invariant
-# checker (exit 1 if any spec leaves the DB broken).
+# checker (exit 1 if any spec leaves the DB broken).  The failover
+# drill then kills a replicated primary at a trimmed set of crash
+# points under every write-ack level, promotes a standby, and checks
+# the loss bound and the promoted disk image against a reference
+# recovery (exit 1 if any rehearsal loses acked commits).
 stage_chaos() {
     run_step "chaos smoke (crash-point torture)" \
         python -m repro.chaos --smoke
+    run_step "failover drill (smoke)" \
+        python -m repro.chaos --drill failover --smoke
 }
 
 # ----------------------------------------------------------------------
