@@ -44,10 +44,12 @@ SCHEMA_VERSION = 1
 #: Trimmed suite for the pre-PR smoke gate: one standalone bench (E1,
 #: exercising the JSON harvest path), one fast pytest bench, the micro
 #: bench whose fast-lane speedup assertions gate PR 3's lanes, the
-#: S2 TPS headline whose slab/bulk-driver gates cover PR 8's, and the
-#: S3 replication bench whose lag/ack gates cover PR 9's.
+#: S2 TPS headline whose slab/bulk-driver gates cover PR 8's, the
+#: S3 replication bench whose lag/ack gates cover PR 9's, and the
+#: S4 instant-restart bench whose TTFT gate covers PR 10's.
 SMOKE_BENCHES = ("bench_e1_anomaly", "bench_a3_group_commit",
-                 "bench_micro", "bench_s2_tps", "bench_s3_repl")
+                 "bench_micro", "bench_s2_tps", "bench_s3_repl",
+                 "bench_s4_instant")
 
 _SUMMARY_RE = re.compile(r"(\d+) (passed|failed|skipped|error|errors)")
 
@@ -253,6 +255,79 @@ def render_suite(suite: Dict[str, Any]) -> str:
     return "\n".join([header] + rows)
 
 
+def render_markdown(
+    current: Dict[str, Any],
+    baseline: Optional[Dict[str, Any]] = None,
+    problems: Optional[List[str]] = None,
+) -> str:
+    """GitHub-flavoured markdown summary of a suite run.
+
+    With a ``baseline``, each row carries the baseline wall-clock and
+    the relative delta — the table CI appends to the job summary so a
+    nightly regression is readable without opening the raw logs.
+    """
+    lines = [
+        "### Bench suite",
+        "",
+        f"{len(current['benches'])} benches, {current['jobs']} parallel "
+        f"jobs, {current['total_seconds']:.2f}s total bench time",
+        "",
+    ]
+    if baseline is not None:
+        lines += ["| bench | baseline (s) | current (s) | delta | status |",
+                  "|---|---:|---:|---:|---|"]
+    else:
+        lines += ["| bench | seconds | status |", "|---|---:|---|"]
+    for name, entry in sorted(current["benches"].items()):
+        status = "ok" if entry.get("ok") else "FAIL"
+        holds = entry.get("holds")
+        if holds is True:
+            status += " holds"
+        elif holds is False:
+            status = "FAIL claim"
+        if baseline is None:
+            lines.append(f"| {name} | {entry['seconds']:.3f} | {status} |")
+            continue
+        base = baseline["benches"].get(name)
+        if base is None:
+            base_s, delta = "-", "new"
+        else:
+            base_s = f"{base['seconds']:.3f}"
+            pct = ((entry["seconds"] - base["seconds"])
+                   / max(base["seconds"], 1e-9) * 100.0)
+            delta = f"{pct:+.1f}%"
+        lines.append(f"| {name} | {base_s} | {entry['seconds']:.3f} | "
+                     f"{delta} | {status} |")
+    if baseline is not None:
+        for name in sorted(set(baseline["benches"])
+                           - set(current["benches"])):
+            base = baseline["benches"][name]
+            lines.append(f"| {name} | {base['seconds']:.3f} | - | gone | "
+                         f"MISSING |")
+    lines.append("")
+    if problems is not None:
+        if problems:
+            lines.append(f"**{len(problems)} regression(s):**")
+            lines.append("")
+            lines.extend(f"- {problem}" for problem in problems)
+        else:
+            lines.append("No bench regressions.")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _write_markdown(
+    path: str,
+    current: Dict[str, Any],
+    baseline: Optional[Dict[str, Any]],
+    problems: Optional[List[str]],
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_markdown(current, baseline, problems))
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -282,6 +357,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--tolerance", type=float, default=0.5,
                         help="relative slowdown allowed before a bench "
                         "counts as regressed (default 0.5 = +50%%)")
+    parser.add_argument("--markdown", default=None, metavar="PATH",
+                        help="also write a markdown job-summary table "
+                        "(deltas vs the baseline when comparing)")
     return parser
 
 
@@ -300,7 +378,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.compare_only is not None:
         baseline = load_suite(args.compare_only[0])
         current = load_suite(args.compare_only[1])
-        return _report_compare(compare(baseline, current, args.tolerance))
+        problems = compare(baseline, current, args.tolerance)
+        if args.markdown is not None:
+            _write_markdown(args.markdown, current, baseline, problems)
+        return _report_compare(problems)
     root = Path(args.root) if args.root else default_bench_root()
     only: Optional[Iterable[str]] = args.only
     if args.smoke:
@@ -331,8 +412,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         detail = suite["benches"][name].get("detail", "")
         print(f"-- {name} failed --\n{detail}", file=sys.stderr)
     if args.compare is not None:
-        status = _report_compare(
-            compare(load_suite(args.compare), suite, args.tolerance)
-        )
+        baseline = load_suite(args.compare)
+        problems = compare(baseline, suite, args.tolerance)
+        if args.markdown is not None:
+            _write_markdown(args.markdown, suite, baseline, problems)
+        status = _report_compare(problems)
         return status or (1 if failed else 0)
+    if args.markdown is not None:
+        _write_markdown(args.markdown, suite, None, None)
     return 1 if failed else 0

@@ -58,6 +58,12 @@ class BufferPool:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._injector = injector if injector is not None else NULL_INJECTOR
         self._frames: "OrderedDict[int, BufferControlBlock]" = OrderedDict()
+        #: Instant-restart seam: when set, called with the page id on
+        #: every frame miss *before* the disk read, so a lazily
+        #: recovered page's redo chain is applied to disk first
+        #: (:mod:`repro.recovery.instant`).  ``None`` — the default —
+        #: keeps the classic fix path byte-identical.
+        self.recovery_intercept: Optional[Callable[[int], None]] = None
 
     # ------------------------------------------------------------------
     # fixing
@@ -66,6 +72,8 @@ class BufferPool:
         """Pin ``page_id`` in the pool, reading it from disk on a miss."""
         bcb = self._frames.get(page_id)
         if bcb is None:
+            if self.recovery_intercept is not None:
+                self.recovery_intercept(page_id)
             self._make_room()
             page = self.disk.read_page(page_id)
             bcb = BufferControlBlock(page=page)

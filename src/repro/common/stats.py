@@ -153,6 +153,13 @@ REPL_APPLY_SKIPPED = "repl.apply_skipped"
 REPL_DEGRADED_ENTRIES = "repl.degraded_entries"
 REPL_COMMITS_ACKED = "repl.commits_acked"
 REPL_PROMOTIONS = "repl.promotions"
+INSTANT_OPENS = "instant.opens"
+INSTANT_PAGES_RECOVERED = "instant.pages_recovered"
+INSTANT_DEMAND_RECOVERIES = "instant.demand_recoveries"
+INSTANT_SWEEP_RECOVERIES = "instant.sweep_recoveries"
+INSTANT_SWEEP_TICKS = "instant.sweep_ticks"
+INSTANT_RECORDS_REDONE = "instant.records_redone"
+INSTANT_RECORDS_SKIPPED = "instant.records_skipped"
 
 
 def message_kind_counter(kind: str) -> str:

@@ -48,6 +48,7 @@ from repro.wal.records import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cs.client import CsClient
+    from repro.recovery.instant import InstantRecoveryManager
 
 # The server's system id in log records and on the network fabric.
 SERVER_ID = 0
@@ -93,7 +94,13 @@ class CsServer:
         lock_shards: int = 1,
         redo_parallelism: int = 1,
         slab: bool = True,
+        restart_mode: str = "eager",
     ) -> None:
+        if restart_mode not in ("eager", "instant"):
+            raise ValueError(
+                f"restart_mode must be 'eager' or 'instant', "
+                f"got {restart_mode!r}"
+            )
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.injector = injector if injector is not None else NULL_INJECTOR
@@ -111,6 +118,13 @@ class CsServer:
                                tracer=self.tracer, injector=self.injector)
         self.lock_shards = lock_shards
         self.redo_parallelism = redo_parallelism
+        #: ``"eager"`` (classic, default) or ``"instant"`` — see
+        #: :mod:`repro.recovery.instant`; the classic path is
+        #: byte-identical to pre-instant behaviour.
+        self.restart_mode = restart_mode
+        #: The active instant-restart manager, if a restart is lazily
+        #: recovering pages (None on the classic path).
+        self.instant: Optional["InstantRecoveryManager"] = None
         self.glm = self._build_glm()
         self.space_map = SpaceMap(smp_start=smp_start, data_start=data_start,
                                   n_data_pages=n_data_pages)
@@ -662,11 +676,56 @@ class CsServer:
         self.system_id = SERVER_ID
         with self.tracer.span(ev.SPAN_RESTART, system=SERVER_ID,
                               target="server"):
-            summary = restart_recovery(
-                self, redo_parallelism=self.redo_parallelism)
+            if self.restart_mode == "instant":
+                summary = self._instant_restart()
+            else:
+                summary = restart_recovery(
+                    self, redo_parallelism=self.redo_parallelism)
             self.pool.flush_all()
             self.glm = self._build_glm()
         return summary
+
+    def _instant_restart(self):
+        """Instant server restart: analysis + eager loser undo over the
+        single server log, then open — each page's redo chain applies
+        on its first fix through the pool's ``recovery_intercept``
+        (:mod:`repro.recovery.instant`)."""
+        from repro.cluster.redo import collect_local_redo
+        from repro.recovery.instant import InstantRecoveryManager
+
+        manager = InstantRecoveryManager(
+            self, mode="cs", stats=self.stats, injector=self.injector,
+            on_drained=self._instant_drained,
+        )
+        self.instant = manager
+        # Install the intercept before undo: the undo pass reaches
+        # loser pages through the plain pool fixer, and the intercept
+        # applies a pending page's chain before the frame fills.
+        self.pool.recovery_intercept = self._instant_intercept
+        with self.tracer.span(ev.SPAN_RECOVERY, system=SERVER_ID,
+                              mode="instant"):
+            manager.analyze()
+            manager.index_chains(collect_local_redo(
+                self.log, manager.dpt, manager.summary.redo_scan_start))
+            summary = manager.open()
+        return summary
+
+    def _instant_intercept(self, page_id: int) -> None:
+        manager = self.instant
+        if manager is not None:
+            manager.recover_page(page_id)
+
+    def _instant_drained(self, manager) -> None:
+        if self.instant is manager:
+            self.instant = None
+            self.pool.recovery_intercept = None
+
+    def instant_drain(self) -> int:
+        """Run the active manager's sweeper to completion; returns the
+        number of pages recovered (0 when none is active)."""
+        if self.instant is None:
+            return 0
+        return self.instant.drain()
 
     # ------------------------------------------------------------------
     def _check_up(self) -> None:

@@ -28,6 +28,7 @@ class CsSystem:
         lock_shards: int = 1,
         redo_parallelism: int = 1,
         slab: bool = True,
+        restart_mode: str = "eager",
     ) -> None:
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -41,7 +42,8 @@ class CsSystem:
                                injector=self.injector,
                                lock_shards=lock_shards,
                                redo_parallelism=redo_parallelism,
-                               slab=slab)
+                               slab=slab,
+                               restart_mode=restart_mode)
         self.clients: Dict[int, CsClient] = {}
         self.commit_lsn = CommitLsnService(stats=self.stats,
                                            tracer=self.tracer)

@@ -779,6 +779,280 @@ def run_failover_drill(seed: int = 0, smoke: bool = False) -> DrillReport:
 
 
 # ----------------------------------------------------------------------
+# restart drill: eager vs instant equivalence
+# ----------------------------------------------------------------------
+#: Smoke-mode restart-drill points: the disk, the log, and the commit
+#: path — three SD crash flavours whose recovery images the instant
+#: path must reproduce byte for byte.
+RESTART_DRILL_SMOKE_POINTS = (
+    fpoints.DISK_WRITE,
+    fpoints.LOG_FORCE,
+    fpoints.COMMIT_PRE_FORCE,
+)
+
+
+@dataclass(frozen=True)
+class RestartDrillSpec:
+    """One restart rehearsal: run the identical workload and crash
+    twice — once recovered eagerly, once with ``restart_mode="instant"``
+    — and demand that the final disk images are SHA-256 identical."""
+
+    arch: str
+    point: str
+    hit: int
+
+    @property
+    def label(self) -> str:
+        return f"restart:{self.arch}:{self.point}@{self.hit}"
+
+
+@dataclass
+class RestartDrillResult:
+    """Outcome of one eager-vs-instant restart rehearsal."""
+
+    spec: RestartDrillSpec
+    fired: bool = False
+    fault_system: int = -1
+    crashed_scope: str = ""
+    lazy_pages: int = 0
+    eager_digest: str = ""
+    instant_digest: str = ""
+    image_match: bool = False
+    verifier_ok: bool = False
+    invariant_violations: Tuple[str, ...] = ()
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return (self.fired and self.image_match and self.verifier_ok
+                and not self.invariant_violations)
+
+    @property
+    def status(self) -> str:
+        if self.ok:
+            return "ok"
+        if not self.fired:
+            return "no-fire"
+        if self.detail and not self.instant_digest:
+            return "error"
+        if not self.image_match:
+            return "image-mismatch"
+        if not self.verifier_ok:
+            return "verify-fail"
+        return "invariant-fail"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.label,
+            "fired": self.fired,
+            "fault_system": self.fault_system,
+            "crashed_scope": self.crashed_scope,
+            "lazy_pages": self.lazy_pages,
+            "eager_digest": self.eager_digest,
+            "instant_digest": self.instant_digest,
+            "image_match": self.image_match,
+            "verifier_ok": self.verifier_ok,
+            "invariant_violations": list(self.invariant_violations),
+            "status": self.status,
+            "detail": self.detail,
+        }
+
+
+def _drain_instant(system, arch: str) -> int:
+    """Finish an instant restart's lazy phase deterministically.
+
+    The first still-pending page is recovered through the demand entry
+    point — the same seam a normal page fix would hit — and the rest
+    through the background sweeper, so a rehearsal exercises both lazy
+    paths.  Returns how many pages restart left for lazy recovery.
+    """
+    if arch == ARCH_SD:
+        managers = [system.instant[sid] for sid in sorted(system.instant)]
+    else:
+        managers = [system.server.instant] if system.server.instant else []
+    pending = sorted({page for manager in managers
+                      for page in manager.pending_pages()})
+    if pending:
+        if arch == ARCH_SD:
+            system.ensure_instant_recovered(pending[0])
+            system.instant_drain()
+        else:
+            system.server.instant.recover_page(pending[0])
+            system.server.instant_drain()
+    return len(pending)
+
+
+def _run_restart_variant(spec: RestartDrillSpec, seed: int,
+                         mode: str) -> Dict[str, object]:
+    """One leg of a restart rehearsal.
+
+    Replays the seeded workload with the spec's rule armed, recovers
+    through the standard campaign sequence under ``restart_mode=mode``
+    (the instant leg then drains its lazy pages), and returns the final
+    disk digest plus the evidence the comparison needs.  Determinism
+    makes the two legs' crashes land on the same operation, so any
+    digest divergence is recovery's fault alone.
+    """
+    plan = FaultPlan(seed=seed)
+    plan.add(FaultRule(point=spec.point, action=CRASH, nth=spec.hit))
+    injector = FaultInjector(plan)
+    leg: Dict[str, object] = {
+        "fired": False, "fault_system": -1, "scope": "",
+        "lazy_pages": 0, "digest": "", "verifier_ok": True,
+        "violations": (), "detail": "",
+    }
+    if spec.arch == ARCH_SD:
+        system, tracer = scenarios.build_sd(injector, seed)
+        system.restart_mode = mode
+        runner, recoverer = scenarios.run_sd_workload, _recover_sd
+        verifier = verify_sd_complex
+    else:
+        system, tracer = scenarios.build_cs(injector, seed)
+        system.server.restart_mode = mode
+        runner, recoverer = scenarios.run_cs_workload, _recover_cs
+        verifier = verify_cs_system
+    fault: Optional[FaultInjectedError] = None
+    try:
+        runner(system, seed)
+    except FaultInjectedError as exc:
+        fault = exc
+    if fault is None:
+        leg["detail"] = "armed rule never fired (hit count drifted?)"
+        return leg
+    leg["fired"] = True
+    leg["fault_system"] = fault.system
+    crash_spec = CrashSpec(spec.arch, spec.point, spec.hit, CRASH)
+    try:
+        scope, _ = recoverer(system, crash_spec, fault)
+        if mode == "instant":
+            leg["lazy_pages"] = _drain_instant(system, spec.arch)
+    except ReproError as exc:
+        leg["detail"] = f"recovery failed: {type(exc).__name__}: {exc}"
+        return leg
+    leg["scope"] = scope
+    disk = system.disk if spec.arch == ARCH_SD else system.server.disk
+    leg["digest"] = _disk_digest(disk)
+    if mode == "instant":
+        report = verifier(system, quiesced=True)
+        leg["verifier_ok"] = report.ok
+        if not report.ok:
+            leg["detail"] = "; ".join(
+                f"{v.invariant}: {v.detail}" for v in report.violations[:3])
+        leg["violations"] = tuple(
+            _render_violation(v) for v in check_trace(tracer.events()))
+    return leg
+
+
+def run_restart_drill_spec(spec: RestartDrillSpec,
+                           seed: int) -> RestartDrillResult:
+    """One rehearsal: same crash recovered eagerly and instantly."""
+    result = RestartDrillResult(spec=spec)
+    eager = _run_restart_variant(spec, seed, "eager")
+    if not eager["fired"] or eager["detail"]:
+        result.fired = bool(eager["fired"])
+        result.detail = str(eager["detail"]) or "eager leg failed"
+        return result
+    instant = _run_restart_variant(spec, seed, "instant")
+    result.fired = bool(instant["fired"])
+    result.fault_system = int(instant["fault_system"])
+    result.crashed_scope = str(instant["scope"])
+    result.lazy_pages = int(instant["lazy_pages"])
+    result.eager_digest = str(eager["digest"])
+    result.instant_digest = str(instant["digest"])
+    result.image_match = bool(result.eager_digest) \
+        and result.eager_digest == result.instant_digest
+    result.verifier_ok = bool(instant["verifier_ok"])
+    result.invariant_violations = tuple(instant["violations"])
+    result.detail = str(instant["detail"])
+    return result
+
+
+@dataclass
+class RestartDrillReport:
+    """Everything one restart drill produced."""
+
+    seed: int
+    smoke: bool
+    results: List[RestartDrillResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.results) and all(r.ok for r in self.results)
+
+    @property
+    def failed(self) -> List[RestartDrillResult]:
+        return [r for r in self.results if not r.ok]
+
+    def table(self) -> str:
+        """Fixed-width summary, one row per rehearsal."""
+        header = (f"{'#':>3} {'arch':<4} {'point':<17} {'hit':>5} "
+                  f"{'scope':<12} {'lazy':>4} {'match':<5} "
+                  f"{'status':<14}")
+        lines = [
+            f"-- restart drill: seed={self.seed} "
+            f"mode={'smoke' if self.smoke else 'full'} "
+            f"rehearsals={len(self.results)} --",
+            header,
+            "-" * len(header),
+        ]
+        for index, result in enumerate(self.results, start=1):
+            spec = result.spec
+            lines.append(
+                f"{index:>3} {spec.arch:<4} {spec.point:<17} "
+                f"{spec.hit:>5} {result.crashed_scope or '-':<12} "
+                f"{result.lazy_pages:>4} "
+                f"{'yes' if result.image_match else 'no':<5} "
+                f"{result.status:<14}")
+            if not result.ok:
+                for violation in result.invariant_violations[:3]:
+                    lines.append(f"      ! {violation}")
+                if result.detail:
+                    lines.append(f"      ! {result.detail}")
+        passed = sum(1 for r in self.results if r.ok)
+        lines.append(f"-- {passed}/{len(self.results)} restarts "
+                     f"equivalent --")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "smoke": self.smoke,
+            "results": [r.to_dict() for r in self.results],
+            "ok": self.ok,
+        }
+
+
+def run_restart_drill(seed: int = 0,
+                      smoke: bool = False) -> RestartDrillReport:
+    """Rehearse instant restart against the eager reference.
+
+    For every reachable fault point (mid workload hit) the drill runs
+    the identical seeded workload twice: once recovered with the
+    classic eager restart, once with ``restart_mode="instant"`` (open
+    after analysis + undo, then demand-recover one page and sweep the
+    rest).  A rehearsal passes only if both legs end with SHA-256
+    identical disk images and the instant leg satisfies the harness
+    verifier and the trace invariant checker.  Smoke mode keeps the
+    three :data:`RESTART_DRILL_SMOKE_POINTS` crash points on SD; full
+    mode covers both architectures at every reachable point.
+    """
+    report = RestartDrillReport(seed=seed, smoke=smoke)
+    arches = (ARCH_SD,) if smoke else ARCHES
+    for arch in arches:
+        survey = run_survey(arch, seed)
+        points = (RESTART_DRILL_SMOKE_POINTS if smoke
+                  else fpoints.ALL_POINTS)
+        for point in points:
+            first, last = survey.workload_hits(point)
+            if not last:
+                continue
+            mid = first + (last - first) // 2
+            report.results.append(run_restart_drill_spec(
+                RestartDrillSpec(arch=arch, point=point, hit=mid), seed))
+    return report
+
+
+# ----------------------------------------------------------------------
 # self-test sabotage
 # ----------------------------------------------------------------------
 @contextmanager

@@ -15,6 +15,11 @@ Usage:
   replicated primary killed at every fault point per write-ack level,
   best standby promoted, loss audited against the ack guarantees
   (``--smoke`` narrows to the replication seams + commit point);
+* ``python -m repro.chaos --drill restart`` — restart rehearsals: the
+  identical crash recovered eagerly and with ``restart_mode="instant"``,
+  final disk images compared by SHA-256 (``--smoke`` narrows to three
+  SD crash points);  an unknown drill name prints the available drills
+  and exits 2;
 * ``python -m repro.chaos --sabotage redo-screening`` — deliberately
   break restart redo's page_LSN test first; the campaign must go red
   (used to prove the alarm itself works).
@@ -33,13 +38,28 @@ from repro.faults.campaign import (
     ARCHES,
     run_campaign,
     run_failover_drill,
+    run_restart_drill,
     run_survey,
     sabotage_redo_screening,
 )
 from repro.faults.points import ALL_POINTS
 
 SABOTAGES = ("redo-screening",)
-DRILLS = ("failover",)
+#: Named drills: name -> (runner, one-line failure/success wording).
+DRILLS = {
+    "failover": (
+        run_failover_drill,
+        "failovers lost acked commits or diverged from reference recovery",
+        "failovers, loss within ack guarantees, images match reference "
+        "recovery",
+    ),
+    "restart": (
+        run_restart_drill,
+        "restarts diverged from the eager disk image or tripped a checker",
+        "restarts, instant and eager recovery produced identical disk "
+        "images",
+    ),
+}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -57,21 +77,21 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="survey only: print fault-point hit counts")
     parser.add_argument("--sabotage", choices=SABOTAGES, default=None,
                         help="break recovery on purpose to test the alarm")
-    parser.add_argument("--drill", choices=DRILLS, default=None,
-                        help="run a named drill instead of the campaign")
+    parser.add_argument("--drill", default=None, metavar="NAME",
+                        help="run a named drill instead of the campaign "
+                             f"(one of: {', '.join(sorted(DRILLS))})")
     return parser
 
 
-def _run_drill(seed: int, smoke: bool) -> int:
-    report = run_failover_drill(seed=seed, smoke=smoke)
+def _run_drill(name: str, seed: int, smoke: bool) -> int:
+    runner, fail_text, ok_text = DRILLS[name]
+    report = runner(seed=seed, smoke=smoke)
     print(report.table())
     total, failed = len(report.results), len(report.failed)
     if failed or not total:
-        print(f"DRILL: FAIL — {failed}/{total} failovers lost acked "
-              f"commits or diverged from reference recovery")
+        print(f"DRILL: FAIL — {failed}/{total} {fail_text}")
         return 1
-    print(f"DRILL: OK — {total} failovers, loss within ack guarantees, "
-          f"images match reference recovery")
+    print(f"DRILL: OK — {total} {ok_text}")
     return 0
 
 
@@ -92,8 +112,12 @@ def _list_points(arches: List[str], seed: int) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     arches = list(ARCHES) if args.arch == "both" else [args.arch]
-    if args.drill == "failover":
-        return _run_drill(args.seed, args.smoke)
+    if args.drill is not None:
+        if args.drill not in DRILLS:
+            print(f"unknown drill {args.drill!r}; available drills: "
+                  f"{', '.join(sorted(DRILLS))}")
+            return 2
+        return _run_drill(args.drill, args.seed, args.smoke)
     if args.list_points:
         return _list_points(arches, args.seed)
     guard = (sabotage_redo_screening() if args.sabotage == "redo-screening"

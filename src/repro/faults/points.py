@@ -51,6 +51,11 @@ consulted; what happens there is decided by the matching
 * ``REPL_APPLY``   — :meth:`StandbyComplex.receive`, before a shipped
   batch enters the standby's continuous-redo loop (hit attributed to
   the standby).
+* ``INSTANT_RECOVER`` — :meth:`InstantRecoveryManager.recover_page`,
+  before a pending page's redo chain is applied under instant restart
+  (hit attributed to the recovering system); a ``fail`` here models a
+  crash during lazy recovery — the page stays pending and the next
+  touch retries from the same stable chain.
 """
 
 from __future__ import annotations
@@ -71,6 +76,7 @@ GLM_ACQUIRE = "glm.acquire"
 REPL_SHIP = "repl.ship"
 REPL_ACK = "repl.ack"
 REPL_APPLY = "repl.apply"
+INSTANT_RECOVER = "instant.recover"
 
 #: Every injection point, in the order campaign tables list them.
 ALL_POINTS: Tuple[str, ...] = (
@@ -88,4 +94,5 @@ ALL_POINTS: Tuple[str, ...] = (
     REPL_SHIP,
     REPL_ACK,
     REPL_APPLY,
+    INSTANT_RECOVER,
 )

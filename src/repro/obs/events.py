@@ -99,6 +99,18 @@ system = the primary complex's shipper (system 0) unless noted):
 * ``REPL_PROMOTE``  — ``applied_max_lsn``, ``sources`` (system = the
   promoted standby)
 
+Instant restart (see :mod:`repro.recovery.instant` and
+``docs/recovery.md``; system = the recovering system):
+
+* ``INSTANT_OPEN``  — ``mode`` ("medium" | "fast" | "cs"), ``pages``
+  (the sorted list of page ids whose redo chains are still pending),
+  ``losers`` (loser transactions undone eagerly at open)
+* ``INSTANT_PAGE``  — ``page``, ``redone``, ``skipped``, ``via``
+  ("demand" | "sweep"); emitted *after* the page's chain is applied
+  and before any access is served from it
+* ``INSTANT_DONE``  — ``recovered``, ``demand``, ``swept`` (the
+  manager drained: every pending page has been recovered)
+
 Cluster scale-out (system = the recovering instance; see
 ``docs/scaleout.md``):
 
@@ -140,6 +152,8 @@ doing the work):
 * ``SPAN_QUIESCE``       — a CS quiesce checkpoint
 * ``SPAN_PROMOTE``       — a standby promotion (final catch-up +
   restart recovery + flip writable), attribute ``standby``
+* ``SPAN_RECOVER_PAGE``  — one on-demand page recovery under instant
+  restart, attributes ``page``, ``via``
 
 Locking events emitted by a sharded GLM additionally carry ``shard``
 (the emitting shard's index); the monolithic GLM omits the field so
@@ -203,6 +217,10 @@ REPL_DEGRADED_ENTER = "repl.degraded.enter"
 REPL_DEGRADED_EXIT = "repl.degraded.exit"
 REPL_PROMOTE = "repl.promote"
 
+INSTANT_OPEN = "instant.open"
+INSTANT_PAGE = "instant.recover_page"
+INSTANT_DONE = "instant.done"
+
 SPAN_BEGIN = "span.begin"
 SPAN_END = "span.end"
 
@@ -218,6 +236,7 @@ SPAN_REDO_PART = "redo_part"
 SPAN_RESTART = "restart"
 SPAN_QUIESCE = "quiesce"
 SPAN_PROMOTE = "promote"
+SPAN_RECOVER_PAGE = "recover_page"
 
 #: The bracket kinds a span emits (for filters and the checker).
 SPAN_KINDS = frozenset({SPAN_BEGIN, SPAN_END})

@@ -32,6 +32,12 @@ them:
 * **I7 span-nesting** — per system, spans close in LIFO order: the
   causal tree reconstructed by :mod:`repro.obs.spans` is only
   meaningful if brackets nest properly.
+* **I8 instant-recovery** — under instant restart, no page may be
+  served before its redo chain is applied: between ``instant.open``
+  (which carries the sorted pending-page list) and that page's
+  ``instant.recover_page``, any ``page.read`` / ``page.update`` /
+  ``recovery.clr`` touching the page — by *any* system — is a stale
+  access.  ``instant.done`` must find no page still pending.
 
 The checker is deliberately event-sourced: it keeps page and lock state
 reconstructed *only from the trace*, so it can audit a saved JSONL file
@@ -113,6 +119,9 @@ def check_trace(events: Iterable[TraceEvent]) -> List[Violation]:
     closed_spans: Set[int] = set()
     # I7: per-system stack of open span ids.
     span_stacks: Dict[int, List[int]] = {}
+    # I8: page -> recovering systems whose redo chain for it is still
+    # unapplied (a page can be pending in several instant managers).
+    instant_pending: Dict[Any, Set[int]] = {}
 
     def flag(inv: str, event: TraceEvent, message: str) -> None:
         violations.append(
@@ -240,6 +249,47 @@ def check_trace(events: Iterable[TraceEvent]) -> List[Violation]:
                     f"{len(plan[1])} replayed before recovery.end",
                 )
 
+        if kind == ev.INSTANT_OPEN:
+            for page in f.get("pages", ()):
+                instant_pending.setdefault(page, set()).add(event.system)
+        elif kind == ev.INSTANT_PAGE:
+            page = f.get("page")
+            holders = instant_pending.get(page)
+            if holders is None or event.system not in holders:
+                flag(
+                    "instant-recovery",
+                    event,
+                    f"recover_page for page {page} that instant.open "
+                    f"never declared pending on system {event.system}",
+                )
+            else:
+                holders.discard(event.system)
+                if not holders:
+                    instant_pending.pop(page, None)
+        elif kind == ev.INSTANT_DONE:
+            stale = sorted(
+                page for page, holders in instant_pending.items()
+                if event.system in holders
+            )
+            if stale:
+                flag(
+                    "instant-recovery",
+                    event,
+                    f"instant.done with page(s) {stale} still pending",
+                )
+        elif (
+            kind in (ev.PAGE_READ, ev.PAGE_UPDATE, ev.RECOVERY_CLR)
+            and instant_pending
+            and f.get("page") in instant_pending
+        ):
+            flag(
+                "instant-recovery",
+                event,
+                f"page {f.get('page')} served ({kind}) before its "
+                f"instant-restart redo chain was applied (pending on "
+                f"system(s) {sorted(instant_pending[f.get('page')])})",
+            )
+
         if kind == ev.SPAN_BEGIN:
             span_id = f.get("span")
             if span_id in open_spans or span_id in closed_spans:
@@ -306,7 +356,7 @@ def render_violations(violations: List[Violation]) -> str:
     if not violations:
         return "invariants: OK (page-lsn-monotonic, redo-screening, " \
                "update-under-lock, lamport, cluster-redo, " \
-               "span-pairing, span-nesting)"
+               "span-pairing, span-nesting, instant-recovery)"
     lines = [f"invariants: {len(violations)} violation(s)"]
     lines.extend(f"  {v}" for v in violations)
     return "\n".join(lines)

@@ -95,7 +95,7 @@ def restart_recovery(instance, fix_page=None, unfix_page=None,
         log.recover_local_max()
 
         with tracer.span(ev.SPAN_ANALYSIS, system=system_id):
-            dpt, losers = _analysis_pass(log, summary)
+            dpt, losers = analysis_pass(log, summary)
         summary.dirty_pages_at_crash = len(dpt)
         summary.loser_transactions = len(losers)
         with tracer.span(ev.SPAN_REDO, system=system_id):
@@ -118,13 +118,19 @@ def restart_recovery(instance, fix_page=None, unfix_page=None,
 # ----------------------------------------------------------------------
 # analysis
 # ----------------------------------------------------------------------
-def _analysis_pass(
+def analysis_pass(
     log, summary: RestartSummary
 ) -> Tuple[Dict[int, Tuple[Lsn, int]], Dict[int, Lsn]]:
     """Rebuild the dirty page table and find loser transactions.
 
     Returns ``(dpt, losers)`` where dpt maps page_id -> (RecLSN,
     RecAddr) and losers maps txn_id -> last_lsn.
+
+    Public because it is the shared first act of every restart
+    flavour: classic eager recovery here, staged restart
+    (:mod:`repro.recovery.staged`) and instant restart
+    (:mod:`repro.recovery.instant`) both run exactly this pass and
+    then diverge in *when* redo work happens.
     """
     dpt: Dict[int, Tuple[Lsn, int]] = {}
     txn_table: Dict[int, Tuple[Lsn, int]] = {}  # txn -> (last_lsn, state)
@@ -247,7 +253,7 @@ def fast_restart_recovery(
             tracer.emit(ev.RECOVERY_BEGIN, system=system_id, mode="fast")
         log.recover_local_max()
         with tracer.span(ev.SPAN_ANALYSIS, system=system_id):
-            dpt, losers = _analysis_pass(log, summary)
+            dpt, losers = analysis_pass(log, summary)
         summary.dirty_pages_at_crash = len(dpt)
         summary.loser_transactions = len(losers)
 

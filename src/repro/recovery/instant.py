@@ -1,0 +1,300 @@
+"""Instant restart: redo-only, on-demand, per-page recovery.
+
+Classic restart (:mod:`repro.recovery.aries`) replays the whole redo
+scan before the system reopens, so perceived downtime is O(log length).
+Lomet et al. (*Implementing Performance Competitive Logical Recovery*)
+and Sauer/Haerder (*fast REDO-only recovery*) both observe that the
+same machinery can instead recover each page lazily on first touch,
+shrinking downtime to O(analysis + losers).  This module implements
+that mode over the paper's multi-system substrate:
+
+1. **Analysis** runs eagerly (:func:`repro.recovery.aries.analysis_pass`
+   — the shared first act of every restart flavour) and yields the
+   dirty page table and the loser transactions.
+2. **Per-page redo chains** are indexed from the stable log(s) using
+   PR 5's candidate collectors — :func:`repro.cluster.redo.
+   collect_local_redo` under the medium transfer scheme and for the CS
+   server (single-log redo), :func:`repro.cluster.redo.
+   collect_merged_redo` over the merged USN stream under the fast
+   scheme — i.e. exactly the records the eager serial pass would
+   consider, in exactly its order.
+3. **Undo runs eagerly at open**, reusing the eager
+   :func:`~repro.recovery.aries._undo_pass` verbatim with the same
+   page fixers the eager path uses.  Undo touches only loser pages, so
+   this keeps open cost proportional to the in-flight work at crash
+   while the bulk of the redo scan stays lazy — and it is what makes
+   the equivalence guarantee below hold by construction: the CLRs are
+   appended in the same order, against the same page images, with the
+   same ``page_lsn`` hints, as under eager restart.
+4. Everything else recovers **on demand**: the buffer pool's
+   ``recovery_intercept`` seam (and, in the SD complex, a guard at the
+   top of coherency access) routes the first touch of a still-pending
+   page through :meth:`InstantRecoveryManager.recover_page`, which
+   applies the page's chain straight to the shared disk.  A
+   deterministic **sweeper** (:meth:`~InstantRecoveryManager.sweep`)
+   drains the remaining pages in sorted page-id order in tick-driven
+   increments.
+
+Equivalence discipline (the property the chaos ``restart`` drill
+enforces with SHA-256 disk digests): per page, instant restart applies
+the same records under the same ``record.lsn > page_LSN`` screening
+from the same disk base image as the eager pass, and writes the page
+back only when a record actually applied (mirroring
+:func:`~repro.cluster.redo.replay_partitioned`'s modified-only
+write-back).  Application *order between pages* differs, but order
+only matters within a page — the same argument that justified PR 5's
+partitioned redo.  Once every manager has drained, the disk image is
+byte-identical to the eager one.
+
+WAL is satisfied throughout: every record in a chain comes from a
+stable post-crash log, so writing a chain-applied image needs no log
+force first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.stats import (
+    INSTANT_DEMAND_RECOVERIES,
+    INSTANT_OPENS,
+    INSTANT_PAGES_RECOVERED,
+    INSTANT_RECORDS_REDONE,
+    INSTANT_RECORDS_SKIPPED,
+    INSTANT_SWEEP_RECOVERIES,
+    INSTANT_SWEEP_TICKS,
+    StatsRegistry,
+)
+from repro.faults import points as fp
+from repro.faults.injector import NULL_INJECTOR, NullFaultInjector
+from repro.obs import events as ev
+from repro.recovery import aries
+from repro.recovery.apply import apply_redo
+from repro.recovery.aries import RestartSummary, analysis_pass
+from repro.wal.records import LogRecord
+
+
+class InstantRecoveryManager:
+    """Open-for-business restart: eager analysis + undo, lazy redo.
+
+    ``instance`` is duck-typed like everywhere in ``repro.recovery``:
+    it needs ``log``, ``pool``, ``system_id`` and (optionally) a
+    ``tracer``.  ``mode`` names the chain source for the trace stream:
+    ``"medium"`` / ``"fast"`` for SD instances, ``"cs"`` for the
+    server.  The wiring (``SDComplex`` / ``CsServer``) owns the
+    buffer-pool intercept and any cross-manager routing; ``on_drained``
+    is its deregistration callback, invoked exactly once when the last
+    pending page has been recovered.
+    """
+
+    def __init__(
+        self,
+        instance,
+        mode: str,
+        stats: Optional[StatsRegistry] = None,
+        injector: Optional[NullFaultInjector] = None,
+        on_drained: Optional[Callable[["InstantRecoveryManager"], None]]
+        = None,
+    ) -> None:
+        self.instance = instance
+        self.mode = mode
+        self.tracer = aries._tracer_of(instance)
+        self.stats = stats
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.on_drained = on_drained
+        self.summary = RestartSummary()
+        self.dpt: Dict[int, tuple] = {}
+        self.losers: Dict[int, int] = {}
+        self._chains: Dict[int, List[LogRecord]] = {}
+        self._opened = False
+        self._drained = False
+        self.demand_recoveries = 0
+        self.sweep_recoveries = 0
+
+    # ------------------------------------------------------------------
+    # open sequence
+    # ------------------------------------------------------------------
+    def analyze(self) -> None:
+        """Re-seed the Lamport clock and run the analysis pass."""
+        log = self.instance.log
+        system_id = self.instance.system_id
+        # The Lamport clock must be re-seeded before any CLR is
+        # appended — same rule as eager restart.
+        log.recover_local_max()
+        with self.tracer.span(ev.SPAN_ANALYSIS, system=system_id):
+            self.dpt, self.losers = analysis_pass(log, self.summary)
+        self.summary.dirty_pages_at_crash = len(self.dpt)
+        self.summary.loser_transactions = len(self.losers)
+        if self.dpt:
+            redo_start = min(rec_addr for _, rec_addr in self.dpt.values())
+            self.summary.redo_scan_start = redo_start
+
+    def index_chains(self, chains: Dict[int, List[LogRecord]]) -> None:
+        """Install the per-page redo chains (candidate-collector
+        output); pages with a non-empty chain become *pending*."""
+        self._chains = {
+            page_id: records
+            for page_id, records in chains.items() if records
+        }
+
+    def open(self, fix_page=None, unfix_page=None) -> RestartSummary:
+        """Declare the pending set, then roll back the losers eagerly.
+
+        ``fix_page``/``unfix_page`` are the *eager* undo fixers for
+        this system (coherency-mediated for SD, the plain pool for the
+        CS server); the wiring has already arranged that any fix of a
+        still-pending page recovers it first, so the CLRs land on
+        exactly the images eager undo would see.
+        """
+        instance = self.instance
+        system_id = instance.system_id
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(ev.RECOVERY_BEGIN, system=system_id, mode="instant")
+            tracer.emit(
+                ev.INSTANT_OPEN, system=system_id, mode=self.mode,
+                pages=sorted(self._chains), losers=len(self.losers),
+            )
+        if self.stats is not None:
+            self.stats.incr(INSTANT_OPENS)
+        self._opened = True
+        with tracer.span(ev.SPAN_UNDO, system=system_id):
+            aries._undo_pass(instance, self.losers, self.summary,
+                             fix_page=fix_page, unfix_page=unfix_page)
+        instance.log.force()
+        if not self._chains:
+            self._finish()
+        return self.summary
+
+    # ------------------------------------------------------------------
+    # lazy per-page recovery
+    # ------------------------------------------------------------------
+    def pending_pages(self) -> List[int]:
+        """Page ids whose redo chain has not been applied yet, sorted."""
+        return sorted(self._chains)
+
+    @property
+    def drained(self) -> bool:
+        """True once every pending page has been recovered."""
+        return self._drained
+
+    def recover_page(self, page_id: int, via: str = "demand") -> bool:
+        """Apply ``page_id``'s redo chain to the shared disk, if pending.
+
+        Returns True when the page was pending and is now recovered.
+        Exception-safe against an injected fault at ``instant.recover``:
+        the chain is consumed only after the write-back, so the next
+        touch retries from the same stable records.
+        """
+        records = self._chains.get(page_id)
+        if records is None:
+            return False
+        instance = self.instance
+        system_id = instance.system_id
+        tracer = self.tracer
+        with tracer.span(ev.SPAN_RECOVER_PAGE, system=system_id,
+                         page=page_id, via=via):
+            self.injector.fire(fp.INSTANT_RECOVER, system=system_id,
+                               page=page_id)
+            disk = instance.pool.disk
+            # Copy-on-write view: a chain that screens out entirely
+            # never copies the image (and the page is left unwritten,
+            # mirroring replay_partitioned's modified-only write-back).
+            page = disk.read_page_view(page_id)
+            redone = skipped = 0
+            sabotage = aries._SABOTAGE_DISABLE_REDO_SCREENING
+            emitted: List[tuple] = []
+            for record in records:
+                if sabotage or record.lsn > page.page_lsn:
+                    page_lsn_prev = page.page_lsn
+                    apply_redo(page, record)
+                    redone += 1
+                    emitted.append(
+                        (True, int(record.lsn), int(page_lsn_prev)))
+                else:
+                    skipped += 1
+                    emitted.append(
+                        (False, int(record.lsn), int(page.page_lsn)))
+            if redone:
+                disk.write_page(page)
+            del self._chains[page_id]
+            self.summary.records_redone += redone
+            self.summary.redo_skipped_by_lsn += skipped
+            if via == "demand":
+                self.demand_recoveries += 1
+            else:
+                self.sweep_recoveries += 1
+            if tracer.enabled:
+                for was_redo, lsn, other in emitted:
+                    if was_redo:
+                        tracer.emit(
+                            ev.RECOVERY_REDO, system=system_id,
+                            page=page_id, lsn=lsn, page_lsn_prev=other,
+                        )
+                    else:
+                        tracer.emit(
+                            ev.RECOVERY_SKIP, system=system_id,
+                            page=page_id, lsn=lsn, page_lsn=other,
+                        )
+                tracer.emit(
+                    ev.INSTANT_PAGE, system=system_id, page=page_id,
+                    redone=redone, skipped=skipped, via=via,
+                )
+            if self.stats is not None:
+                self.stats.incr(INSTANT_PAGES_RECOVERED)
+                self.stats.incr(
+                    INSTANT_DEMAND_RECOVERIES if via == "demand"
+                    else INSTANT_SWEEP_RECOVERIES)
+                if redone:
+                    self.stats.incr(INSTANT_RECORDS_REDONE, redone)
+                if skipped:
+                    self.stats.incr(INSTANT_RECORDS_SKIPPED, skipped)
+        if not self._chains:
+            self._finish()
+        return True
+
+    # ------------------------------------------------------------------
+    # background sweeper
+    # ------------------------------------------------------------------
+    def sweep(self, max_pages: int = 1) -> int:
+        """One deterministic sweeper tick: recover up to ``max_pages``
+        pending pages in ascending page-id order.  Returns how many
+        pages this tick recovered."""
+        if self.stats is not None:
+            self.stats.incr(INSTANT_SWEEP_TICKS)
+        recovered = 0
+        for page_id in sorted(self._chains)[:max_pages]:
+            if self.recover_page(page_id, via="sweep"):
+                recovered += 1
+        return recovered
+
+    def drain(self) -> int:
+        """Sweep until no page is pending; returns the total recovered."""
+        total = 0
+        while self._chains:
+            total += self.sweep(max_pages=len(self._chains))
+        return total
+
+    # ------------------------------------------------------------------
+    def _finish(self) -> None:
+        if self._drained or not self._opened:
+            return
+        self._drained = True
+        tracer = self.tracer
+        if tracer.enabled:
+            system_id = self.instance.system_id
+            tracer.emit(
+                ev.INSTANT_DONE, system=system_id,
+                recovered=self.demand_recoveries + self.sweep_recoveries,
+                demand=self.demand_recoveries,
+                swept=self.sweep_recoveries,
+            )
+            tracer.emit(
+                ev.RECOVERY_END, system=system_id,
+                redone=self.summary.records_redone,
+                skipped=self.summary.redo_skipped_by_lsn,
+                losers=self.summary.loser_transactions,
+                clrs=self.summary.clrs_written,
+            )
+        if self.on_drained is not None:
+            self.on_drained(self)

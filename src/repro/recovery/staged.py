@@ -29,10 +29,10 @@ from repro.common.lsn import Lsn
 from repro.obs import events as ev
 from repro.recovery.aries import (
     RestartSummary,
-    _analysis_pass,
     _redo_pass,
     _tracer_of,
     _undo_pass,
+    analysis_pass,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -76,7 +76,7 @@ class StagedRestart:
         tracer = _tracer_of(instance)
         log.recover_local_max()
         with tracer.span(ev.SPAN_ANALYSIS, system=instance.system_id):
-            dpt, losers = _analysis_pass(log, self.summary)
+            dpt, losers = analysis_pass(log, self.summary)
         self.summary.dirty_pages_at_crash = len(dpt)
         self.summary.loser_transactions = len(losers)
         with tracer.span(ev.SPAN_REDO, system=instance.system_id):

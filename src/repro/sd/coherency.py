@@ -67,6 +67,12 @@ class CoherencyController:
         self, requester: "DbmsInstance", page_id: int, for_update: bool
     ) -> Page:
         """Give ``requester`` a fixed copy of ``page_id`` in its pool."""
+        if self._complex.instant:
+            # Instant restart in progress somewhere in the complex: a
+            # still-pending page must have its redo chain applied before
+            # any system reads or updates it.  The registry is empty on
+            # the classic path, so this costs one truthiness test there.
+            self._complex.ensure_instant_recovered(page_id)
         writer = self._writer.get(page_id)
         if writer is not None and writer in self._crashed \
                 and writer != requester.system_id:

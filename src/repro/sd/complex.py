@@ -20,7 +20,10 @@ the last updater's maximum.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.recovery.instant import InstantRecoveryManager
 
 from repro.common.errors import ReproError
 from repro.common.lsn import Lsn
@@ -71,7 +74,13 @@ class SDComplex:
         slab: bool = True,
         replicate: Optional["ReplicationConfig"] = None,
         disk: Optional[SharedDisk] = None,
+        restart_mode: str = "eager",
     ) -> None:
+        if restart_mode not in ("eager", "instant"):
+            raise ValueError(
+                f"restart_mode must be 'eager' or 'instant', "
+                f"got {restart_mode!r}"
+            )
         self.stats = stats if stats is not None else StatsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.injector = injector if injector is not None else NULL_INJECTOR
@@ -113,6 +122,15 @@ class SDComplex:
         self.space_map = SpaceMap(smp_start=smp_start, data_start=data_start,
                                   n_data_pages=n_data_pages)
         self.instances: Dict[int, DbmsInstance] = {}
+        #: ``"eager"`` (classic full restart, the default — byte-
+        #: identical to the pre-instant code path) or ``"instant"``
+        #: (open after analysis + undo, recover pages on first touch;
+        #: :mod:`repro.recovery.instant`).
+        self.restart_mode = restart_mode
+        #: Active instant-restart managers, keyed by recovering system.
+        #: Empty on the classic path — every guard on it is a single
+        #: truthiness test, keeping eager traces byte-identical.
+        self.instant: Dict[int, "InstantRecoveryManager"] = {}
         self.lock_value_blocks = lock_value_blocks
         self._lock_values: Dict[Hashable, Lsn] = {}
         if disk is None:
@@ -237,6 +255,8 @@ class SDComplex:
         instance.crashed = False
         with self.tracer.span(ev.SPAN_RESTART, system=system_id,
                               target="instance"):
+            if self.restart_mode == "instant":
+                return self._instant_restart_instance(system_id, instance)
             return self._restart_instance(system_id, instance)
 
     def _restart_instance(self, system_id: int, instance: DbmsInstance):
@@ -293,6 +313,113 @@ class SDComplex:
         self.coherency.note_recovered(system_id)
         self.release_system_locks(system_id)
         return summary
+
+    def _instant_restart_instance(self, system_id: int,
+                                  instance: DbmsInstance):
+        """Instant restart: analysis + eager loser undo, then open —
+        the redo scan becomes per-page chains recovered on first touch
+        (:mod:`repro.recovery.instant`).
+
+        The undo fixers are exactly the eager ones (coherency-mediated
+        medium fixer / ``fix_fast``); the coherency-access guard and
+        the pool's ``recovery_intercept`` make sure any touched pending
+        page has its chain applied first, so CLR order, LSN hints and
+        the final disk image match the eager path byte for byte.
+        """
+        from repro.cluster.redo import collect_local_redo, collect_merged_redo
+        from repro.common.errors import ProtocolError
+        from repro.recovery.instant import InstantRecoveryManager
+
+        manager = InstantRecoveryManager(
+            instance, mode=self.transfer_scheme, stats=self.stats,
+            injector=self.injector, on_drained=self._instant_drained,
+        )
+        # Register before open: the eager undo below reaches pages
+        # through the coherency layer, whose instant guard routes any
+        # pending page back through this manager first.
+        self.instant[system_id] = manager
+        instance.pool.recovery_intercept = self.ensure_instant_recovered
+        with self.tracer.span(ev.SPAN_RECOVERY, system=system_id,
+                              mode="instant"):
+            manager.analyze()
+            if self.transfer_scheme == "fast":
+                candidates = self.coherency.pages_owned_by(system_id)
+                skip = set()
+                for other_id, other in self.instances.items():
+                    if other_id == system_id or other.crashed:
+                        continue
+                    for bcb in other.pool.pages():
+                        if bcb.dirty:
+                            skip.add(bcb.page_id)
+                targets = (set(manager.dpt) | set(candidates)) - skip
+                manager.index_chains(collect_merged_redo(
+                    [inst.log for inst in self.instances.values()],
+                    targets))
+
+                def fix_fast(page_id):
+                    try:
+                        return self.coherency.access(instance, page_id,
+                                                     for_update=True)
+                    except ProtocolError:
+                        return instance.pool.fix(page_id)
+
+                fix_page = fix_fast
+            else:
+                manager.index_chains(collect_local_redo(
+                    instance.log, manager.dpt,
+                    manager.summary.redo_scan_start))
+                fix_page = self.recovery_page_fixer(instance)
+            summary = manager.open(fix_page=fix_page,
+                                   unfix_page=instance.pool.unfix)
+        instance.pool.flush_all()
+        # Cold cache, same as the eager path: only undo-touched pages
+        # are pooled at this point, and they just hit the disk.
+        for bcb in list(instance.pool.pages()):
+            instance.pool.drop_page(bcb.page_id)
+        self.coherency.note_recovered(system_id)
+        self.release_system_locks(system_id)
+        return summary
+
+    def ensure_instant_recovered(self, page_id: int) -> None:
+        """Apply every active instant manager's pending chain for
+        ``page_id`` before anyone reads or writes the page.
+
+        Managers run in ascending system order — the same order
+        ``restart_complex`` recovers instances in.  Under the medium
+        scheme at most one system's chain can actually apply (the
+        surrender disk write screens the others out), and under the
+        fast scheme every manager's chain for a shared page is the same
+        merged record list, so cross-manager order never changes the
+        final bytes.
+        """
+        for system_id in sorted(self.instant):
+            manager = self.instant.get(system_id)
+            if manager is not None:
+                manager.recover_page(page_id)
+
+    def _instant_drained(self, manager: "InstantRecoveryManager") -> None:
+        """Deregister a drained manager; drop the fix intercepts once
+        the last one is gone."""
+        drained = [
+            system_id
+            for system_id, registered in self.instant.items()
+            if registered is manager
+        ]
+        for system_id in drained:
+            del self.instant[system_id]
+        if not self.instant:
+            for instance in self.instances.values():
+                instance.pool.recovery_intercept = None
+
+    def instant_drain(self) -> int:
+        """Run every active manager's sweeper to completion (ascending
+        system order); returns the number of pages recovered."""
+        total = 0
+        for system_id in sorted(self.instant):
+            manager = self.instant.get(system_id)
+            if manager is not None:
+                total += manager.drain()
+        return total
 
     def recovery_page_fixer(self, instance: DbmsInstance):
         """Page accessor for a recovering instance's **undo** pass.

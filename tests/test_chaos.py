@@ -43,6 +43,7 @@ from repro.faults.campaign import (
     run_drill_spec,
     run_drill_survey,
     run_failover_drill,
+    run_restart_drill,
     run_spec,
     run_survey,
     sabotage_redo_screening,
@@ -512,6 +513,35 @@ class TestFailoverDrill:
 
         assert main(["--drill", "failover", "--smoke"]) == 0
         assert "DRILL: OK" in capsys.readouterr().out
+
+
+class TestRestartDrill:
+    def test_smoke_drill_is_green(self):
+        report = run_restart_drill(seed=0, smoke=True)
+        assert report.results, "smoke drill produced no rehearsals"
+        assert report.ok, report.table()
+        assert all(result.image_match for result in report.results)
+        # At least one rehearsal must actually defer redo work, or the
+        # drill would be comparing two eager restarts.
+        assert any(result.lazy_pages > 0 for result in report.results)
+
+    def test_same_seed_same_drill(self):
+        first = run_restart_drill(seed=0, smoke=True)
+        again = run_restart_drill(seed=0, smoke=True)
+        assert first.to_dict() == again.to_dict()
+
+    def test_drill_cli_exit_code(self, capsys):
+        from repro.chaos import main
+
+        assert main(["--drill", "restart", "--smoke"]) == 0
+        assert "DRILL: OK" in capsys.readouterr().out
+
+    def test_unknown_drill_lists_drills_and_exits_2(self, capsys):
+        from repro.chaos import main
+
+        assert main(["--drill", "bogus"]) == 2
+        out = capsys.readouterr().out
+        assert "failover" in out and "restart" in out
 
 
 class TestSabotage:

@@ -199,6 +199,31 @@ class TestIncrementalMerge:
         seen = [(a.system_id, a.offset) for a, _ in first_pass + second_pass]
         assert len(seen) == len(set(seen))
 
+    def test_cursor_resume_with_empty_source_joining_mid_stream(self):
+        """A log that joins the fleet between passes — empty on its
+        first resume, populated by the next — must neither break the
+        heap seed nor duplicate records once it has some."""
+        logs = usn_logs({1: [(10, 0)] * 2})
+        first_pass = list(merge_local_logs(logs))
+        cursors = {log.system_id: log.end_offset for log in logs}
+        newcomer = LogManager(3)  # joins mid-stream, nothing logged yet
+        logs.append(newcomer)
+        cursors[3] = 0
+        logs[0].append(make_update(1, 1, 11, 0, b"r", b"u"))
+        second_pass = list(merge_local_logs(logs, from_offsets=cursors))
+        # The empty newcomer contributes nothing and breaks nothing.
+        assert [r.page_id for _, r in second_pass] == [11]
+        cursors = {log.system_id: log.end_offset for log in logs}
+        newcomer.append(make_update(3, 3, 12, 0, b"r", b"u"))
+        third_pass = list(merge_local_logs(logs, from_offsets=cursors))
+        # Now only the newcomer has new records; the exhausted sources
+        # (cursor == end offset) yield empty remainders.
+        assert [(a.system_id, r.page_id) for a, r in third_pass] \
+            == [(3, 12)]
+        seen = [(a.system_id, a.offset)
+                for a, _ in first_pass + second_pass + third_pass]
+        assert len(seen) == len(set(seen))
+
     def test_stable_only_stops_at_flushed_boundary(self):
         log = LogManager(1)
         log.append(make_update(1, 1, 10, 0, b"r", b"u"))

@@ -13,9 +13,11 @@
 #   lint    ruff (when installed) + reprolint (always required)
 #   type    mypy (when installed; skipped otherwise)
 #   test    tier-1 pytest suite
-#   bench   E1 bench smoke + bench-suite smoke + span-trace smoke
-#           (capture, critical-path, invariant check, Perfetto export)
-#   chaos   crash-point torture smoke (python -m repro.chaos --smoke)
+#   bench   E1/TPS/instant bench smokes + bench-suite smoke +
+#           span-trace smoke (capture, critical-path, invariant
+#           check, Perfetto export)
+#   chaos   crash-point torture smoke + failover and restart drill
+#           smokes (python -m repro.chaos [--drill ...] --smoke)
 #
 # Every stage runs even after an earlier one fails; each step's result
 # is captured, a PASS/FAIL/SKIP summary table prints at the end, and
@@ -117,6 +119,19 @@ bench_tps_smoke() {
     return "${status}"
 }
 
+# Instant-restart smoke: run the S4 bench standalone and require its
+# claim to hold — the instant path's time-to-first-transaction gates
+# at >= 3x below eager restart's, with SHA-256 identical disk images
+# once the sweeper drains.
+bench_instant_smoke() {
+    local tmp
+    tmp="$(mktemp -t bench_s4.XXXXXX.json)"
+    python benchmarks/bench_s4_instant.py --json "${tmp}" >/dev/null
+    local status=$?
+    rm -f "${tmp}"
+    return "${status}"
+}
+
 # Span smoke: capture the E1 anomaly under a recording tracer, profile
 # the commit critical path, run the trace invariant checker, and export
 # Perfetto JSON.  With SPAN_TRACE_DIR set (CI does this) the trace and
@@ -149,6 +164,7 @@ span_trace_smoke() {
 stage_bench() {
     run_step "bench-e1 smoke" bench_e1_smoke
     run_step "bench-tps smoke" bench_tps_smoke
+    run_step "bench-instant smoke" bench_instant_smoke
     run_step "bench-suite smoke" bench_suite_smoke
     run_step "span-trace smoke" span_trace_smoke
 }
@@ -159,12 +175,17 @@ stage_bench() {
 # drill then kills a replicated primary at a trimmed set of crash
 # points under every write-ack level, promotes a standby, and checks
 # the loss bound and the promoted disk image against a reference
-# recovery (exit 1 if any rehearsal loses acked commits).
+# recovery (exit 1 if any rehearsal loses acked commits).  The restart
+# drill recovers the identical crash eagerly and with
+# restart_mode="instant" at three SD crash points and requires the
+# final disk images to be SHA-256 identical.
 stage_chaos() {
     run_step "chaos smoke (crash-point torture)" \
         python -m repro.chaos --smoke
     run_step "failover drill (smoke)" \
         python -m repro.chaos --drill failover --smoke
+    run_step "restart drill (smoke)" \
+        python -m repro.chaos --drill restart --smoke
 }
 
 # ----------------------------------------------------------------------
